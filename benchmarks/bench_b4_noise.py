@@ -1,0 +1,78 @@
+"""B4 — noisy trajectories and the repetition-code threshold curve
+(ablation: what the paper's deterministic QEC example becomes under
+stochastic noise).
+
+Regenerates the logical-error series against the exact formula
+``p_L = 3 p^2 - 2 p^3`` and benchmarks trajectory throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Measurement, QCircuit
+from repro.gates import CNOT, Hadamard
+from repro.noise import (
+    BitFlip,
+    Depolarizing,
+    NoiseModel,
+    noisy_counts,
+    repetition_code_logical_error_rate,
+    run_trajectory,
+    theoretical_logical_error_rate,
+)
+
+
+def bell_measured():
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    c.push_back(Measurement(0))
+    c.push_back(Measurement(1))
+    return c
+
+
+def test_b4_rows(benchmark):
+    benchmark.pedantic(
+        lambda: repetition_code_logical_error_rate(0.1, shots=200, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("B4 | p measured theory(3p^2-2p^3)")
+    for p in (0.02, 0.05, 0.1, 0.2, 0.3):
+        measured = repetition_code_logical_error_rate(
+            p, shots=2000, seed=4
+        )
+        theory = theoretical_logical_error_rate(p)
+        print(f"B4 | {p:<5g} {measured:.4f} {theory:.4f}")
+        sigma = 3 * np.sqrt(max(theory, 1e-4) * (1 - theory) / 2000)
+        assert abs(measured - theory) < sigma + 5e-3
+
+
+def test_b4_single_trajectory(benchmark):
+    circuit = bell_measured()
+    noise = NoiseModel(gate_noise=Depolarizing(0.01))
+    rng = np.random.default_rng(0)
+    result = benchmark(lambda: run_trajectory(circuit, noise, rng=rng))
+    assert len(result.result) == 2
+
+
+@pytest.mark.parametrize("shots", [10, 100])
+def test_b4_noisy_counts(benchmark, shots):
+    circuit = bell_measured()
+    noise = NoiseModel(gate_noise=BitFlip(0.02))
+    counts = benchmark(
+        lambda: noisy_counts(circuit, noise, shots=shots, seed=1)
+    )
+    assert sum(counts.values()) == shots
+
+
+def test_b4_logical_error_point(benchmark):
+    rate = benchmark.pedantic(
+        lambda: repetition_code_logical_error_rate(
+            0.1, shots=500, seed=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= rate < 0.2

@@ -1,0 +1,64 @@
+"""B5 — FABLE block encodings (ablation over the compression
+threshold; paper refs [6, 7]).
+
+Regenerates the accuracy-vs-compression series and benchmarks circuit
+synthesis and verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compilers import block_encoding_block, fable
+
+
+def _matrix(n, kind, seed=0):
+    rng = np.random.default_rng(seed)
+    if kind == "random":
+        return rng.uniform(-1, 1, size=(1 << n, 1 << n))
+    if kind == "lowrank":
+        u = np.linspace(0.1, 0.9, 1 << n)
+        return np.outer(u, u[::-1])
+    return np.full((1 << n, 1 << n), 0.5)
+
+
+def test_b5_rows(benchmark):
+    benchmark.pedantic(
+        lambda: fable(_matrix(2, "random")), rounds=1, iterations=1
+    )
+    print()
+    print("B5 | matrix threshold rotations error")
+    for kind in ("random", "lowrank", "constant"):
+        a = _matrix(3, kind)
+        for threshold in (0.0, 0.01, 0.1):
+            res = fable(a, threshold=threshold)
+            err = np.abs(block_encoding_block(res) - a).max()
+            print(
+                f"B5 | {kind:>8} {threshold:<5g} "
+                f"{res.rotations_kept:>3}/{res.rotations_total:<3} "
+                f"{err:.2e}"
+            )
+            if threshold == 0.0:
+                assert err < 1e-10
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_b5_synthesis(benchmark, n):
+    benchmark.group = "B5 synthesis"
+    a = _matrix(n, "random", seed=n)
+    res = benchmark(lambda: fable(a))
+    assert res.circuit.nbQubits == 2 * n + 1
+
+
+@pytest.mark.parametrize("threshold", [0.0, 0.01, 0.1])
+def test_b5_compressed_synthesis(benchmark, threshold):
+    benchmark.group = "B5 compression"
+    a = _matrix(3, "lowrank")
+    res = benchmark(lambda: fable(a, threshold=threshold))
+    assert res.rotations_kept <= res.rotations_total
+
+
+def test_b5_verification(benchmark):
+    a = _matrix(2, "random", seed=11)
+    res = fable(a)
+    block = benchmark(lambda: block_encoding_block(res))
+    np.testing.assert_allclose(block, a, atol=1e-11)

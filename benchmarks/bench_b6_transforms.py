@@ -1,0 +1,76 @@
+"""B6 — circuit optimization passes (ablation of the stable-fusion
+design choice the toolbox's QAngle/QRotation machinery enables).
+
+Regenerates the gate-count-reduction series and benchmarks each pass.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.workloads import random_circuit
+from repro.circuit import QCircuit
+from repro.gates import Hadamard, RotationZ
+from repro.transforms import (
+    cancel_inverses,
+    flatten,
+    fuse_rotations,
+    optimize,
+)
+
+
+def redundant_circuit(nb_qubits, repeats, seed=0):
+    """Random circuit followed by pieces of its own inverse: rich in
+    fusable/cancellable structure."""
+    rng = np.random.default_rng(seed)
+    c = QCircuit(nb_qubits)
+    for _ in range(repeats):
+        q = int(rng.integers(0, nb_qubits))
+        c.push_back(RotationZ(q, float(rng.normal())))
+        c.push_back(RotationZ(q, float(rng.normal())))
+        c.push_back(Hadamard(q))
+        c.push_back(Hadamard(q))
+    return c
+
+
+def test_b6_rows(benchmark):
+    benchmark.pedantic(
+        lambda: optimize(redundant_circuit(4, 20)), rounds=1, iterations=1
+    )
+    print()
+    print("B6 | circuit gates-before gates-after")
+    for label, circuit in (
+        ("redundant", redundant_circuit(4, 20)),
+        ("random", random_circuit(4, 60, seed=1)),
+    ):
+        out = optimize(circuit)
+        print(f"B6 | {label} {circuit.nbGates} {out.nbGates}")
+        assert out.nbGates <= circuit.nbGates
+    # the redundant circuit reduces to at most one fused RZ per qubit
+    assert optimize(redundant_circuit(4, 20)).nbGates <= 4
+
+
+@pytest.mark.parametrize("nb_gates", [50, 200])
+def test_b6_optimize(benchmark, nb_gates):
+    benchmark.group = "B6 optimize"
+    circuit = random_circuit(5, nb_gates, seed=2)
+    reference = circuit.matrix
+    out = benchmark(lambda: optimize(circuit))
+    np.testing.assert_allclose(out.matrix, reference, atol=1e-10)
+
+
+def test_b6_fuse_rotations(benchmark):
+    circuit = redundant_circuit(4, 30)
+    out = benchmark(lambda: fuse_rotations(circuit))
+    assert out.nbGates < circuit.nbGates
+
+
+def test_b6_cancel_inverses(benchmark):
+    circuit = redundant_circuit(4, 30)
+    out = benchmark(lambda: cancel_inverses(circuit))
+    assert out.nbGates < circuit.nbGates
+
+
+def test_b6_flatten(benchmark):
+    circuit = random_circuit(5, 100, seed=3)
+    out = benchmark(lambda: flatten(circuit))
+    assert len(out) == 100

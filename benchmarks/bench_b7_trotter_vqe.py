@@ -1,0 +1,89 @@
+"""B7 — Trotter evolution error scaling and the VQE workflow
+(variational + time-evolution extensions; the F3C-adjacent workloads of
+paper refs [5, 6]).
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.algorithms import (
+    h2_hamiltonian,
+    hardware_efficient_ansatz,
+    trotter_circuit,
+    vqe_minimize,
+)
+from repro.simulation.observables import PauliSum
+
+TFIM = PauliSum(
+    [(-1.0, "zzi"), (-1.0, "izz"), (-0.7, "xii"), (-0.7, "ixi"),
+     (-0.7, "iix")]
+)
+
+
+def test_b7_rows(benchmark):
+    benchmark.pedantic(
+        lambda: trotter_circuit(TFIM, 0.8, 4, 2).matrix,
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    u_exact = scipy.linalg.expm(-1j * TFIM.matrix() * 0.8)
+    print("B7 | steps order1-err order2-err")
+    prev1 = prev2 = None
+    for steps in (1, 2, 4, 8):
+        e1 = np.abs(
+            trotter_circuit(TFIM, 0.8, steps, 1).matrix - u_exact
+        ).max()
+        e2 = np.abs(
+            trotter_circuit(TFIM, 0.8, steps, 2).matrix - u_exact
+        ).max()
+        print(f"B7 | {steps} {e1:.5f} {e2:.5f}")
+        if prev1 is not None:
+            assert e1 < prev1 and e2 < prev2
+        prev1, prev2 = e1, e2
+    vqe = vqe_minimize(h2_hamiltonian(), layers=1, seed=0)
+    print(f"B7 | VQE H2: energy {vqe.energy:.6f} exact {vqe.exact:.6f} "
+          f"({vqe.evaluations} evaluations)")
+    assert abs(vqe.energy - vqe.exact) < 1e-3
+
+
+@pytest.mark.parametrize("steps", [1, 4, 16])
+def test_b7_trotter_build(benchmark, steps):
+    benchmark.group = "B7 trotter build"
+    c = benchmark(lambda: trotter_circuit(TFIM, 0.8, steps, 2))
+    assert c.nbQubits == 3
+
+
+@pytest.mark.parametrize("steps", [1, 4])
+def test_b7_trotter_simulate(benchmark, steps):
+    benchmark.group = "B7 trotter simulate"
+    circuit = trotter_circuit(TFIM, 0.8, steps, 2)
+    sim = benchmark(lambda: circuit.simulate("000"))
+    assert np.linalg.norm(sim.states[0]) == pytest.approx(1.0)
+
+
+def test_b7_energy_evaluation(benchmark):
+    h = h2_hamiltonian()
+    params = np.full(4, 0.3)
+    from repro.simulation.state import basis_state
+
+    zero = basis_state("00")
+
+    def energy():
+        circuit = hardware_efficient_ansatz(2, 1, params)
+        state = circuit.simulate(zero).states[0]
+        return h.expectation(state)
+
+    value = benchmark(energy)
+    assert np.isfinite(value)
+
+
+def test_b7_vqe_full(benchmark):
+    result = benchmark.pedantic(
+        lambda: vqe_minimize(h2_hamiltonian(), layers=1, seed=3,
+                             restarts=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.energy <= result.exact + 0.1

@@ -1,0 +1,82 @@
+"""B8 — stabilizer vs state-vector scaling (the Pauli-frame remark of
+the paper's QEC footnote, made quantitative).
+
+Clifford circuits simulate in polynomial time on the CHP tableau while
+the state-vector engines scale exponentially; this bench regenerates
+the crossover series and benchmarks both engines on the same circuits.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit import Measurement, QCircuit
+from repro.gates import CNOT, Hadamard
+from repro.simulation.stabilizer import (
+    simulate_stabilizer,
+    stabilizer_counts,
+)
+
+
+def ghz_measured(n):
+    c = QCircuit(n)
+    c.push_back(Hadamard(0))
+    for q in range(n - 1):
+        c.push_back(CNOT(q, q + 1))
+    for q in range(n):
+        c.push_back(Measurement(q))
+    return c
+
+
+def test_b8_rows(benchmark):
+    benchmark.pedantic(
+        lambda: simulate_stabilizer(ghz_measured(50), rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("B8 | n stabilizer(s) statevector(s)")
+    for n in (4, 8, 12, 16):
+        c = ghz_measured(n)
+        t0 = time.perf_counter()
+        simulate_stabilizer(c, rng=0)
+        t_stab = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        c.simulate("0" * n)
+        t_sv = time.perf_counter() - t0
+        print(f"B8 | {n:3d} {t_stab:.5f} {t_sv:.5f}")
+    for n in (50, 100, 200):
+        c = ghz_measured(n)
+        t0 = time.perf_counter()
+        result, _ = simulate_stabilizer(c, rng=0)
+        t_stab = time.perf_counter() - t0
+        print(f"B8 | {n:3d} {t_stab:.5f} (statevector infeasible)")
+        assert result in ("0" * n, "1" * n)
+
+
+@pytest.mark.parametrize("n", [8, 16, 50, 100])
+def test_b8_stabilizer_shot(benchmark, n):
+    benchmark.group = "B8 stabilizer shot"
+    circuit = ghz_measured(n)
+    rng = np.random.default_rng(1)
+    result, _ = benchmark(lambda: simulate_stabilizer(circuit, rng=rng))
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_b8_statevector_shot(benchmark, n):
+    benchmark.group = "B8 statevector shot"
+    circuit = ghz_measured(n)
+    sim = benchmark(lambda: circuit.simulate("0" * n))
+    assert sim.nbBranches == 2
+
+
+def test_b8_counts(benchmark):
+    circuit = ghz_measured(10)
+    counts = benchmark.pedantic(
+        lambda: stabilizer_counts(circuit, shots=200, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert sum(counts.values()) == 200

@@ -1,0 +1,53 @@
+"""E2 — quantum teleportation (paper Section 5.1).
+
+Regenerates the printed rows: four outcomes with probability 0.25 and
+the reduced receiver state (0.7071, 0.7071i), and benchmarks the
+protocol end to end.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.workloads import V_PAPER
+from repro.algorithms import teleport, teleportation_circuit
+from repro.simulation.reduced import reducedStatevector
+
+
+def test_e2_rows(benchmark):
+    r = benchmark.pedantic(
+        lambda: teleport(V_PAPER), rounds=1, iterations=1
+    )
+    assert r.results == ["00", "01", "10", "11"]
+    np.testing.assert_allclose(r.probabilities, [0.25] * 4)
+    np.testing.assert_allclose(r.received[0], [0.7071, 0.7071j], atol=5e-5)
+    print()
+    print("E2 teleportation | result probability received(q2)")
+    for res, p, rec in zip(r.results, r.probabilities, r.received):
+        print(
+            f"E2 teleportation | {res!r} {p:.4f} "
+            f"[{rec[0]:.4f}, {rec[1]:.4f}]"
+        )
+
+
+@pytest.mark.parametrize("backend", ["kernel", "sparse"])
+def test_e2_full_protocol(benchmark, backend):
+    r = benchmark(lambda: teleport(V_PAPER, backend=backend))
+    assert r.worst_error < 1e-12
+
+
+def test_e2_simulation_only(benchmark):
+    qtc = teleportation_circuit()
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    initial = np.kron(V_PAPER, bell)
+    sim = benchmark(lambda: qtc.simulate(initial))
+    assert sim.nbBranches == 4
+
+
+def test_e2_reduced_statevector(benchmark):
+    sim = teleportation_circuit().simulate(
+        np.kron(V_PAPER, np.array([1, 0, 0, 1]) / np.sqrt(2))
+    )
+    out = benchmark(
+        lambda: reducedStatevector(sim.states[0], [0, 1], sim.results[0])
+    )
+    np.testing.assert_allclose(out, V_PAPER, atol=1e-12)

@@ -1,0 +1,60 @@
+"""E3 — quantum state tomography (paper Section 5.2).
+
+Regenerates the paper's rows: seeded X-basis counts (paper: 471/529
+with MATLAB's rng(1)), the S coefficients, the reconstructed density
+matrix and the trace distance; benchmarks the counts workflow and the
+full reconstruction.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.workloads import V_PAPER
+from repro.algorithms import single_qubit_tomography
+from repro.circuit import Measurement, QCircuit
+
+
+def test_e3_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: single_qubit_tomography(V_PAPER, shots=1000, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    counts = result.counts["x"]
+    print(f"E3 tomography | counts_x = [{counts[0]}, {counts[1]}] "
+          "(paper @ rng(1): [471, 529])")
+    s = result.s
+    print(f"E3 tomography | S = [{s[0]:.3f}, {s[1]:.3f}, {s[2]:.3f}, "
+          f"{s[3]:.3f}] (paper: [1, -0.058, 1, -0.012])")
+    print(f"E3 tomography | trace distance = {result.distance:.4f} "
+          "(paper: 0.006)")
+    assert result.s[0] == pytest.approx(1.0)
+    assert result.s[2] == pytest.approx(1.0)
+    assert result.distance < 0.06
+
+
+@pytest.mark.parametrize("shots", [100, 1000, 10_000])
+def test_e3_counts(benchmark, shots):
+    meas_x = QCircuit(1)
+    meas_x.push_back(Measurement(0, "x"))
+    res_x = meas_x.simulate(V_PAPER)
+    counts = benchmark(lambda: res_x.counts(shots, seed=1))
+    assert counts.sum() == shots
+
+
+def test_e3_full_reconstruction(benchmark):
+    result = benchmark(
+        lambda: single_qubit_tomography(V_PAPER, shots=1000, seed=1)
+    )
+    assert result.distance < 0.06
+
+
+def test_e3_pauli_tomography_two_qubits(benchmark):
+    from repro.algorithms import pauli_tomography
+
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    result = benchmark(
+        lambda: pauli_tomography(bell, shots=1000, seed=5)
+    )
+    assert result.distance < 0.1

@@ -1,0 +1,50 @@
+"""E4 — Grover's algorithm (paper Section 5.3).
+
+Regenerates the paper's row — outcome '11' with probability 1.0000 —
+and benchmarks the paper circuit plus the general-n generator, whose
+success probability series demonstrates the O(sqrt(N)) scaling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    grover_search,
+    optimal_iterations,
+    paper_grover_circuit,
+)
+
+
+def test_e4_rows(benchmark):
+    sim = benchmark.pedantic(
+        lambda: paper_grover_circuit().simulate("00"),
+        rounds=1,
+        iterations=1,
+    )
+    assert sim.results == ["11"]
+    np.testing.assert_allclose(sim.probabilities, [1.0])
+    print()
+    print("E4 Grover | paper 2-qubit case: result "
+          f"{sim.results[0]!r} probability {sim.probabilities[0]:.4f}")
+    print("E4 Grover | n marked iterations success")
+    for marked in ("11", "101", "1011", "11010", "110101"):
+        r = grover_search(marked)
+        print(
+            f"E4 Grover | {len(marked)} |{marked}> {r.iterations} "
+            f"{r.probability:.4f}"
+        )
+        assert r.found == marked
+
+
+def test_e4_paper_circuit(benchmark):
+    circuit = paper_grover_circuit()
+    sim = benchmark(lambda: circuit.simulate("00"))
+    assert sim.results == ["11"]
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def test_e4_scaling(benchmark, n):
+    marked = format((1 << n) - 3, f"0{n}b")
+    r = benchmark(lambda: grover_search(marked))
+    assert r.found == marked
+    assert r.iterations == optimal_iterations(n)

@@ -1,0 +1,48 @@
+"""E5 — quantum error correction (paper Section 5.4).
+
+Regenerates the paper's row — syndrome '11' for an error on q0, state
+restored — plus the full syndrome table, and benchmarks the repetition
+codes and the 9-qubit Shor code extension.
+"""
+
+import pytest
+
+from benchmarks.workloads import V_PAPER
+from repro.algorithms import (
+    run_bit_flip_demo,
+    run_phase_flip_demo,
+    run_shor_code_demo,
+)
+
+
+def test_e5_rows(benchmark):
+    benchmark.pedantic(
+        lambda: run_bit_flip_demo(V_PAPER, error_qubit=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("E5 QEC | error syndrome corrected")
+    for e in (None, 0, 1, 2):
+        r = run_bit_flip_demo(V_PAPER, error_qubit=e)
+        print(f"E5 QEC | X@{e!s:>4} {r.syndrome!r} {r.corrected}")
+        assert r.corrected
+    r = run_bit_flip_demo(V_PAPER, error_qubit=0)
+    assert r.syndrome == "11"  # the paper's printed syndrome
+
+
+@pytest.mark.parametrize("error_qubit", [None, 0, 1, 2])
+def test_e5_bit_flip(benchmark, error_qubit):
+    r = benchmark(lambda: run_bit_flip_demo(V_PAPER, error_qubit))
+    assert r.corrected
+
+
+def test_e5_phase_flip(benchmark):
+    r = benchmark(lambda: run_phase_flip_demo(V_PAPER, 1))
+    assert r.corrected
+
+
+@pytest.mark.parametrize("error", ["x", "y", "z"])
+def test_e5_shor_code(benchmark, error):
+    r = benchmark(lambda: run_shor_code_demo(V_PAPER, error, 4))
+    assert r.corrected

@@ -1,0 +1,58 @@
+"""F1 — the paper's circuit figures.
+
+Every diagram in the paper ((1), (3), (4), (5), (6)-(7) encode/QEC) is
+regenerated in both output formats (command-window drawing and
+quantikz LaTeX) and the rendering cost is benchmarked.
+"""
+
+import pytest
+
+from benchmarks.workloads import bell_circuit
+from repro.algorithms import (
+    bit_flip_code_circuit,
+    paper_diffuser,
+    paper_grover_circuit,
+    paper_oracle,
+    teleportation_circuit,
+)
+
+FIGURES = {
+    "circuit-1-bell": bell_circuit,
+    "circuit-2-teleportation": teleportation_circuit,
+    "circuit-3-grover": paper_grover_circuit,
+    "circuit-4-oracle": paper_oracle,
+    "circuit-5-diffuser": paper_diffuser,
+    "circuit-7-qec": bit_flip_code_circuit,
+}
+
+
+def test_f1_rows(benchmark):
+    benchmark.pedantic(
+        lambda: [b().draw() for b in FIGURES.values()],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, builder in FIGURES.items():
+        c = builder()
+        text = c.draw()
+        tex = c.toTex()
+        print(f"F1 {name}: {c.nbQubits} qubits, "
+              f"{len(text.splitlines())} text rows, "
+              f"{len(tex)} LaTeX chars")
+        assert text.strip()
+        assert "\\begin{quantikz}" in tex
+
+
+@pytest.mark.parametrize("name", list(FIGURES), ids=list(FIGURES))
+def test_f1_draw(benchmark, name):
+    circuit = FIGURES[name]()
+    text = benchmark(circuit.draw)
+    assert "q0:" in text
+
+
+@pytest.mark.parametrize("name", list(FIGURES), ids=list(FIGURES))
+def test_f1_totex(benchmark, name):
+    circuit = FIGURES[name]()
+    tex = benchmark(circuit.toTex)
+    assert tex.count("\\begin{") == tex.count("\\end{")

@@ -1,0 +1,58 @@
+"""Q1 — OpenQASM compatibility (paper Section 4).
+
+Regenerates the paper's QASM listing for circuit (1) and benchmarks
+export and import (round-trip) for the paper circuits and scaling
+workloads.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.workloads import bell_circuit, random_circuit
+from repro.algorithms import bit_flip_code_circuit, teleportation_circuit
+from repro.io.qasm_import import fromQASM
+
+
+def test_q1_rows(benchmark):
+    text = benchmark.pedantic(
+        lambda: bell_circuit().toQASM(), rounds=1, iterations=1
+    )
+    print()
+    for line in text.splitlines():
+        print(f"Q1 qasm | {line}")
+    assert "h q[0];" in text
+    assert "cx q[0],q[1];" in text
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    [
+        ("bell", bell_circuit),
+        ("teleportation", teleportation_circuit),
+        ("qec", bit_flip_code_circuit),
+    ],
+)
+def test_q1_export(benchmark, name, builder):
+    circuit = builder()
+    text = benchmark(circuit.toQASM)
+    assert text.startswith("OPENQASM 2.0;")
+
+
+def test_q1_import(benchmark):
+    text = teleportation_circuit().toQASM()
+    circuit = benchmark(lambda: fromQASM(text))
+    assert circuit.nbQubits == 3
+
+
+@pytest.mark.parametrize("nb_gates", [50, 200])
+def test_q1_roundtrip_scaling(benchmark, nb_gates):
+    circuit = random_circuit(5, nb_gates, seed=3)
+    def roundtrip():
+        return fromQASM(circuit.toQASM())
+
+    back = benchmark(roundtrip)
+    # equivalence up to global phase
+    a, b = circuit.matrix, back.matrix
+    k = np.argmax(np.abs(a))
+    phase = b.flat[k] / a.flat[k]
+    np.testing.assert_allclose(a * phase, b, atol=1e-7)

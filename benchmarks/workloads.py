@@ -1,0 +1,102 @@
+"""Shared workload generators for the benchmark harness.
+
+Each experiment in DESIGN.md's index pulls its circuits from here so
+that benchmarks and correctness assertions always exercise identical
+workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import Measurement, QCircuit
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCX,
+    RotationX,
+    RotationZ,
+    SWAP,
+)
+
+__all__ = [
+    "bell_circuit",
+    "random_circuit",
+    "ghz_circuit",
+    "layered_circuit",
+    "V_PAPER",
+]
+
+#: The paper's running example state (1/sqrt(2), i/sqrt(2)).
+V_PAPER = np.array([1 / np.sqrt(2), 1j / np.sqrt(2)])
+
+
+def bell_circuit(measure: bool = True) -> QCircuit:
+    """The paper's circuit (1)."""
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    if measure:
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+    return c
+
+
+def ghz_circuit(nb_qubits: int, measure: bool = False) -> QCircuit:
+    """H + CNOT chain preparing an n-qubit GHZ state."""
+    c = QCircuit(nb_qubits)
+    c.push_back(Hadamard(0))
+    for q in range(nb_qubits - 1):
+        c.push_back(CNOT(q, q + 1))
+    if measure:
+        for q in range(nb_qubits):
+            c.push_back(Measurement(q))
+    return c
+
+
+def random_circuit(
+    nb_qubits: int, nb_gates: int, seed: int = 0
+) -> QCircuit:
+    """A reproducible random circuit mixing all gate families."""
+    rng = np.random.default_rng(seed)
+    c = QCircuit(nb_qubits)
+    for _ in range(nb_gates):
+        roll = int(rng.integers(0, 7))
+        q = int(rng.integers(0, nb_qubits))
+        t = int((q + 1 + rng.integers(0, max(1, nb_qubits - 1))) % nb_qubits)
+        if roll == 0:
+            c.push_back(Hadamard(q))
+        elif roll == 1:
+            c.push_back(RotationX(q, float(rng.normal())))
+        elif roll == 2:
+            c.push_back(RotationZ(q, float(rng.normal())))
+        elif roll == 3 and nb_qubits > 1:
+            c.push_back(CNOT(q, t))
+        elif roll == 4 and nb_qubits > 1:
+            c.push_back(CPhase(q, t, float(rng.normal())))
+        elif roll == 5 and nb_qubits > 1:
+            c.push_back(SWAP(q, t))
+        elif nb_qubits > 2:
+            u = int((t + 1 + rng.integers(0, max(1, nb_qubits - 2)))
+                    % nb_qubits)
+            if u not in (q, t):
+                c.push_back(MCX([q, t], u))
+            else:
+                c.push_back(Hadamard(q))
+        else:
+            c.push_back(Hadamard(q))
+    return c
+
+
+def layered_circuit(nb_qubits: int, nb_layers: int) -> QCircuit:
+    """Brickwork layers of H + CZ, a standard scaling workload."""
+    c = QCircuit(nb_qubits)
+    for layer in range(nb_layers):
+        for q in range(nb_qubits):
+            c.push_back(Hadamard(q))
+        start = layer % 2
+        for q in range(start, nb_qubits - 1, 2):
+            c.push_back(CZ(q, q + 1))
+    return c

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""QFT and quantum phase estimation (extensions).
+
+Demonstrates composition at scale: the QFT's controlled-phase ladder,
+circuit inversion via ``ctranspose``, controlled custom matrix gates
+and nested blocks — then estimates eigenphases with QPE.
+
+Run:  python examples/qft_phase_estimation.py
+"""
+
+import numpy as np
+
+from repro.algorithms import (
+    estimate_phase,
+    phase_estimation_circuit,
+    qft_circuit,
+)
+
+# QFT --------------------------------------------------------------------------
+n = 3
+qft = qft_circuit(n)
+print(f"{n}-qubit QFT:")
+print(qft.draw())
+
+F = qft.matrix
+w = np.exp(2j * np.pi / (1 << n))
+expected = np.array(
+    [[w ** (j * k) for k in range(1 << n)] for j in range(1 << n)]
+) / np.sqrt(1 << n)
+print("matches the DFT matrix:", np.allclose(F, expected))
+print()
+
+# inverse via ctranspose
+iqft = qft.ctranspose()
+print("QFT . QFT^dagger = I:",
+      np.allclose(iqft.matrix @ F, np.eye(1 << n)))
+print()
+
+# QPE ---------------------------------------------------------------------------
+print("phase estimation of U = diag(1, e^{2 pi i phi}):")
+for phi, t in ((5 / 32, 5), (1 / 3, 6)):
+    U = np.diag([1.0, np.exp(2j * np.pi * phi)])
+    est = estimate_phase(U, [0, 1], nb_counting=t)
+    print(
+        f"  phi={phi:.6f}, {t} counting qubits -> estimate "
+        f"{est.phase:.6f} (bits {est.bits}, p={est.probability:.3f})"
+    )
+
+circuit = phase_estimation_circuit(np.diag([1.0, 1j]), 3)
+print()
+print("QPE circuit for U = S (phi = 1/4):")
+print(circuit.draw())
+est = estimate_phase(np.diag([1.0, 1j]), [0, 1], nb_counting=3)
+print("estimate:", est.phase, "(exact: 0.25)")
+
+# amplitude estimation (built on QPE + the Grover operator) ---------------------
+from repro.algorithms import estimate_amplitude
+from repro.circuit import QCircuit as _QC
+from repro.gates import RotationY as _RY
+
+print()
+print("amplitude estimation of a = sin^2(theta/2):")
+for theta, t_bits in ((np.pi / 2, 3), (0.8, 7)):
+    prep = _QC(1)
+    prep.push_back(_RY(0, theta))
+    est = estimate_amplitude(prep, ["1"], nb_counting=t_bits)
+    print(f"  theta={theta:.4f}, {t_bits} counting qubits -> "
+          f"a_est={est.amplitude:.5f} (exact {est.exact:.5f})")

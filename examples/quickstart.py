@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's running example, circuit (1).
+
+Builds the two-qubit Bell circuit from Sections 2-4 of the paper,
+simulates it, and demonstrates every I/O surface: command-window
+drawing, OpenQASM export and LaTeX export.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro as qclab
+
+# -- Section 2: constructing the circuit ------------------------------------
+circuit = qclab.QCircuit(2)
+circuit.push_back(qclab.qgates.Hadamard(0))
+circuit.push_back(qclab.qgates.CNOT(0, 1))
+circuit.push_back(qclab.Measurement(0))
+circuit.push_back(qclab.Measurement(1))
+
+print("Circuit (1) from the paper:")
+print(circuit.draw())
+print()
+
+# -- Section 3: simulating from |00> -----------------------------------------
+simulation = circuit.simulate("00")
+print("results:        ", simulation.results)
+print("probabilities:  ", simulation.probabilities)
+for result, state in zip(simulation.results, simulation.states):
+    print(f"state for {result!r}:", state)
+print()
+
+# the same from a vector initial state
+simulation = circuit.simulate([1, 0, 0, 0])
+print("vector start, results:", simulation.results)
+print()
+
+# -- shot sampling ------------------------------------------------------------
+counts = simulation.counts(1000, seed=1)
+print("counts over 1000 shots (00, 01, 10, 11):", counts)
+print()
+
+# -- Section 4: QASM and LaTeX -----------------------------------------------
+print("OpenQASM 2.0:")
+print(circuit.toQASM())
+
+print("quantikz LaTeX (first lines):")
+print("\n".join(circuit.toTex().splitlines()[:8]))

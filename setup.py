@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on minimal environments whose
+setuptools lacks the ``wheel`` package needed for PEP 660 editable
+installs; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

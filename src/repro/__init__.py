@@ -1,0 +1,82 @@
+"""Python reproduction of QCLAB — a toolbox for constructing,
+representing and simulating quantum circuits.
+
+The public API mirrors the paper's MATLAB listings one-to-one::
+
+    import repro as qclab
+
+    circuit = qclab.QCircuit(2)
+    circuit.push_back(qclab.qgates.Hadamard(0))
+    circuit.push_back(qclab.qgates.CNOT(0, 1))
+    circuit.push_back(qclab.Measurement(0))
+    circuit.push_back(qclab.Measurement(1))
+
+    simulation = circuit.simulate('00')
+    simulation.results          # ['00', '11']
+    simulation.probabilities    # [0.5, 0.5]
+    print(circuit.draw())       # command-window diagram
+    print(circuit.toQASM())     # OpenQASM 2.0
+    print(circuit.toTex())      # quantikz LaTeX
+
+Sub-packages
+------------
+``repro.qgates``
+    The full gate catalogue (``Hadamard``, ``CNOT``, ``MCX``, ...).
+``repro.simulation``
+    Backends, densities, reduced states, the ``Simulation`` object.
+``repro.algorithms``
+    Builders for the paper's examples (teleportation, tomography,
+    Grover, QEC) plus QFT/QPE extensions.
+``repro.io``
+    Drawing, LaTeX export, OpenQASM 2.0 export **and import**.
+"""
+
+from repro import compilers, noise, qgates
+from repro.angle import QAngle, QRotation, turnover
+from repro.circuit import Barrier, Measurement, QCircuit, Reset
+from repro.simulation import (
+    PauliSum,
+    Simulation,
+    expectation,
+    basis_state,
+    density_matrix,
+    fidelity,
+    partial_trace,
+    purity,
+    pauli_matrix,
+    random_state,
+    reducedStatevector,
+    simulate,
+    trace_distance,
+    variance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QCircuit",
+    "Measurement",
+    "Reset",
+    "Barrier",
+    "qgates",
+    "QAngle",
+    "QRotation",
+    "turnover",
+    "simulate",
+    "Simulation",
+    "basis_state",
+    "random_state",
+    "reducedStatevector",
+    "partial_trace",
+    "density_matrix",
+    "trace_distance",
+    "fidelity",
+    "purity",
+    "expectation",
+    "variance",
+    "pauli_matrix",
+    "PauliSum",
+    "noise",
+    "compilers",
+    "__version__",
+]

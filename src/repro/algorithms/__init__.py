@@ -1,0 +1,127 @@
+"""Algorithm builders: the paper's four examples plus extensions.
+
+Section 5 of the paper walks through quantum teleportation, quantum
+state tomography, Grover's algorithm and quantum error correction; each
+has a builder module here that constructs the exact circuits from the
+paper and a runner that reproduces the printed outputs.  The package
+also ships the QFT, quantum phase estimation and classic oracle
+algorithms (Deutsch–Jozsa, Bernstein–Vazirani) as extensions exercising
+the same modular-composition machinery.
+"""
+
+from repro.algorithms.amplitude_estimation import (
+    AmplitudeEstimate,
+    amplitude_estimation_circuit,
+    estimate_amplitude,
+    grover_operator_matrix,
+)
+from repro.algorithms.grover import (
+    diffuser_circuit,
+    grover_circuit,
+    grover_search,
+    optimal_iterations,
+    oracle_circuit,
+    paper_diffuser,
+    paper_grover_circuit,
+    paper_oracle,
+)
+from repro.algorithms.oracles import (
+    bernstein_vazirani_circuit,
+    bernstein_vazirani_secret,
+    deutsch_jozsa_circuit,
+    deutsch_jozsa_is_constant,
+    phase_oracle,
+)
+from repro.algorithms.phase_estimation import (
+    phase_estimation_circuit,
+    estimate_phase,
+)
+from repro.algorithms.qec import (
+    bit_flip_code_circuit,
+    phase_flip_code_circuit,
+    run_bit_flip_demo,
+    run_phase_flip_demo,
+    run_shor_code_demo,
+    shor_code_circuit,
+)
+from repro.algorithms.qft import qft_circuit, inverse_qft_circuit
+from repro.algorithms.state_preparation import prepare_state
+from repro.algorithms.states import (
+    ghz_circuit,
+    ghz_state,
+    graph_state_circuit,
+    w_circuit,
+    w_state,
+)
+from repro.algorithms.trotter import pauli_evolution_circuit, trotter_circuit
+from repro.algorithms.vqe import (
+    VQEResult,
+    h2_hamiltonian,
+    hardware_efficient_ansatz,
+    vqe_minimize,
+)
+from repro.algorithms.teleportation import (
+    bell_state,
+    teleport,
+    teleportation_circuit,
+)
+from repro.algorithms.tomography import (
+    measurement_circuit,
+    pauli_tomography,
+    single_qubit_tomography,
+    tomography_coefficients,
+)
+
+__all__ = [
+    # teleportation
+    "teleportation_circuit",
+    "teleport",
+    "bell_state",
+    # tomography
+    "measurement_circuit",
+    "single_qubit_tomography",
+    "tomography_coefficients",
+    "pauli_tomography",
+    # grover
+    "oracle_circuit",
+    "diffuser_circuit",
+    "grover_circuit",
+    "grover_search",
+    "optimal_iterations",
+    "paper_oracle",
+    "paper_diffuser",
+    "paper_grover_circuit",
+    # qec
+    "bit_flip_code_circuit",
+    "phase_flip_code_circuit",
+    "shor_code_circuit",
+    "run_bit_flip_demo",
+    "run_phase_flip_demo",
+    "run_shor_code_demo",
+    # extensions
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "phase_estimation_circuit",
+    "estimate_phase",
+    "phase_oracle",
+    "deutsch_jozsa_circuit",
+    "deutsch_jozsa_is_constant",
+    "bernstein_vazirani_circuit",
+    "bernstein_vazirani_secret",
+    "prepare_state",
+    "pauli_evolution_circuit",
+    "trotter_circuit",
+    "hardware_efficient_ansatz",
+    "vqe_minimize",
+    "VQEResult",
+    "h2_hamiltonian",
+    "ghz_circuit",
+    "ghz_state",
+    "w_circuit",
+    "w_state",
+    "graph_state_circuit",
+    "estimate_amplitude",
+    "amplitude_estimation_circuit",
+    "grover_operator_matrix",
+    "AmplitudeEstimate",
+]

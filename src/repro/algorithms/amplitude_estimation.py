@@ -1,0 +1,141 @@
+"""Quantum amplitude estimation (extension).
+
+Estimates ``a = sum_{x in good} |<x| A |0>|^2`` — the success
+probability of a state-preparation circuit ``A`` — with phase
+estimation on the Grover operator ``Q = -A S_0 A^dagger S_good``,
+achieving the quadratic precision advantage over direct sampling
+(Brassard et al.).  Composes the toolbox's QPE, phase oracles,
+generic controlled gates and custom matrix gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.algorithms.oracles import phase_oracle
+from repro.algorithms.qft import inverse_qft_circuit
+from repro.circuit import Measurement, QCircuit
+from repro.exceptions import CircuitError
+from repro.gates import ControlledGate, Hadamard, MatrixGate
+
+__all__ = [
+    "grover_operator_matrix",
+    "amplitude_estimation_circuit",
+    "estimate_amplitude",
+    "AmplitudeEstimate",
+]
+
+
+def grover_operator_matrix(
+    preparation: QCircuit, good: Iterable[str]
+) -> np.ndarray:
+    """The dense Grover operator ``Q = A S_0 A^dagger S_good``.
+
+    ``S_good`` flips the phase of the good states, ``S_0`` the phase of
+    ``|0...0>``; on the 2D invariant subspace ``Q`` rotates by ``2 theta``
+    with ``a = sin^2(theta)``.
+    """
+    if preparation.has_measurement:
+        raise CircuitError(
+            "the preparation circuit must be unitary (no measurements)"
+        )
+    n = preparation.nbQubits
+    a_mat = preparation.matrix
+    dim = 1 << n
+    s_good = phase_oracle(list(good), n).matrix
+    s_zero = np.eye(dim, dtype=np.complex128)
+    s_zero[0, 0] = -1.0
+    return -a_mat @ s_zero @ a_mat.conj().T @ s_good
+
+
+def amplitude_estimation_circuit(
+    preparation: QCircuit,
+    good: Iterable[str],
+    nb_counting: int,
+    measure: bool = True,
+) -> QCircuit:
+    """The canonical QAE circuit.
+
+    Counting qubits ``q0..q(t-1)``, system register after them; the
+    preparation runs once on the system, controlled powers ``Q^{2^k}``
+    feed the counting register, and an inverse QFT precedes readout.
+    """
+    if nb_counting < 1:
+        raise CircuitError("need at least one counting qubit")
+    n = preparation.nbQubits
+    t = nb_counting
+    system = list(range(t, t + n))
+    circuit = QCircuit(t + n)
+    for q in range(t):
+        circuit.push_back(Hadamard(q))
+    prep = QCircuit(n, offset=t)
+    for op in preparation:
+        prep.push_back(op)
+    circuit.push_back(prep.asBlock("A"))
+    q_mat = grover_operator_matrix(preparation, good)
+    power = q_mat
+    for k in range(t):
+        ctrl = t - 1 - k
+        circuit.push_back(
+            ControlledGate(
+                MatrixGate(system, power, label=f"Q^{1 << k}"), ctrl
+            )
+        )
+        power = power @ power
+    circuit.push_back(inverse_qft_circuit(t).asBlock("QFT†"))
+    if measure:
+        for q in range(t):
+            circuit.push_back(Measurement(q))
+    return circuit
+
+
+@dataclass
+class AmplitudeEstimate:
+    """Result of an amplitude-estimation run."""
+
+    #: The estimated amplitude ``a``.
+    amplitude: float
+    #: The exact amplitude (dense computation, for reference).
+    exact: float
+    #: The measured counting-register value's probability.
+    probability: float
+    #: Number of counting qubits used.
+    nb_counting: int
+
+
+def estimate_amplitude(
+    preparation: QCircuit,
+    good: Iterable[str],
+    nb_counting: int = 5,
+    backend: str = "kernel",
+) -> AmplitudeEstimate:
+    """Run QAE and return the most likely amplitude estimate.
+
+    The estimate's resolution is ``O(1/2^t)`` in the phase ``theta``
+    (quadratically better in ``a``-precision per oracle call than
+    classical sampling).
+    """
+    good = list(good)
+    n = preparation.nbQubits
+    circuit = amplitude_estimation_circuit(preparation, good, nb_counting)
+    sim = circuit.simulate("0" * circuit.nbQubits, backend=backend)
+    # aggregate probabilities over the counting register (the system
+    # register is unmeasured, so results are t-bit strings already)
+    best = int(np.argmax(sim.probabilities))
+    y = int(sim.results[best], 2)
+    theta = np.pi * y / (1 << nb_counting)
+    a_est = float(np.sin(theta) ** 2)
+
+    psi = preparation.matrix[:, 0]
+    exact = float(
+        sum(abs(psi[int(x, 2)]) ** 2 for x in good)
+    )
+    return AmplitudeEstimate(
+        amplitude=a_est,
+        exact=exact,
+        probability=float(sim.probabilities[best]),
+        nb_counting=nb_counting,
+    )

@@ -1,0 +1,45 @@
+"""Quantum Fourier transform (extension).
+
+The QFT exercises the controlled-phase ladder and circuit composition;
+``inverse_qft_circuit`` exercises :meth:`QCircuit.ctranspose`.
+
+Convention: with ``q0`` as the most significant bit, the QFT maps the
+basis state ``|j>`` to ``2^{-n/2} sum_k e^{2 pi i j k / 2^n} |k>``; the
+final SWAP network restores natural output ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.gates import CPhase, Hadamard, SWAP
+
+__all__ = ["qft_circuit", "inverse_qft_circuit"]
+
+
+def qft_circuit(nb_qubits: int, do_swaps: bool = True) -> QCircuit:
+    """The n-qubit quantum Fourier transform.
+
+    ``do_swaps=False`` omits the final qubit-reversal SWAPs (useful when
+    a follow-up circuit can simply read the qubits in reverse order, as
+    phase estimation does).
+    """
+    if nb_qubits < 1:
+        raise CircuitError("QFT needs at least one qubit")
+    c = QCircuit(nb_qubits)
+    for q in range(nb_qubits):
+        c.push_back(Hadamard(q))
+        for k in range(q + 1, nb_qubits):
+            angle = math.pi / (1 << (k - q))
+            c.push_back(CPhase(k, q, angle))
+    if do_swaps:
+        for q in range(nb_qubits // 2):
+            c.push_back(SWAP(q, nb_qubits - 1 - q))
+    return c
+
+
+def inverse_qft_circuit(nb_qubits: int, do_swaps: bool = True) -> QCircuit:
+    """The inverse QFT, via :meth:`QCircuit.ctranspose`."""
+    return qft_circuit(nb_qubits, do_swaps=do_swaps).ctranspose()

@@ -1,0 +1,104 @@
+"""Arbitrary state preparation (Möttönen et al., extension).
+
+Compiles any normalized state vector into a circuit that prepares it
+from ``|0...0>``, using multiplexed RY rotations for the amplitude
+profile and multiplexed RZ rotations for the phase profile — the same
+Gray-code multiplexor machinery as FABLE.  The preparation is exact up
+to an unobservable global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import QCircuit
+from repro.compilers.multiplexor import append_multiplexed_rotation
+from repro.exceptions import StateError
+from repro.utils.bits import bit_length_for
+
+__all__ = ["prepare_state"]
+
+
+def _ry_angles(amplitudes: np.ndarray, level: int, n: int) -> np.ndarray:
+    """RY multiplexer angles for qubit ``level`` (0 = MSB).
+
+    ``angles[j] = 2 arcsin(sqrt(P(bit=1 | prefix=j)))`` over the
+    magnitude distribution of the target state.
+    """
+    probs = np.abs(amplitudes) ** 2
+    block = 1 << (n - level)  # amplitudes per prefix value
+    half = block >> 1
+    angles = np.zeros(1 << level)
+    for j in range(1 << level):
+        seg = probs[j * block : (j + 1) * block]
+        den = seg.sum()
+        if den > 1e-300:
+            angles[j] = 2.0 * np.arcsin(
+                min(1.0, np.sqrt(seg[half:].sum() / den))
+            )
+    return angles
+
+
+def _apply_phase_stage(circuit: QCircuit, phases: np.ndarray, n: int):
+    """Imprint per-basis-state phases with multiplexed RZ cascades.
+
+    Recursively splits the phase vector: the difference between the two
+    halves of each prefix block becomes an RZ multiplexer on that level;
+    the common part propagates upward until only a global phase is left
+    (dropped).
+    """
+    current = phases.astype(float)
+    for level in range(n - 1, -1, -1):
+        pairs = current.reshape(-1, 2)
+        deltas = pairs[:, 1] - pairs[:, 0]
+        append_multiplexed_rotation(
+            circuit,
+            deltas,
+            list(range(level)),
+            level,
+            axis="z",
+            threshold=1e-14,
+        )
+        current = pairs.mean(axis=1)
+
+
+def prepare_state(state) -> QCircuit:
+    """A circuit preparing ``state`` from ``|0...0>`` (up to global phase).
+
+    Parameters
+    ----------
+    state:
+        Normalized complex vector of length ``2**n``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> circuit = prepare_state(np.array([1, 0, 0, 1]) / np.sqrt(2))
+    >>> # circuit.matrix[:, 0] is the Bell state (up to global phase)
+    """
+    target = np.asarray(state, dtype=np.complex128).ravel()
+    n = bit_length_for(target.size)
+    if abs(np.linalg.norm(target) - 1.0) > 1e-8:
+        raise StateError("state to prepare must be normalized")
+
+    circuit = QCircuit(n)
+    # amplitude profile: one RY multiplexer per qubit, MSB outward
+    for level in range(n):
+        angles = _ry_angles(target, level, n)
+        append_multiplexed_rotation(
+            circuit,
+            angles,
+            list(range(level)),
+            level,
+            axis="y",
+            threshold=1e-14,
+        )
+    # phase profile (skip if the state is real non-negative)
+    phases = np.angle(target)
+    support = np.abs(target) > 1e-14
+    if np.any(np.abs(phases[support]) > 1e-14):
+        # zero out phases on non-support entries so they do not disturb
+        # the cascade averages
+        phases = np.where(support, phases, 0.0)
+        _apply_phase_stage(circuit, phases, n)
+    return circuit

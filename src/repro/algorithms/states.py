@@ -1,0 +1,99 @@
+"""Named entangled-state builders (extension).
+
+Circuit constructors for the standard families of entangled states —
+GHZ, W and graph states — used as workloads throughout the benchmark
+suite and as starting points for experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.gates import CNOT, CZ, Hadamard, RotationY
+from repro.utils.validation import check_qubits
+
+__all__ = [
+    "ghz_circuit",
+    "ghz_state",
+    "w_circuit",
+    "w_state",
+    "graph_state_circuit",
+]
+
+
+def ghz_circuit(nb_qubits: int) -> QCircuit:
+    """Prepare the GHZ state ``(|0...0> + |1...1>)/sqrt(2)``."""
+    if nb_qubits < 1:
+        raise CircuitError("GHZ needs at least one qubit")
+    c = QCircuit(nb_qubits)
+    c.push_back(Hadamard(0))
+    for q in range(nb_qubits - 1):
+        c.push_back(CNOT(q, q + 1))
+    return c
+
+
+def ghz_state(nb_qubits: int) -> np.ndarray:
+    """The GHZ state vector."""
+    dim = 1 << nb_qubits
+    state = np.zeros(dim, dtype=np.complex128)
+    state[0] = state[-1] = 1 / np.sqrt(2.0)
+    return state
+
+
+def w_circuit(nb_qubits: int) -> QCircuit:
+    """Prepare the W state ``(|10..0> + |01..0> + ... + |0..01>)/sqrt(n)``.
+
+    Uses the cascade construction: a chain of controlled RY rotations
+    distributing the single excitation with amplitudes ``sqrt(1/n)``,
+    followed by CNOTs shifting it into place.
+    """
+    n = nb_qubits
+    if n < 1:
+        raise CircuitError("W state needs at least one qubit")
+    c = QCircuit(n)
+    from repro.gates import ControlledGate1, PauliX
+
+    c.push_back(PauliX(0))
+    # distribute the excitation: after step k, amplitude sqrt((n-k)/n)
+    # remains on qubit k
+    for k in range(n - 1):
+        remaining = n - k
+        theta = 2.0 * np.arccos(np.sqrt(1.0 / remaining))
+        c.push_back(ControlledGate1(RotationY(k + 1, theta), k))
+        c.push_back(CNOT(k + 1, k))
+    return c
+
+
+def w_state(nb_qubits: int) -> np.ndarray:
+    """The W state vector."""
+    dim = 1 << nb_qubits
+    state = np.zeros(dim, dtype=np.complex128)
+    for q in range(nb_qubits):
+        state[1 << (nb_qubits - 1 - q)] = 1.0 / np.sqrt(nb_qubits)
+    return state
+
+
+def graph_state_circuit(
+    nb_qubits: int, edges: Iterable[Tuple[int, int]]
+) -> QCircuit:
+    """Prepare the graph state of the given edge set.
+
+    ``|G> = prod_{(a,b) in E} CZ_{ab} |+>^n`` — Hadamards on every
+    qubit followed by one CZ per edge (all CZs commute, so edge order
+    is irrelevant).
+    """
+    c = QCircuit(nb_qubits)
+    for q in range(nb_qubits):
+        c.push_back(Hadamard(q))
+    seen = set()
+    for a, b in edges:
+        a, b = sorted(check_qubits([a, b], nb_qubits))
+        if (a, b) in seen:
+            raise CircuitError(f"duplicate edge ({a}, {b})")
+        seen.add((a, b))
+        c.push_back(CZ(a, b))
+    return c

@@ -1,0 +1,14 @@
+"""Numerically stable angle and rotation value objects.
+
+QCLAB's emphasis on numerical stability (Section 1 of the paper) rests on
+representing angles by their ``(cos, sin)`` pair instead of the raw angle
+value.  Sums and differences of angles are then evaluated with trigonometric
+addition identities — never through ``acos``/``asin``, whose derivatives
+blow up near ``+-1`` — and rotation gates can be fused and reordered
+(*turnover*, used by the derived F3C compiler) without accuracy loss.
+"""
+
+from repro.angle.qangle import QAngle
+from repro.angle.qrotation import QRotation, turnover
+
+__all__ = ["QAngle", "QRotation", "turnover"]

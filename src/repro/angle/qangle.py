@@ -1,0 +1,160 @@
+"""The :class:`QAngle` value object: an angle stored as ``(cos, sin)``.
+
+Storing the cosine/sine pair is QCLAB's core numerical-stability device:
+
+* composing angles uses the addition formulas
+  ``cos(a+b) = cos a cos b - sin a sin b`` and
+  ``sin(a+b) = sin a cos b + cos a sin b`` — both backward stable;
+* the angle value itself, when needed, is recovered with ``atan2`` which
+  is well conditioned everywhere (unlike ``acos`` near ``+-1``).
+
+Instances are immutable value objects: arithmetic returns new angles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.exceptions import GateError
+
+__all__ = ["QAngle"]
+
+#: Tolerance for accepting a user-supplied (cos, sin) pair as lying on the
+#: unit circle.  Pairs inside the tolerance are renormalized exactly.
+_UNIT_TOL = 1e-8
+
+Number = Union[int, float]
+
+
+class QAngle:
+    """An angle represented by its cosine and sine.
+
+    Parameters
+    ----------
+    *args:
+        Either a single number ``theta`` (radians), or two numbers
+        ``cos, sin`` specifying the point on the unit circle directly.
+        The two-argument form must satisfy ``cos**2 + sin**2 = 1`` within
+        a small tolerance; it is renormalized to machine precision.
+
+    Examples
+    --------
+    >>> a = QAngle(math.pi / 3)
+    >>> b = QAngle(0.5, math.sqrt(3) / 2)  # the same angle, from (cos, sin)
+    >>> abs((a - b).theta) < 1e-15
+    True
+    """
+
+    __slots__ = ("_cos", "_sin")
+
+    def __init__(self, *args: Number) -> None:
+        if len(args) == 0:
+            c, s = 1.0, 0.0
+        elif len(args) == 1:
+            theta = float(args[0])
+            c, s = math.cos(theta), math.sin(theta)
+        elif len(args) == 2:
+            c, s = float(args[0]), float(args[1])
+            norm = math.hypot(c, s)
+            if abs(norm - 1.0) > _UNIT_TOL:
+                raise GateError(
+                    f"({c}, {s}) does not lie on the unit circle "
+                    f"(norm {norm})"
+                )
+            c, s = c / norm, s / norm
+        else:
+            raise GateError(
+                f"QAngle takes 0, 1 or 2 arguments, got {len(args)}"
+            )
+        object.__setattr__(self, "_cos", c)
+        object.__setattr__(self, "_sin", s)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("QAngle is immutable")
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def cos(self) -> float:
+        """Cosine of the angle."""
+        return self._cos
+
+    @property
+    def sin(self) -> float:
+        """Sine of the angle."""
+        return self._sin
+
+    @property
+    def theta(self) -> float:
+        """The angle in radians, in ``(-pi, pi]``, recovered via ``atan2``."""
+        return math.atan2(self._sin, self._cos)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "QAngle") -> "QAngle":
+        """Angle sum via the trigonometric addition identities."""
+        if not isinstance(other, QAngle):
+            return NotImplemented
+        return QAngle(
+            self._cos * other._cos - self._sin * other._sin,
+            self._sin * other._cos + self._cos * other._sin,
+        )
+
+    def __sub__(self, other: "QAngle") -> "QAngle":
+        """Angle difference via the trigonometric addition identities."""
+        if not isinstance(other, QAngle):
+            return NotImplemented
+        return QAngle(
+            self._cos * other._cos + self._sin * other._sin,
+            self._sin * other._cos - self._cos * other._sin,
+        )
+
+    def __neg__(self) -> "QAngle":
+        """The opposite angle (cosine unchanged, sine negated)."""
+        return QAngle(self._cos, -self._sin)
+
+    def __mul__(self, k: int) -> "QAngle":
+        """Integer multiple of the angle via repeated stable addition."""
+        if not isinstance(k, int) or isinstance(k, bool):
+            return NotImplemented
+        if k < 0:
+            return (-self) * (-k)
+        out = QAngle()
+        base = self
+        n = k
+        while n:  # binary exponentiation on the unit circle
+            if n & 1:
+                out = out + base
+            base = base + base
+            n >>= 1
+        return out
+
+    __rmul__ = __mul__
+
+    def doubled(self) -> "QAngle":
+        """The angle ``2*theta`` via the double-angle identities."""
+        return QAngle(
+            self._cos * self._cos - self._sin * self._sin,
+            2.0 * self._sin * self._cos,
+        )
+
+    # -- comparisons -------------------------------------------------------
+
+    def isclose(self, other: "QAngle", atol: float = 1e-12) -> bool:
+        """Closeness on the unit circle (compares (cos, sin) pairs)."""
+        return (
+            abs(self._cos - other._cos) <= atol
+            and abs(self._sin - other._sin) <= atol
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QAngle):
+            return NotImplemented
+        return self._cos == other._cos and self._sin == other._sin
+
+    def __hash__(self) -> int:
+        return hash((self._cos, self._sin))
+
+    def __repr__(self) -> str:
+        return f"QAngle(cos={self._cos:.17g}, sin={self._sin:.17g})"

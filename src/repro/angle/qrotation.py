@@ -1,0 +1,209 @@
+"""The :class:`QRotation` value object and the rotation *turnover*.
+
+A rotation gate ``R_a(theta) = exp(-i theta/2 sigma_a)`` is determined by
+the **half angle** ``theta/2``.  :class:`QRotation` stores that half angle
+as a :class:`~repro.angle.qangle.QAngle`, so fusing two same-axis
+rotations is a stable angle addition and no ``acos`` ever appears.
+
+The *turnover* operation — rewriting ``R_a(t1) R_b(t2) R_a(t3)`` as
+``R_b(p1) R_a(p2) R_b(p3)`` — is the workhorse of QCLAB's derived
+compiler F3C (paper refs [5, 6]).  It is implemented here on the
+quaternion (SU(2)) representation with ``atan2``-based Euler extraction,
+which is well conditioned for every input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.angle.qangle import QAngle
+from repro.exceptions import GateError
+
+__all__ = ["QRotation", "turnover"]
+
+#: Right-handed axis triples: permutation parity of (c, a, b) relative to
+#: (x, y, z) for a turnover with outer axis ``b`` and inner axis ``a``,
+#: ``c`` being the remaining axis.
+_AXES = ("x", "y", "z")
+
+
+class QRotation:
+    """A rotation value ``R(theta) = exp(-i theta/2 sigma)``, axis-agnostic.
+
+    Parameters
+    ----------
+    *args:
+        ``()`` for the identity rotation, ``(theta,)`` for a rotation by
+        ``theta`` radians, or ``(cos, sin)`` giving the cosine and sine of
+        the **half** angle ``theta/2`` directly (the numerically preferred
+        form, mirroring QCLAB's constructor).
+
+    Notes
+    -----
+    Multiplying two rotations (``r1 * r2``) adds their half angles; this
+    is exactly the fusion rule ``R(t1) R(t2) = R(t1 + t2)`` valid for
+    same-axis rotation gates.
+    """
+
+    __slots__ = ("_half",)
+
+    def __init__(self, *args: float) -> None:
+        if len(args) == 1:
+            half = QAngle(float(args[0]) / 2.0)
+        else:
+            # () -> identity; (cos, sin) -> half angle from the pair.
+            half = QAngle(*args)
+        object.__setattr__(self, "_half", half)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("QRotation is immutable")
+
+    @classmethod
+    def from_half_angle(cls, half: QAngle) -> "QRotation":
+        """Build a rotation directly from a half-angle :class:`QAngle`."""
+        return cls(half.cos, half.sin)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def half(self) -> QAngle:
+        """The half angle ``theta/2`` as a :class:`QAngle`."""
+        return self._half
+
+    @property
+    def theta(self) -> float:
+        """The rotation angle ``theta`` in radians, in ``(-2 pi, 2 pi]``."""
+        return 2.0 * self._half.theta
+
+    @property
+    def cos(self) -> float:
+        """``cos(theta/2)``."""
+        return self._half.cos
+
+    @property
+    def sin(self) -> float:
+        """``sin(theta/2)``."""
+        return self._half.sin
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "QRotation") -> "QRotation":
+        """Fuse two same-axis rotations: add half angles stably."""
+        if not isinstance(other, QRotation):
+            return NotImplemented
+        return QRotation.from_half_angle(self._half + other._half)
+
+    def inv(self) -> "QRotation":
+        """The inverse rotation ``R(-theta)``."""
+        return QRotation.from_half_angle(-self._half)
+
+    def isclose(self, other: "QRotation", atol: float = 1e-12) -> bool:
+        """Closeness of the two half-angle (cos, sin) pairs."""
+        return self._half.isclose(other._half, atol)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QRotation):
+            return NotImplemented
+        return self._half == other._half
+
+    def __hash__(self) -> int:
+        return hash(("QRotation", self._half))
+
+    def __repr__(self) -> str:
+        return f"QRotation(theta={self.theta:.17g})"
+
+
+def _axis_index(axis: str) -> int:
+    a = axis.lower()
+    if a not in _AXES:
+        raise GateError(f"unknown rotation axis {axis!r}; expected x, y or z")
+    return _AXES.index(a)
+
+
+def _permutation_sign(c: int, a: int, b: int) -> float:
+    """Levi-Civita sign of the axis permutation ``(c, a, b)``."""
+    perm = (c, a, b)
+    # parity of a 3-permutation: even iff it is a cyclic shift of (0,1,2)
+    return 1.0 if perm in ((0, 1, 2), (1, 2, 0), (2, 0, 1)) else -1.0
+
+
+def _quat_mul(
+    q1: Tuple[float, float, float, float],
+    q2: Tuple[float, float, float, float],
+) -> Tuple[float, float, float, float]:
+    """Hamilton product of two quaternions ``(w, x, y, z)``."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    return (
+        w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+        w1 * y2 + y1 * w2 + z1 * x2 - x1 * z2,
+        w1 * z2 + z1 * w2 + x1 * y2 - y1 * x2,
+    )
+
+
+def turnover(
+    r1: QRotation,
+    r2: QRotation,
+    r3: QRotation,
+    axis_outer: str,
+    axis_inner: str,
+) -> Tuple[QRotation, QRotation, QRotation]:
+    """Turn over a V-shaped rotation pattern into a hat-shaped one.
+
+    Rewrites the product (applied right to left, as matrices)
+
+    ``R_b(t1) @ R_a(t2) @ R_b(t3)``  with  ``b = axis_outer``, ``a = axis_inner``
+
+    into the equal product
+
+    ``R_a(p1) @ R_b(p2) @ R_a(p3)``
+
+    returning ``(p1, p2, p3)`` as :class:`QRotation` objects.  The two
+    axes must be distinct members of ``{x, y, z}``.
+
+    The computation goes through the unit-quaternion representation
+    ``R_a(t) -> (cos t/2, sin t/2 * e_a)`` and extracts the generalized
+    Euler angles with ``atan2``, so it is numerically stable for all
+    inputs, including the near-degenerate ``t2 ~ 0`` case.
+    """
+    b = _axis_index(axis_outer)
+    a = _axis_index(axis_inner)
+    if a == b:
+        raise GateError("turnover requires two distinct axes")
+    c = 3 - a - b  # the remaining axis
+    sign = _permutation_sign(c, b, a)
+
+    # Quaternions of the three input rotations (w, v) with v along b, a, b.
+    def _quat(rot: QRotation, axis: int) -> Tuple[float, float, float, float]:
+        v = [0.0, 0.0, 0.0]
+        v[axis] = rot.sin
+        return (rot.cos, v[0], v[1], v[2])
+
+    q = _quat_mul(_quat(r1, b), _quat_mul(_quat(r2, a), _quat(r3, b)))
+    w = q[0]
+    # Role-space components: we relabel axes so the TARGET outer axis `a`
+    # plays z and the target inner axis `b` plays y.  For an odd relabeling
+    # the c-component flips sign to preserve the quaternion algebra.
+    rz = q[1 + a]
+    ry = q[1 + b]
+    rx = sign * q[1 + c]
+
+    # Extract p1, p2, p3 from q = Rz(p1) Ry(p2) Rz(p3) in role space:
+    #   w  =  cos(p2/2) cos((p1+p3)/2)
+    #   x  = -sin(p2/2) sin((p1-p3)/2)
+    #   y  =  sin(p2/2) cos((p1-p3)/2)
+    #   z  =  cos(p2/2) sin((p1+p3)/2)
+    half_sum = math.atan2(rz, w)
+    half_diff = math.atan2(-rx, ry)
+    cos_half_p2 = math.hypot(w, rz)
+    sin_half_p2 = math.hypot(rx, ry)
+
+    p2 = QRotation(cos_half_p2, sin_half_p2)
+    # half_sum = (p1 + p3)/2 and half_diff = (p1 - p3)/2, so the full
+    # angles are their sum and difference; QRotation's single-argument
+    # constructor takes the full rotation angle.
+    p1 = QRotation(half_sum + half_diff)
+    p3 = QRotation(half_sum - half_diff)
+    return p1, p2, p3

@@ -1,0 +1,15 @@
+"""Circuit containers and non-unitary circuit elements.
+
+This package provides :class:`~repro.circuit.circuit.QCircuit` — the
+central object of the paper's API — together with
+:class:`~repro.circuit.measurement.Measurement` (Z/X/Y and custom-basis
+single-qubit measurements), :class:`~repro.circuit.reset.Reset`
+(mid-circuit qubit reset) and :class:`~repro.circuit.barrier.Barrier`.
+"""
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+
+__all__ = ["QCircuit", "Measurement", "Reset", "Barrier"]

@@ -1,0 +1,59 @@
+"""Circuit barriers.
+
+A barrier is a no-op that (a) prevents the drawer from packing gates on
+opposite sides of it into one column and (b) exports to the OpenQASM
+``barrier`` statement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gates.base import DrawElement, DrawSpec, QObject
+from repro.utils.validation import check_qubits
+
+__all__ = ["Barrier"]
+
+
+class Barrier(QObject):
+    """A barrier across the given qubits.
+
+    Parameters
+    ----------
+    qubits:
+        The qubits the barrier spans (at least one).
+    """
+
+    def __init__(self, qubits: Sequence[int]):
+        qs = check_qubits(list(qubits))
+        if not qs:
+            raise ValueError("Barrier requires at least one qubit")
+        self._qubits = tuple(sorted(qs))
+
+    @property
+    def qubits(self) -> tuple:
+        return self._qubits
+
+    def draw_spec(self) -> DrawSpec:
+        el = DrawElement("barrier")
+        return DrawSpec(
+            elements={q: el for q in self._qubits}, connect=True
+        )
+
+    def toQASM(self, offset: int = 0) -> str:
+        regs = ",".join(f"q[{q + offset}]" for q in self._qubits)
+        return f"barrier {regs};"
+
+    def shifted(self, offset: int) -> "Barrier":
+        return Barrier([q + int(offset) for q in self._qubits])
+
+    def __eq__(self, other):
+        if not isinstance(other, Barrier):
+            return NotImplemented
+        return self._qubits == other._qubits
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Barrier({list(self._qubits)!r})"

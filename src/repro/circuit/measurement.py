@@ -1,0 +1,161 @@
+"""Single-qubit measurements in arbitrary bases.
+
+Measurements in QCLAB are single-qubit operations (paper, Section 3.3).
+A measurement in a non-computational basis applies a *basis change*
+before the standard Z measurement and reverts it afterwards — e.g. an
+X-basis measurement is ``H - measure - H``.
+
+The X and Y bases are preconfigured; a custom basis is specified by the
+unitary that rotates the desired measurement basis onto the
+computational basis (its eigenvector for outcome 0 is mapped to ``|0>``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.gates.base import DrawElement, DrawSpec, QObject, validate_unitary
+from repro.utils.linalg import dagger
+from repro.utils.validation import check_qubit
+
+__all__ = ["Measurement"]
+
+_SQRT2 = np.sqrt(2.0)
+
+#: Basis-change unitaries mapping measurement-basis eigenvectors onto the
+#: computational basis: ``B |b_0> = |0>`` and ``B |b_1> = |1>``.
+_BASIS_CHANGES = {
+    "z": np.eye(2, dtype=np.complex128),
+    "x": np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2,  # H
+    "y": (
+        np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2
+    ) @ np.diag([1, -1j]).astype(np.complex128),  # H @ Sdg
+}
+
+
+class Measurement(QObject):
+    """A single-qubit measurement.
+
+    Parameters
+    ----------
+    qubit:
+        The measured qubit.
+    basis:
+        ``'z'`` (default), ``'x'``, ``'y'``, or a ``2 x 2`` unitary
+        (NumPy array) defining a custom basis change.  The custom matrix
+        ``B`` must map the basis eigenvectors to the computational basis
+        (``B @ b0 = |0>``); the measurement applies ``B``, measures in Z,
+        and applies ``B^dagger`` to the collapsed state.
+    label:
+        Optional diagram label for custom bases (defaults to ``'M?'``).
+
+    Examples
+    --------
+    >>> Measurement(0)          # Z basis
+    Measurement(0, 'z')
+    >>> Measurement(0, 'x')     # X basis, as in the paper's tomography
+    Measurement(0, 'x')
+    """
+
+    def __init__(self, qubit: int = 0, basis="z", label: str | None = None):
+        self._qubit = check_qubit(qubit)
+        if isinstance(basis, str):
+            key = basis.lower()
+            if key not in _BASIS_CHANGES:
+                raise MeasurementError(
+                    f"unknown measurement basis {basis!r}; expected "
+                    "'x', 'y', 'z' or a 2x2 unitary"
+                )
+            self._basis = key
+            self._basis_change = _BASIS_CHANGES[key]
+            self._label = label or ("M" if key == "z" else f"M{key}")
+        else:
+            self._basis = "custom"
+            self._basis_change = validate_unitary(basis, "basis change")
+            if self._basis_change.shape != (2, 2):
+                raise MeasurementError(
+                    "custom basis change must be a 2x2 unitary"
+                )
+            self._label = label or "M?"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def qubit(self) -> int:
+        """The measured qubit (settable)."""
+        return self._qubit
+
+    @qubit.setter
+    def qubit(self, value: int) -> None:
+        self._qubit = check_qubit(value)
+
+    @property
+    def qubits(self) -> tuple:
+        return (self._qubit,)
+
+    @property
+    def basis(self) -> str:
+        """The basis name: ``'z'``, ``'x'``, ``'y'`` or ``'custom'``."""
+        return self._basis
+
+    @property
+    def basis_change(self) -> np.ndarray:
+        """The basis-change unitary applied before the Z measurement."""
+        return self._basis_change
+
+    @property
+    def basis_change_dagger(self) -> np.ndarray:
+        """The revert applied to the collapsed state afterwards."""
+        return dagger(self._basis_change)
+
+    @property
+    def label(self) -> str:
+        """Diagram label."""
+        return self._label
+
+    # -- QObject ------------------------------------------------------------
+
+    def draw_spec(self) -> DrawSpec:
+        return DrawSpec(
+            elements={self._qubit: DrawElement("meas", self._label)},
+            connect=False,
+        )
+
+    def toQASM(self, offset: int = 0) -> str:
+        q = self._qubit + offset
+        lines = []
+        if self._basis == "x":
+            lines.append(f"h q[{q}];")
+        elif self._basis == "y":
+            # H Sdg rotates the Y basis onto Z
+            lines.append(f"sdg q[{q}];")
+            lines.append(f"h q[{q}];")
+        elif self._basis == "custom":
+            from repro.io.qasm_export import unitary_to_u3_qasm
+
+            lines.append(unitary_to_u3_qasm(self._basis_change, q))
+        lines.append(f"measure q[{q}] -> c[{q}];")
+        return "\n".join(lines)
+
+    def shifted(self, offset: int) -> "Measurement":
+        import copy
+
+        out = copy.copy(self)
+        out._qubit = self._qubit + int(offset)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, Measurement):
+            return NotImplemented
+        return (
+            self._qubit == other._qubit
+            and self._basis == other._basis
+            and np.allclose(self._basis_change, other._basis_change)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Measurement({self._qubit}, {self._basis!r})"

@@ -1,0 +1,81 @@
+"""Mid-circuit qubit reset.
+
+The paper (Section 3.3, refs [9, 13]) lists qubit resets alongside
+mid-circuit measurements as enablers of iterative algorithms and qubit
+reuse.  A reset measures the qubit in the computational basis and maps
+either outcome to ``|0>``; each simulation branch keeps its own
+post-reset state, so a reset on an entangled qubit correctly produces a
+probabilistic mixture over branches.
+"""
+
+from __future__ import annotations
+
+from repro.gates.base import DrawElement, DrawSpec, QObject
+from repro.utils.validation import check_qubit
+
+__all__ = ["Reset"]
+
+
+class Reset(QObject):
+    """Reset a qubit to ``|0>``.
+
+    Parameters
+    ----------
+    qubit:
+        The qubit to reset.
+    record:
+        When ``True``, the implicit measurement outcome is appended to
+        the branch result strings like an ordinary measurement outcome;
+        the default ``False`` keeps result strings free of reset
+        outcomes (matching hardware semantics, where a reset is not a
+        readout).
+    """
+
+    def __init__(self, qubit: int = 0, record: bool = False):
+        self._qubit = check_qubit(qubit)
+        self._record = bool(record)
+
+    @property
+    def qubit(self) -> int:
+        """The reset qubit (settable)."""
+        return self._qubit
+
+    @qubit.setter
+    def qubit(self, value: int) -> None:
+        self._qubit = check_qubit(value)
+
+    @property
+    def qubits(self) -> tuple:
+        return (self._qubit,)
+
+    @property
+    def record(self) -> bool:
+        """Whether the implicit measurement outcome is recorded."""
+        return self._record
+
+    def draw_spec(self) -> DrawSpec:
+        return DrawSpec(
+            elements={self._qubit: DrawElement("reset", "|0⟩")},
+            connect=False,
+        )
+
+    def toQASM(self, offset: int = 0) -> str:
+        return f"reset q[{self._qubit + offset}];"
+
+    def shifted(self, offset: int) -> "Reset":
+        import copy
+
+        out = copy.copy(self)
+        out._qubit = self._qubit + int(offset)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, Reset):
+            return NotImplemented
+        return self._qubit == other._qubit and self._record == other._record
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Reset({self._qubit})"

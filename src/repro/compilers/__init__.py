@@ -1,0 +1,27 @@
+"""Quantum compilers built on the toolbox (extension).
+
+The paper notes that QCLAB "underlies ... a range of derived software
+packages and quantum compilers [5, 6, 7]".  This package reproduces the
+most self-contained of those: **FABLE** (Fast Approximate BLock
+Encodings, refs [6, 7]) — compiling an arbitrary real matrix into a
+quantum circuit whose top-left block is ``A / 2^n``, with optional
+circuit compression by rotation thresholding.
+"""
+
+from repro.compilers.fable import (
+    block_encoding_block,
+    fable,
+    gray_code,
+    gray_permutation_angles,
+)
+from repro.compilers.multiplexor import append_multiplexed_rotation
+from repro.compilers.two_qubit import decompose_two_qubit
+
+__all__ = [
+    "fable",
+    "block_encoding_block",
+    "gray_code",
+    "gray_permutation_angles",
+    "append_multiplexed_rotation",
+    "decompose_two_qubit",
+]

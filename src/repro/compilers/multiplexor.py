@@ -1,0 +1,116 @@
+"""Uniformly controlled (multiplexed) rotations via Gray codes.
+
+The building block shared by FABLE and Möttönen state preparation: a
+rotation ``R_axis(theta_j)`` applied to a target qubit where ``j`` is
+the computational-basis state of the control register.  Synthesized as
+the standard Gray-code sequence of plain rotations and CNOTs (Möttönen
+et al., 2004), with the angle vector mapped through a scaled
+Walsh–Hadamard transform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit import QCircuit
+from repro.exceptions import CircuitError
+from repro.gates import CNOT, RotationY, RotationZ
+
+__all__ = [
+    "gray_code",
+    "gray_permutation_angles",
+    "append_multiplexed_rotation",
+]
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th binary-reflected Gray code."""
+    return i ^ (i >> 1)
+
+
+def _sfwht(a: np.ndarray) -> np.ndarray:
+    """Scaled fast Walsh–Hadamard transform (natural ordering)."""
+    a = a.copy().astype(float)
+    n = a.size
+    h = 1
+    while h < n:
+        for i in range(0, n, h * 2):
+            for j in range(i, i + h):
+                x, y = a[j], a[j + h]
+                a[j], a[j + h] = (x + y) / 2.0, (x - y) / 2.0
+        h *= 2
+    return a
+
+
+def gray_permutation_angles(thetas: np.ndarray) -> np.ndarray:
+    """Map multiplexer target angles to Gray-sequence rotation angles."""
+    thetas = np.asarray(thetas, dtype=float)
+    transformed = _sfwht(thetas)
+    out = np.empty_like(transformed)
+    for i in range(out.size):
+        out[i] = transformed[gray_code(i)]
+    return out
+
+
+def _control_position(i: int, k: int) -> int:
+    """Index (0 = MSB) of the control whose bit flips after slot ``i``."""
+    if i == (1 << k) - 1:
+        return 0
+    changed = gray_code(i) ^ gray_code(i + 1)
+    return k - int(changed).bit_length()
+
+
+_ROT = {"y": RotationY, "z": RotationZ}
+
+
+def append_multiplexed_rotation(
+    circuit: QCircuit,
+    angles: Sequence[float],
+    controls: Sequence[int],
+    target: int,
+    axis: str = "y",
+    threshold: float = 0.0,
+) -> int:
+    """Append ``R_axis(angles[j])``-controlled-on-``j`` to ``circuit``.
+
+    ``controls[0]`` is the most significant bit of the multiplexer index
+    ``j``; ``angles`` must have length ``2**len(controls)``.  Rotations
+    whose Gray-transformed angle is ``<= threshold`` in magnitude are
+    dropped and their CNOTs merged by parity (FABLE-style compression).
+
+    Returns the number of rotation gates emitted.
+    """
+    if axis not in _ROT:
+        raise CircuitError(f"unsupported multiplexor axis {axis!r}")
+    controls = list(controls)
+    k = len(controls)
+    angles = np.asarray(angles, dtype=float)
+    if angles.size != (1 << k):
+        raise CircuitError(
+            f"{angles.size} angle(s) for {k} control(s); expected {1 << k}"
+        )
+    rot_cls = _ROT[axis]
+
+    if k == 0:
+        if abs(angles[0]) > threshold:
+            circuit.push_back(rot_cls(target, float(angles[0])))
+            return 1
+        return 0
+
+    seq = gray_permutation_angles(angles)
+    kept = 0
+    parity_pending: set = set()
+    for i in range(1 << k):
+        ctrl = controls[_control_position(i, k)]
+        if abs(seq[i]) > threshold:
+            for q in sorted(parity_pending):
+                circuit.push_back(CNOT(q, target))
+            parity_pending.clear()
+            circuit.push_back(rot_cls(target, float(seq[i])))
+            kept += 1
+        parity_pending.symmetric_difference_update({ctrl})
+    for q in sorted(parity_pending):
+        circuit.push_back(CNOT(q, target))
+    return kept

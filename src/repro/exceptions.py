@@ -1,0 +1,56 @@
+"""Exception hierarchy for the QCLAB reproduction package.
+
+All errors raised by :mod:`repro` derive from :class:`QCLabError` so that
+callers can catch package-level failures with a single ``except`` clause
+while still discriminating the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "QCLabError",
+    "QubitError",
+    "GateError",
+    "CircuitError",
+    "SimulationError",
+    "StateError",
+    "MeasurementError",
+    "QASMError",
+    "DrawError",
+]
+
+
+class QCLabError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class QubitError(QCLabError, ValueError):
+    """An invalid qubit index, duplicate qubit, or out-of-range qubit."""
+
+
+class GateError(QCLabError, ValueError):
+    """An invalid gate construction (non-unitary matrix, bad arity, ...)."""
+
+
+class CircuitError(QCLabError, ValueError):
+    """An invalid circuit operation (bad insertion, size mismatch, ...)."""
+
+
+class SimulationError(QCLabError, RuntimeError):
+    """A failure while simulating a circuit."""
+
+
+class StateError(QCLabError, ValueError):
+    """An invalid quantum state (wrong length, not normalized, ...)."""
+
+
+class MeasurementError(QCLabError, ValueError):
+    """An invalid measurement specification (unknown basis, ...)."""
+
+
+class QASMError(QCLabError, ValueError):
+    """A failure while exporting or parsing OpenQASM."""
+
+
+class DrawError(QCLabError, RuntimeError):
+    """A failure while rendering a circuit diagram."""

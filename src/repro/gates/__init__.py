@@ -1,0 +1,119 @@
+"""Quantum gate objects (the ``qclab.qgates`` namespace of the paper).
+
+The module mirrors QCLAB's comprehensive gate catalogue: fixed one-qubit
+gates, parameterized rotations built on the numerically stable
+:class:`~repro.angle.QRotation`, controlled and multi-controlled gates
+with arbitrary control states, two-qubit primitives (SWAP, iSWAP,
+RotationXX/YY/ZZ) and arbitrary-unitary custom gates.
+
+Everything here is re-exported as :mod:`repro.qgates` so paper listings
+such as ``qclab.qgates.Hadamard(0)`` translate directly to
+``repro.qgates.Hadamard(0)``.
+"""
+
+from repro.gates.base import QGate, QObject
+from repro.gates.fixed import (
+    Hadamard,
+    Identity,
+    PauliX,
+    PauliY,
+    PauliZ,
+    Phase45,
+    Phase90,
+    S,
+    Sdg,
+    SqrtX,
+    T,
+    Tdg,
+)
+from repro.gates.parametric import (
+    Phase,
+    RotationX,
+    RotationXX,
+    RotationY,
+    RotationYY,
+    RotationZ,
+    RotationZZ,
+    U2,
+    U3,
+)
+from repro.gates.matrix_gate import MatrixGate
+from repro.gates.controlled import ControlledGate, ControlledGate1
+from repro.gates.two_qubit import (
+    CH,
+    CNOT,
+    CPhase,
+    CRotationX,
+    CRotationY,
+    CRotationZ,
+    CSwap,
+    CX,
+    CY,
+    CZ,
+    SWAP,
+    iSWAP,
+)
+from repro.gates.multi_controlled import (
+    MCGate,
+    MCPhase,
+    MCRotationX,
+    MCRotationY,
+    MCRotationZ,
+    MCX,
+    MCY,
+    MCZ,
+)
+
+__all__ = [
+    "QObject",
+    "QGate",
+    # fixed
+    "Identity",
+    "Hadamard",
+    "PauliX",
+    "PauliY",
+    "PauliZ",
+    "S",
+    "Sdg",
+    "T",
+    "Tdg",
+    "SqrtX",
+    "Phase45",
+    "Phase90",
+    # parametric
+    "Phase",
+    "RotationX",
+    "RotationY",
+    "RotationZ",
+    "RotationXX",
+    "RotationYY",
+    "RotationZZ",
+    "U2",
+    "U3",
+    # custom
+    "MatrixGate",
+    # controlled / two-qubit
+    "ControlledGate",
+    "ControlledGate1",
+    "CSwap",
+    "CNOT",
+    "CX",
+    "CY",
+    "CZ",
+    "CH",
+    "CPhase",
+    "CRotationX",
+    "CRotationY",
+    "CRotationZ",
+    "SWAP",
+    "iSWAP",
+    # multi-controlled
+    "MCGate",
+    "MCX",
+    "MCY",
+    "MCZ",
+    "MCPhase",
+    "MCRotationX",
+    "MCRotationY",
+    "MCRotationZ",
+]

@@ -1,0 +1,312 @@
+"""Generic singly-controlled one-qubit gates.
+
+:class:`ControlledGate1` wraps any one-qubit gate with one control qubit
+and a configurable *control state* (``1`` = filled dot, the default;
+``0`` = open dot, i.e. the gate fires when the control is ``|0>``).
+The named two-qubit gates in :mod:`repro.gates.two_qubit` (CNOT, CZ,
+CPhase, ...) specialize this class.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.exceptions import GateError
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QGate,
+    controlled_matrix,
+)
+from repro.gates.qgate1 import QGate1
+from repro.utils.validation import check_qubit
+
+__all__ = ["ControlledGate1", "ControlledGate"]
+
+
+class ControlledGate1(QGate):
+    """A one-qubit gate with a single control qubit.
+
+    Parameters
+    ----------
+    gate:
+        The target one-qubit gate; its ``qubit`` is the target.
+    control:
+        The control qubit (distinct from the target).
+    control_state:
+        ``1`` (default) applies the gate when the control is ``|1>``;
+        ``0`` when it is ``|0>``.
+    """
+
+    _QASM = None  # OpenQASM name for named subclasses (e.g. "cx")
+
+    def __init__(self, gate, control: int, control_state: int = 1):
+        if not isinstance(gate, QGate) or gate.nbQubits != 1:
+            raise GateError(
+                "ControlledGate1 requires a one-qubit target gate, got "
+                f"{type(gate).__name__}"
+            )
+        control = check_qubit(control)
+        if control == gate.qubit:
+            raise GateError(
+                f"control qubit {control} equals target qubit {gate.qubit}"
+            )
+        if control_state not in (0, 1):
+            raise GateError(f"control state {control_state!r} is not 0 or 1")
+        self._gate = gate
+        self._control = control
+        self._control_state = int(control_state)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def gate(self) -> QGate1:
+        """The wrapped target gate."""
+        return self._gate
+
+    @property
+    def control(self) -> int:
+        """The control qubit."""
+        return self._control
+
+    @property
+    def target(self) -> int:
+        """The target qubit."""
+        return self._gate.qubit
+
+    @property
+    def control_state(self) -> int:
+        """The control state (0 or 1)."""
+        return self._control_state
+
+    @property
+    def qubits(self) -> tuple:
+        return tuple(sorted((self._control, self._gate.qubit)))
+
+    def controls(self) -> tuple:
+        return (self._control,)
+
+    def control_states(self) -> tuple:
+        return (self._control_state,)
+
+    def target_qubits(self) -> tuple:
+        return (self._gate.qubit,)
+
+    def target_matrix(self) -> np.ndarray:
+        return self._gate.matrix
+
+    # -- matrix -------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return controlled_matrix(
+            self._gate.matrix,
+            self.qubits,
+            (self._control,),
+            (self._control_state,),
+            (self._gate.qubit,),
+        )
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self._gate.is_diagonal
+
+    @property
+    def is_fixed(self) -> bool:
+        return self._gate.is_fixed
+
+    # -- behaviour ----------------------------------------------------------
+
+    def ctranspose(self) -> "ControlledGate1":
+        return ControlledGate1(
+            self._gate.ctranspose(), self._control, self._control_state
+        )
+
+    def draw_spec(self) -> DrawSpec:
+        ctrl = DrawElement("ctrl1" if self._control_state else "ctrl0")
+        target_el = self._target_draw_element()
+        return DrawSpec(
+            elements={self._control: ctrl, self._gate.qubit: target_el},
+            connect=True,
+        )
+
+    def _target_draw_element(self) -> DrawElement:
+        from repro.gates.fixed import PauliX
+
+        if type(self._gate) is PauliX:
+            return DrawElement("oplus")
+        return DrawElement("box", self._gate.label)
+
+    def toQASM(self, offset: int = 0) -> str:
+        lines = []
+        c = self._control + offset
+        if self._control_state == 0:
+            lines.append(f"x q[{c}];")
+        lines.append(self._qasm_core(offset))
+        if self._control_state == 0:
+            lines.append(f"x q[{c}];")
+        return "\n".join(lines)
+
+    def _qasm_core(self, offset: int) -> str:
+        """The controlled operation itself (control assumed state-1)."""
+        if self._QASM is None:
+            from repro.io.qasm_export import controlled_gate_qasm
+
+            return controlled_gate_qasm(self, offset)
+        c = self._control + offset
+        t = self._gate.qubit + offset
+        params = self._qasm_params()
+        return f"{self._QASM}{params} q[{c}],q[{t}];"
+
+    def _qasm_params(self) -> str:
+        return ""
+
+    def shifted(self, offset: int) -> "ControlledGate1":
+        out = copy.copy(self)
+        out._control = self._control + int(offset)
+        out._gate = self._gate.shifted(offset)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, ControlledGate1):
+            return NotImplemented
+        return (
+            self._control == other._control
+            and self._control_state == other._control_state
+            and self._gate == other._gate
+        )
+
+    __hash__ = QGate.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(control={self._control}, "
+            f"target={self.target}, control_state={self._control_state})"
+        )
+
+
+class ControlledGate(QGate):
+    """A k-qubit gate with a single control qubit (generic wrapper).
+
+    Generalizes :class:`ControlledGate1` to multi-qubit target gates —
+    e.g. a controlled SWAP (Fredkin, :class:`~repro.gates.CSwap`) wraps
+    ``SWAP`` with one control.
+    """
+
+    _QASM = None
+
+    def __init__(self, gate: QGate, control: int, control_state: int = 1):
+        if not isinstance(gate, QGate):
+            raise GateError(
+                f"ControlledGate requires a gate, got {type(gate).__name__}"
+            )
+        control = check_qubit(control)
+        if control in gate.qubits:
+            raise GateError(
+                f"control qubit {control} overlaps target qubits "
+                f"{gate.qubits}"
+            )
+        if gate.controls():
+            raise GateError(
+                "ControlledGate cannot wrap an already-controlled gate; "
+                "use MCGate for multiple controls of a one-qubit gate"
+            )
+        if control_state not in (0, 1):
+            raise GateError(f"control state {control_state!r} is not 0 or 1")
+        self._gate = gate
+        self._control = control
+        self._control_state = int(control_state)
+
+    @property
+    def gate(self) -> QGate:
+        """The wrapped target gate."""
+        return self._gate
+
+    @property
+    def control(self) -> int:
+        """The control qubit."""
+        return self._control
+
+    @property
+    def control_state(self) -> int:
+        """The control state (0 or 1)."""
+        return self._control_state
+
+    @property
+    def qubits(self) -> tuple:
+        return tuple(sorted((self._control,) + self._gate.qubits))
+
+    def controls(self) -> tuple:
+        return (self._control,)
+
+    def control_states(self) -> tuple:
+        return (self._control_state,)
+
+    def target_qubits(self) -> tuple:
+        return self._gate.qubits
+
+    def target_matrix(self):
+        return self._gate.matrix
+
+    @property
+    def matrix(self):
+        return controlled_matrix(
+            self._gate.matrix,
+            self.qubits,
+            (self._control,),
+            (self._control_state,),
+            self._gate.qubits,
+        )
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self._gate.is_diagonal
+
+    @property
+    def is_fixed(self) -> bool:
+        return self._gate.is_fixed
+
+    def ctranspose(self) -> "ControlledGate":
+        return ControlledGate(
+            self._gate.ctranspose(), self._control, self._control_state
+        )
+
+    def draw_spec(self) -> DrawSpec:
+        elements = dict(self._gate.draw_spec().elements)
+        elements[self._control] = DrawElement(
+            "ctrl1" if self._control_state else "ctrl0"
+        )
+        return DrawSpec(elements=elements, connect=True)
+
+    def toQASM(self, offset: int = 0) -> str:
+        from repro.exceptions import QASMError
+
+        raise QASMError(
+            "no OpenQASM 2.0 encoding for a generic controlled "
+            f"{type(self._gate).__name__}; decompose it first"
+        )
+
+    def shifted(self, offset: int) -> "ControlledGate":
+        out = copy.copy(self)
+        out._control = self._control + int(offset)
+        out._gate = self._gate.shifted(offset)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, ControlledGate):
+            return NotImplemented
+        return (
+            self._control == other._control
+            and self._control_state == other._control_state
+            and self._gate == other._gate
+        )
+
+    __hash__ = QGate.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(control={self._control}, "
+            f"gate={self._gate!r}, control_state={self._control_state})"
+        )

@@ -1,0 +1,230 @@
+"""Fixed (parameter-free) one-qubit gates.
+
+The catalogue matches QCLAB's ``qclab.qgates`` fixed gates: identity,
+Hadamard, the three Paulis, the phase gates S/S†/T/T† (QCLAB's
+``Phase90``/``Phase45``) and the square-root-of-X gate.
+
+Every class stores its (immutable) unitary as a class attribute, so
+``matrix`` never recomputes trigonometry and equal gates share storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.qgate1 import QGate1
+
+__all__ = [
+    "Identity",
+    "Hadamard",
+    "PauliX",
+    "PauliY",
+    "PauliZ",
+    "S",
+    "Sdg",
+    "T",
+    "Tdg",
+    "SqrtX",
+    "Phase90",
+    "Phase45",
+]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+class Identity(QGate1):
+    """The identity gate ``I``."""
+
+    _LABEL = "I"
+    _QASM = "id"
+    _MATRIX = np.eye(2, dtype=np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "Identity":
+        return Identity(self.qubit)
+
+
+class Hadamard(QGate1):
+    """The Hadamard gate ``H = (X + Z)/sqrt(2)``."""
+
+    _LABEL = "H"
+    _QASM = "h"
+    _MATRIX = np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    def ctranspose(self) -> "Hadamard":
+        return Hadamard(self.qubit)
+
+
+class PauliX(QGate1):
+    """The Pauli-X (NOT) gate."""
+
+    _LABEL = "X"
+    _QASM = "x"
+    _MATRIX = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    def ctranspose(self) -> "PauliX":
+        return PauliX(self.qubit)
+
+
+class PauliY(QGate1):
+    """The Pauli-Y gate."""
+
+    _LABEL = "Y"
+    _QASM = "y"
+    _MATRIX = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    def ctranspose(self) -> "PauliY":
+        return PauliY(self.qubit)
+
+
+class PauliZ(QGate1):
+    """The Pauli-Z gate."""
+
+    _LABEL = "Z"
+    _QASM = "z"
+    _MATRIX = np.diag([1, -1]).astype(np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "PauliZ":
+        return PauliZ(self.qubit)
+
+
+class S(QGate1):
+    """The S gate ``diag(1, i)`` — a 90-degree phase (QCLAB's ``Phase90``)."""
+
+    _LABEL = "S"
+    _QASM = "s"
+    _MATRIX = np.diag([1, 1j]).astype(np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "Sdg":
+        return Sdg(self.qubit)
+
+
+class Sdg(QGate1):
+    """The S-dagger gate ``diag(1, -i)``."""
+
+    _LABEL = "S†"
+    _QASM = "sdg"
+    _MATRIX = np.diag([1, -1j]).astype(np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "S":
+        return S(self.qubit)
+
+
+class T(QGate1):
+    """The T gate ``diag(1, e^{i pi/4})`` (QCLAB's ``Phase45``)."""
+
+    _LABEL = "T"
+    _QASM = "t"
+    _MATRIX = np.diag([1, np.exp(1j * np.pi / 4)]).astype(np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "Tdg":
+        return Tdg(self.qubit)
+
+
+class Tdg(QGate1):
+    """The T-dagger gate ``diag(1, e^{-i pi/4})``."""
+
+    _LABEL = "T†"
+    _QASM = "tdg"
+    _MATRIX = np.diag([1, np.exp(-1j * np.pi / 4)]).astype(np.complex128)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    @property
+    def is_diagonal(self) -> bool:
+        return True
+
+    def ctranspose(self) -> "T":
+        return T(self.qubit)
+
+
+class SqrtX(QGate1):
+    """The square root of Pauli-X, ``SX^2 = X``."""
+
+    _LABEL = "√X"
+    _QASM = "sx"
+    _MATRIX = 0.5 * np.array(
+        [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128
+    )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    def ctranspose(self) -> "_SqrtXdg":
+        return _SqrtXdg(self.qubit)
+
+
+class _SqrtXdg(QGate1):
+    """The inverse of :class:`SqrtX` (``sxdg`` in OpenQASM)."""
+
+    _LABEL = "√X†"
+    _QASM = "sxdg"
+    _MATRIX = 0.5 * np.array(
+        [[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=np.complex128
+    )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._MATRIX
+
+    def ctranspose(self) -> "SqrtX":
+        return SqrtX(self.qubit)
+
+
+#: QCLAB naming aliases: ``Phase90`` is S, ``Phase45`` is T.
+Phase90 = S
+Phase45 = T

@@ -1,0 +1,120 @@
+"""Arbitrary-unitary custom gates.
+
+The paper highlights that QCLAB's *"object-oriented architecture enables
+users to implement custom quantum gates"* (Section 2).
+:class:`MatrixGate` is the direct route: wrap any unitary matrix on any
+set of qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import GateError
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QGate,
+    reorder_matrix,
+    validate_unitary,
+)
+from repro.utils.linalg import dagger
+from repro.utils.validation import check_qubits
+
+__all__ = ["MatrixGate"]
+
+
+class MatrixGate(QGate):
+    """A gate defined by an explicit unitary matrix.
+
+    Parameters
+    ----------
+    qubits:
+        A single qubit index or a sequence of distinct qubit indices.
+        The order given defines the matrix's sub-index significance
+        (first listed qubit = most significant bit); internally the gate
+        is normalized to ascending qubit order.
+    matrix:
+        A ``2**k x 2**k`` unitary.
+    label:
+        Short name used in circuit diagrams (default ``'U'``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> g = MatrixGate([2, 0], np.eye(4))  # acts on q0 and q2
+    >>> g.qubits
+    (0, 2)
+    """
+
+    def __init__(
+        self,
+        qubits: Union[int, Sequence[int]],
+        matrix: np.ndarray,
+        label: str = "U",
+    ) -> None:
+        if isinstance(qubits, (int, np.integer)):
+            given = [int(qubits)]
+        else:
+            given = list(qubits)
+        given = check_qubits(given)
+        m = validate_unitary(matrix, "MatrixGate")
+        if m.shape[0] != (1 << len(given)):
+            raise GateError(
+                f"matrix of shape {m.shape} does not act on "
+                f"{len(given)} qubit(s)"
+            )
+        self._qubits = tuple(sorted(given))
+        self._matrix = reorder_matrix(m, given, list(self._qubits))
+        self._label = str(label)
+        self._diagonal = bool(
+            np.allclose(self._matrix, np.diag(np.diag(self._matrix)))
+        )
+
+    @property
+    def qubits(self) -> tuple:
+        return self._qubits
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    @property
+    def label(self) -> str:
+        """The diagram label."""
+        return self._label
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self._diagonal
+
+    @property
+    def is_fixed(self) -> bool:
+        return False
+
+    def ctranspose(self) -> "MatrixGate":
+        return MatrixGate(self._qubits, dagger(self._matrix), self._label + "†")
+
+    def draw_spec(self) -> DrawSpec:
+        el = DrawElement("box", self._label)
+        return DrawSpec(
+            elements={q: el for q in self._qubits},
+            connect=len(self._qubits) > 1,
+        )
+
+    def toQASM(self, offset: int = 0) -> str:
+        from repro.io.qasm_export import matrix_gate_qasm
+
+        return matrix_gate_qasm(self, offset)
+
+    def shifted(self, offset: int) -> "MatrixGate":
+        import copy
+
+        out = copy.copy(self)
+        out._qubits = tuple(q + int(offset) for q in self._qubits)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MatrixGate({list(self._qubits)!r}, label={self._label!r})"

@@ -1,0 +1,263 @@
+"""Multi-controlled gates with per-control control states.
+
+The paper's QEC example (Section 5.4) uses
+``qclab.qgates.MCX([3,4], 2, [0,1])`` — a multi-controlled X whose
+controls ``q3``/``q4`` must read ``0``/``1`` respectively.  The same
+constructor signature is used here: ``MCX(controls, target,
+control_states)``, with the control-state vector defaulting to all ones.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.exceptions import GateError
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QGate,
+    controlled_matrix,
+)
+from repro.gates.fixed import PauliX, PauliY, PauliZ
+from repro.gates.parametric import Phase, RotationX, RotationY, RotationZ
+from repro.gates.qgate1 import QGate1
+from repro.utils.validation import check_control_states, check_qubits
+
+__all__ = [
+    "MCGate",
+    "MCX",
+    "MCY",
+    "MCZ",
+    "MCPhase",
+    "MCRotationX",
+    "MCRotationY",
+    "MCRotationZ",
+]
+
+
+class MCGate(QGate):
+    """A one-qubit gate with any number of controls.
+
+    Parameters
+    ----------
+    gate:
+        The target one-qubit gate (its ``qubit`` is the target).
+    controls:
+        Control qubit indices (distinct from each other and the target).
+    control_states:
+        One ``0``/``1`` entry per control; defaults to all ones.
+    """
+
+    def __init__(self, gate, controls, control_states=None):
+        if not isinstance(gate, QGate) or gate.nbQubits != 1:
+            raise GateError(
+                "MCGate requires a one-qubit target gate, got "
+                f"{type(gate).__name__}"
+            )
+        ctrls = check_qubits(list(controls))
+        if not ctrls:
+            raise GateError("MCGate requires at least one control qubit")
+        if gate.qubit in ctrls:
+            raise GateError(
+                f"target qubit {gate.qubit} appears among controls {ctrls}"
+            )
+        if control_states is None:
+            control_states = [1] * len(ctrls)
+        states = check_control_states(control_states, len(ctrls))
+        # store controls sorted, permuting states alongside
+        order = sorted(range(len(ctrls)), key=lambda i: ctrls[i])
+        self._controls = tuple(ctrls[i] for i in order)
+        self._control_states = tuple(states[i] for i in order)
+        self._gate = gate
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def gate(self) -> QGate1:
+        """The wrapped target gate."""
+        return self._gate
+
+    @property
+    def target(self) -> int:
+        """The target qubit."""
+        return self._gate.qubit
+
+    @property
+    def qubits(self) -> tuple:
+        return tuple(sorted(self._controls + (self._gate.qubit,)))
+
+    def controls(self) -> tuple:
+        return self._controls
+
+    def control_states(self) -> tuple:
+        return self._control_states
+
+    def target_qubits(self) -> tuple:
+        return (self._gate.qubit,)
+
+    def target_matrix(self) -> np.ndarray:
+        return self._gate.matrix
+
+    # -- matrix -------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return controlled_matrix(
+            self._gate.matrix,
+            self.qubits,
+            self._controls,
+            self._control_states,
+            (self._gate.qubit,),
+        )
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self._gate.is_diagonal
+
+    @property
+    def is_fixed(self) -> bool:
+        return self._gate.is_fixed
+
+    # -- behaviour ----------------------------------------------------------
+
+    def ctranspose(self) -> "MCGate":
+        return MCGate(
+            self._gate.ctranspose(), self._controls, self._control_states
+        )
+
+    def draw_spec(self) -> DrawSpec:
+        elements = {
+            c: DrawElement("ctrl1" if s else "ctrl0")
+            for c, s in zip(self._controls, self._control_states)
+        }
+        elements[self._gate.qubit] = self._target_draw_element()
+        return DrawSpec(elements=elements, connect=True)
+
+    def _target_draw_element(self) -> DrawElement:
+        if type(self._gate) is PauliX:
+            return DrawElement("oplus")
+        return DrawElement("box", self._gate.label)
+
+    def toQASM(self, offset: int = 0) -> str:
+        from repro.io.qasm_export import multi_controlled_qasm
+
+        return multi_controlled_qasm(self, offset)
+
+    def shifted(self, offset: int) -> "MCGate":
+        out = copy.copy(self)
+        out._controls = tuple(c + int(offset) for c in self._controls)
+        out._gate = self._gate.shifted(offset)
+        return out
+
+    def __eq__(self, other):
+        if not isinstance(other, MCGate):
+            return NotImplemented
+        return (
+            self._controls == other._controls
+            and self._control_states == other._control_states
+            and self._gate == other._gate
+        )
+
+    __hash__ = QGate.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(controls={list(self._controls)!r}, "
+            f"target={self.target}, "
+            f"control_states={list(self._control_states)!r})"
+        )
+
+
+class MCX(MCGate):
+    """Multi-controlled X (generalized Toffoli), paper signature
+    ``MCX(controls, target, control_states)``."""
+
+    def __init__(self, controls, target: int, control_states=None):
+        super().__init__(PauliX(target), controls, control_states)
+
+    def ctranspose(self) -> "MCX":
+        return MCX(self._controls, self.target, self._control_states)
+
+
+class MCY(MCGate):
+    """Multi-controlled Pauli-Y."""
+
+    def __init__(self, controls, target: int, control_states=None):
+        super().__init__(PauliY(target), controls, control_states)
+
+    def ctranspose(self) -> "MCY":
+        return MCY(self._controls, self.target, self._control_states)
+
+
+class MCZ(MCGate):
+    """Multi-controlled Pauli-Z (diagonal)."""
+
+    def __init__(self, controls, target: int, control_states=None):
+        super().__init__(PauliZ(target), controls, control_states)
+
+    def ctranspose(self) -> "MCZ":
+        return MCZ(self._controls, self.target, self._control_states)
+
+
+class MCPhase(MCGate):
+    """Multi-controlled phase gate (diagonal)."""
+
+    def __init__(self, controls, target: int, *args, control_states=None):
+        super().__init__(Phase(target, *args), controls, control_states)
+
+    @property
+    def theta(self) -> float:
+        """The phase angle in radians."""
+        return self.gate.theta
+
+    def ctranspose(self) -> "MCPhase":
+        a = self.gate.angle
+        return MCPhase(
+            self._controls,
+            self.target,
+            a.cos,
+            -a.sin,
+            control_states=self._control_states,
+        )
+
+
+class _MCRotation(MCGate):
+    """Shared implementation of the multi-controlled rotations."""
+
+    _ROT = None
+
+    def __init__(self, controls, target: int, *args, control_states=None):
+        super().__init__(self._ROT(target, *args), controls, control_states)
+
+    @property
+    def theta(self) -> float:
+        """The rotation angle in radians."""
+        return self.gate.theta
+
+    def ctranspose(self):
+        return type(self)(
+            self._controls,
+            self.target,
+            self.gate.rotation.inv(),
+            control_states=self._control_states,
+        )
+
+
+class MCRotationX(_MCRotation):
+    """Multi-controlled ``RX(theta)``."""
+
+    _ROT = RotationX
+
+
+class MCRotationY(_MCRotation):
+    """Multi-controlled ``RY(theta)``."""
+
+    _ROT = RotationY
+
+
+class MCRotationZ(_MCRotation):
+    """Multi-controlled ``RZ(theta)`` (diagonal)."""
+
+    _ROT = RotationZ

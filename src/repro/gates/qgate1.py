@@ -1,0 +1,68 @@
+"""Base class for one-qubit gates."""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.gates.base import DrawElement, DrawSpec, QGate
+from repro.utils.validation import check_qubit
+
+__all__ = ["QGate1"]
+
+
+class QGate1(QGate):
+    """A gate acting on a single qubit.
+
+    Subclasses provide ``_LABEL`` (drawing) and ``_QASM`` (OpenQASM name)
+    class attributes plus a :attr:`matrix` implementation.
+    """
+
+    _LABEL = "?"
+    _QASM = "?"
+
+    def __init__(self, qubit: int = 0) -> None:
+        self._qubit = check_qubit(qubit)
+
+    @property
+    def qubits(self) -> tuple:
+        return (self._qubit,)
+
+    @property
+    def qubit(self) -> int:
+        """The qubit this gate acts on (settable)."""
+        return self._qubit
+
+    @qubit.setter
+    def qubit(self, value: int) -> None:
+        self._qubit = check_qubit(value)
+
+    def setQubit(self, value: int) -> None:
+        """QCLAB-style setter for the acted-on qubit."""
+        self.qubit = value
+
+    @property
+    def label(self) -> str:
+        """Short label used in circuit diagrams."""
+        return self._LABEL
+
+    def draw_spec(self) -> DrawSpec:
+        return DrawSpec(
+            elements={self._qubit: DrawElement("box", self.label)},
+            connect=False,
+        )
+
+    def toQASM(self, offset: int = 0) -> str:
+        return f"{self._QASM} q[{self._qubit + offset}];"
+
+    def shifted(self, offset: int) -> "QGate1":
+        out = copy.copy(self)
+        out._qubit = self._qubit + int(offset)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._qubit})"
+
+    def _matrix_as(self, dtype=np.complex128) -> np.ndarray:
+        return np.asarray(self.matrix, dtype=dtype)

@@ -1,0 +1,38 @@
+"""Circuit I/O: command-window drawing, LaTeX export, OpenQASM 2.0
+export and import.
+
+These implement the paper's Section 4 features: ``draw`` renders the
+musical-score diagram with Unicode box characters, ``toTex`` emits
+executable quantikz LaTeX, and ``toQASM`` bridges to quantum hardware.
+The importer (:func:`~repro.io.qasm_import.fromQASM`) goes beyond the
+paper's export-only support so circuits can round-trip.
+"""
+
+from repro.io.draw import draw_circuit
+from repro.io.latex import circuit_to_tex
+from repro.io.qasm_export import circuit_to_qasm
+from repro.io.qasm3_export import circuit_to_qasm3
+from repro.io.qasm_import import fromQASM, parse_qasm
+from repro.io.serialize import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps_circuit,
+    load_circuit,
+    loads_circuit,
+    save_circuit,
+)
+
+__all__ = [
+    "draw_circuit",
+    "circuit_to_tex",
+    "circuit_to_qasm",
+    "circuit_to_qasm3",
+    "fromQASM",
+    "parse_qasm",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "dumps_circuit",
+    "loads_circuit",
+    "save_circuit",
+    "load_circuit",
+]

@@ -1,0 +1,148 @@
+"""Command-window circuit rendering with Unicode box characters.
+
+Reproduces QCLAB's ``draw`` (paper, Section 4): qubits are horizontal
+wires (three text rows each), gates are boxes, controls are dots joined
+by vertical lines, CNOT targets are ``⊕`` and measurements are boxes —
+the textual version of the musical-score diagrams in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.io.layout import LayoutItem, layout_circuit
+
+__all__ = ["draw_circuit"]
+
+_MIN_BOX = 5
+
+
+def _natural_width(item: LayoutItem) -> int:
+    w = 1
+    for el in item.spec.elements.values():
+        if el.kind in ("box", "meas", "reset", "block"):
+            w = max(w, max(_MIN_BOX, len(el.label) + 4))
+    return w
+
+
+def _center(text: str, width: int, fill: str = " ") -> str:
+    pad = width - len(text)
+    left = pad // 2
+    return fill * left + text + fill * (pad - left)
+
+
+def _set_char(line: str, pos: int, char: str) -> str:
+    return line[:pos] + char + line[pos + 1 :]
+
+
+def _render_box(label: str, width: int, up: bool, down: bool, kind: str):
+    """Render a single-wire box cell; returns (top, mid, bot) of `width`."""
+    w = max(_MIN_BOX, len(label) + 4)
+    c_in = (w - 1) // 2
+    top = "┌" + "─" * (w - 2) + "┐"
+    bot = "└" + "─" * (w - 2) + "┘"
+    if up:
+        top = _set_char(top, c_in, "┴")
+    if down:
+        bot = _set_char(bot, c_in, "┬")
+    mid = "┤" + _center(label, w - 2) + "├"
+    # center inside the column, wire continuing through the mid line
+    lpad = (width - w) // 2
+    rpad = width - w - lpad
+    return (
+        " " * lpad + top + " " * rpad,
+        "─" * lpad + mid + "─" * rpad,
+        " " * lpad + bot + " " * rpad,
+    )
+
+
+def _render_item(item: LayoutItem, width: int, grid, nb_qubits: int):
+    """Paint one layout item into the (top, mid, bot) line grid."""
+    lo, hi = item.qubit_min, item.qubit_max
+    c = (width - 1) // 2
+    connect = item.spec.connect
+    label_row = (lo + hi) // 2
+    for q in range(lo, hi + 1):
+        el = item.spec.elements.get(q)
+        top, mid, bot = grid[q]
+        up = connect and q > lo
+        down = connect and q < hi
+        if el is None:
+            # pass-through wire inside a control span
+            mid = _set_char(mid, c, "┼")
+            top = _set_char(top, c, "│")
+            bot = _set_char(bot, c, "│")
+        elif el.kind in ("ctrl1", "ctrl0", "oplus", "cross"):
+            sym = {"ctrl1": "●", "ctrl0": "○", "oplus": "⊕", "cross": "×"}[
+                el.kind
+            ]
+            mid = _set_char(mid, c, sym)
+            if up:
+                top = _set_char(top, c, "│")
+            if down:
+                bot = _set_char(bot, c, "│")
+        elif el.kind == "barrier":
+            top = _set_char(top, c, "║")
+            mid = _set_char(mid, c, "║")
+            bot = _set_char(bot, c, "║")
+        elif el.kind in ("box", "meas", "reset"):
+            top, mid, bot = _render_box(el.label, width, up, down, el.kind)
+        elif el.kind == "block":
+            w = max(
+                _MIN_BOX,
+                max(len(e.label) for e in item.spec.elements.values()) + 4,
+            )
+            lpad = (width - w) // 2
+            rpad = width - w - lpad
+            if q == lo:
+                top_s = "┌" + "─" * (w - 2) + "┐"
+            else:
+                top_s = "│" + " " * (w - 2) + "│"
+            if q == hi:
+                bot_s = "└" + "─" * (w - 2) + "┘"
+            else:
+                bot_s = "│" + " " * (w - 2) + "│"
+            inner = el.label if q == label_row else ""
+            mid_s = "┤" + _center(inner, w - 2) + "├"
+            top = " " * lpad + top_s + " " * rpad
+            mid = "─" * lpad + mid_s + "─" * rpad
+            bot = " " * lpad + bot_s + " " * rpad
+        else:  # pragma: no cover - future kinds
+            mid = _set_char(mid, c, "?")
+        grid[q] = (top, mid, bot)
+
+
+def draw_circuit(circuit) -> str:
+    """Render a :class:`~repro.circuit.QCircuit` as a Unicode diagram."""
+    n = circuit.nbQubits
+    items, nb_columns = layout_circuit(circuit)
+    by_column: List[List[LayoutItem]] = [[] for _ in range(nb_columns)]
+    for item in items:
+        by_column[item.column].append(item)
+
+    prefix_w = len(f"q{n - 1}: ")
+    lines = []
+    rows = []
+    for q in range(n):
+        label = f"q{q}: ".rjust(prefix_w)
+        rows.append(
+            [" " * prefix_w, label, " " * prefix_w]
+        )
+
+    for col_items in by_column:
+        width = max((_natural_width(it) for it in col_items), default=1)
+        grid = [
+            (" " * width, "─" * width, " " * width) for _ in range(n)
+        ]
+        for item in col_items:
+            _render_item(item, width, grid, n)
+        for q in range(n):
+            top, mid, bot = grid[q]
+            rows[q][0] += top + " "
+            rows[q][1] += mid + "─"
+            rows[q][2] += bot + " "
+
+    for q in range(n):
+        # trim fully blank top/bottom lines? keep them: uniform 3-row style
+        lines.extend(rows[q])
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,65 @@
+"""Column layout shared by the text drawer and the LaTeX exporter.
+
+A circuit is flattened into *items* (one per drawable element, blocks
+kept whole) and greedily packed into columns: an item occupies every
+wire between its lowest and highest qubit (so vertical connectors never
+cross other gates) and lands in the leftmost column where all of those
+wires are free.  This reproduces the musical-score look of the paper's
+diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gates.base import DrawSpec, QObject
+
+__all__ = ["LayoutItem", "layout_circuit"]
+
+
+@dataclass
+class LayoutItem:
+    """One placed element: its draw spec shifted to absolute qubits."""
+
+    spec: DrawSpec
+    qubit_min: int
+    qubit_max: int
+    column: int
+    obj: QObject
+
+
+def _flatten(circuit, base_offset: int):
+    """Yield (obj, total_offset) pairs, keeping block sub-circuits whole."""
+    from repro.circuit.circuit import QCircuit
+
+    off = base_offset + circuit.offset
+    for op in circuit:
+        if isinstance(op, QCircuit) and not op.is_block:
+            yield from _flatten(op, off)
+        else:
+            yield op, off
+
+
+def layout_circuit(circuit) -> tuple:
+    """Pack a circuit's elements into columns.
+
+    Returns ``(items, nb_columns)`` where ``items`` is a list of
+    :class:`LayoutItem` sorted by column then qubit.
+    """
+    frontier = [0] * circuit.nbQubits
+    items: List[LayoutItem] = []
+    for op, off in _flatten(circuit, 0):
+        spec = op.draw_spec()
+        elements = {q + off: el for q, el in spec.elements.items()}
+        shifted = DrawSpec(elements=elements, connect=spec.connect)
+        lo = min(elements)
+        hi = max(elements)
+        span = range(lo, hi + 1) if spec.connect or len(elements) > 1 else [lo]
+        col = max(frontier[q] for q in span)
+        for q in span:
+            frontier[q] = col + 1
+        items.append(LayoutItem(shifted, lo, hi, col, op))
+    nb_columns = max(frontier) if items else 0
+    items.sort(key=lambda it: (it.column, it.qubit_min))
+    return items, nb_columns

@@ -1,0 +1,78 @@
+"""OpenQASM 3 export (extension).
+
+A forward-looking companion to the OpenQASM 2.0 exporter: emits the
+QASM 3 dialect (``qubit[n] q; bit[n] c;``, ``U``/named-gate calls,
+``c[i] = measure q[i];``).  Gate bodies reuse the 2.0 emission — the
+statement grammar for the supported gate set is compatible — with the
+declaration syntax and measurement statements rewritten.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.exceptions import QASMError
+
+__all__ = ["circuit_to_qasm3"]
+
+_MEASURE_RE = re.compile(
+    r"^measure\s+q\[(\d+)\]\s*->\s*c\[(\d+)\];$"
+)
+
+#: QASM 2 names that differ in the QASM 3 standard-gate library.
+_RENAMES = {
+    "u1": "p",
+    "cu1": "cp",
+    "iswapdg": "inv @ iswap",
+}
+
+
+def _convert_line(line: str) -> str:
+    m = _MEASURE_RE.match(line)
+    if m:
+        return f"c[{m.group(2)}] = measure q[{m.group(1)}];"
+    head = line.split("(")[0].split()[0] if line else line
+    if head in _RENAMES:
+        replacement = _RENAMES[head]
+        return replacement + line[len(head):]
+    return line
+
+
+def circuit_to_qasm3(circuit, include_header: bool = True) -> str:
+    """Export a :class:`~repro.circuit.QCircuit` as OpenQASM 3 text.
+
+    Uses the same statement emission as :meth:`QCircuit.toQASM` (the
+    supported gate calls are valid in both dialects, modulo the few
+    renames handled here) with QASM 3 declarations and measurement
+    assignments.
+    """
+    body_lines: List[str] = []
+    for op, off in circuit.operations():
+        try:
+            text = op.toQASM(off)
+        except QASMError as exc:
+            raise QASMError(
+                f"cannot export {type(op).__name__} to OpenQASM 3: {exc}"
+            ) from None
+        for line in text.splitlines():
+            body_lines.append(_convert_line(line))
+
+    if not include_header:
+        return "\n".join(body_lines) + ("\n" if body_lines else "")
+
+    n = circuit.nbQubits
+    parts = ['OPENQASM 3.0;', 'include "stdgates.inc";']
+    # non-standard gates need declarations in QASM 3 as well
+    from repro.io.qasm_export import _GATE_DEFS
+
+    for name, definition in _GATE_DEFS.items():
+        if any(
+            line.startswith(name + " ") or line.startswith(name + "(")
+            for line in body_lines
+        ):
+            parts.append(definition)
+    parts.append(f"qubit[{n}] q;")
+    parts.append(f"bit[{n}] c;")
+    parts.extend(body_lines)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,545 @@
+"""OpenQASM 2.0 import: parse QASM text into a :class:`QCircuit`.
+
+The paper's QCLAB exports QASM; this importer closes the loop so
+circuits round-trip (and external QASM files can be simulated).  It
+covers the practical OpenQASM 2.0 subset:
+
+* ``qreg``/``creg`` declarations (multiple qregs concatenate);
+* the full qelib1 single/two/three-qubit gate names plus this package's
+  ``rxx``/``ryy``/``rzz``/``iswap`` extensions;
+* ``gate`` definitions, expanded recursively at application time;
+* parameter expressions with ``pi``, ``+ - * / ^``, parentheses and
+  unary minus;
+* ``measure``, ``reset``, ``barrier``; whole-register broadcast for
+  one-qubit gates.
+
+``if`` statements and ``opaque`` gates are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import QASMError
+from repro.gates import (
+    CH,
+    CSwap,
+    CNOT,
+    CPhase,
+    CRotationX,
+    CRotationY,
+    CRotationZ,
+    CY,
+    CZ,
+    ControlledGate1,
+    Hadamard,
+    Identity,
+    MCX,
+    PauliX,
+    PauliY,
+    PauliZ,
+    Phase,
+    RotationX,
+    RotationXX,
+    RotationY,
+    RotationYY,
+    RotationZ,
+    RotationZZ,
+    S,
+    Sdg,
+    SqrtX,
+    SWAP,
+    T,
+    Tdg,
+    U2,
+    U3,
+    iSWAP,
+)
+from repro.gates.fixed import _SqrtXdg
+from repro.gates.two_qubit import _iSWAPdg
+
+__all__ = ["fromQASM", "parse_qasm"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>//[^\n]*)
+  | (?P<STRING>"[^"]*")
+  | (?P<NUMBER>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ARROW>->)
+  | (?P<SYM>[;,(){}\[\]+\-*/^=<>])
+  | (?P<WS>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[tuple]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise QASMError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = m.lastgroup
+        if kind not in ("WS", "COMMENT"):
+            tokens.append((kind, m.group()))
+        pos = m.end()
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+# -- expression AST ---------------------------------------------------------
+
+
+def _eval_expr(node, env: Dict[str, float]) -> float:
+    op = node[0]
+    if op == "num":
+        return node[1]
+    if op == "var":
+        name = node[1]
+        if name == "pi":
+            return math.pi
+        if name not in env:
+            raise QASMError(f"unknown identifier {name!r} in expression")
+        return env[name]
+    if op == "neg":
+        return -_eval_expr(node[1], env)
+    if op == "call":
+        fns: Dict[str, Callable] = {
+            "sin": math.sin,
+            "cos": math.cos,
+            "tan": math.tan,
+            "exp": math.exp,
+            "ln": math.log,
+            "sqrt": math.sqrt,
+        }
+        if node[1] not in fns:
+            raise QASMError(f"unknown function {node[1]!r}")
+        return fns[node[1]](_eval_expr(node[2], env))
+    a = _eval_expr(node[1], env)
+    b = _eval_expr(node[2], env)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return a / b
+    if op == "^":
+        return a**b
+    raise QASMError(f"bad expression node {node!r}")  # pragma: no cover
+
+
+@dataclass
+class _GateDef:
+    """A user ``gate`` definition: formals and unexpanded body calls."""
+
+    name: str
+    params: List[str]
+    qargs: List[str]
+    body: List[tuple]  # (name, [param ASTs], [qubit arg names])
+
+
+@dataclass
+class _Application:
+    name: str
+    params: List[float]
+    qubits: List[int]
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.qregs: Dict[str, tuple] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, int] = {}
+        self.nb_qubits = 0
+        self.defs: Dict[str, _GateDef] = {}
+        self.ops: List[object] = []  # QObjects in order
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, value=None, kind=None):
+        k, v = self.next()
+        if kind is not None and k != kind:
+            raise QASMError(f"expected {kind}, got {v!r}")
+        if value is not None and v != value:
+            raise QASMError(f"expected {value!r}, got {v!r}")
+        return v
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_add()
+
+    def _parse_add(self):
+        node = self._parse_mul()
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            node = (op, node, self._parse_mul())
+        return node
+
+    def _parse_mul(self):
+        node = self._parse_pow()
+        while self.peek()[1] in ("*", "/"):
+            op = self.next()[1]
+            node = (op, node, self._parse_pow())
+        return node
+
+    def _parse_pow(self):
+        node = self._parse_unary()
+        if self.peek()[1] == "^":
+            self.next()
+            return ("^", node, self._parse_pow())
+        return node
+
+    def _parse_unary(self):
+        kind, value = self.peek()
+        if value == "-":
+            self.next()
+            return ("neg", self._parse_unary())
+        if value == "+":
+            self.next()
+            return self._parse_unary()
+        if value == "(":
+            self.next()
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if kind == "NUMBER":
+            self.next()
+            return ("num", float(value))
+        if kind == "ID":
+            self.next()
+            if self.peek()[1] == "(":
+                self.next()
+                arg = self.parse_expr()
+                self.expect(")")
+                return ("call", value, arg)
+            return ("var", value)
+        raise QASMError(f"unexpected token {value!r} in expression")
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> QCircuit:
+        kind, value = self.peek()
+        if kind == "ID" and value == "OPENQASM":
+            self.next()
+            self.expect(kind="NUMBER")
+            self.expect(";")
+        while self.peek()[0] != "EOF":
+            self.parse_statement()
+        if self.nb_qubits == 0:
+            raise QASMError("no qreg declaration found")
+        circuit = QCircuit(self.nb_qubits)
+        for op in self.ops:
+            circuit.push_back(op)
+        return circuit
+
+    def parse_statement(self):
+        kind, value = self.peek()
+        if kind != "ID":
+            raise QASMError(f"unexpected token {value!r}")
+        if value == "include":
+            self.next()
+            self.expect(kind="STRING")
+            self.expect(";")
+            return
+        if value in ("qreg", "creg"):
+            self.next()
+            name = self.expect(kind="ID")
+            self.expect("[")
+            size = int(self.expect(kind="NUMBER"))
+            self.expect("]")
+            self.expect(";")
+            if value == "qreg":
+                self.qregs[name] = (self.nb_qubits, size)
+                self.nb_qubits += size
+            else:
+                self.cregs[name] = size
+            return
+        if value == "gate":
+            self._parse_gate_def()
+            return
+        if value == "opaque":
+            raise QASMError("opaque gates are not supported")
+        if value == "if":
+            raise QASMError("classical 'if' statements are not supported")
+        if value == "barrier":
+            self.next()
+            qubits = self._parse_mixed_args_flat()
+            self.expect(";")
+            self.ops.append(Barrier(qubits))
+            return
+        if value == "reset":
+            self.next()
+            for q in self._parse_argument():
+                self.ops.append(Reset(q))
+            self.expect(";")
+            return
+        if value == "measure":
+            self.next()
+            qubits = self._parse_argument()
+            self.expect("->")
+            self._parse_creg_argument()
+            self.expect(";")
+            for q in qubits:
+                self.ops.append(Measurement(q))
+            return
+        # gate application
+        self._parse_application()
+
+    def _parse_gate_def(self):
+        self.expect("gate")
+        name = self.expect(kind="ID")
+        params: List[str] = []
+        if self.peek()[1] == "(":
+            self.next()
+            while self.peek()[1] != ")":
+                params.append(self.expect(kind="ID"))
+                if self.peek()[1] == ",":
+                    self.next()
+            self.expect(")")
+        qargs: List[str] = []
+        while True:
+            qargs.append(self.expect(kind="ID"))
+            if self.peek()[1] == ",":
+                self.next()
+                continue
+            break
+        self.expect("{")
+        body: List[tuple] = []
+        while self.peek()[1] != "}":
+            if self.peek()[1] == "barrier":
+                self.next()
+                while self.peek()[1] != ";":
+                    self.next()
+                self.expect(";")
+                continue
+            gname = self.expect(kind="ID")
+            gparams: List[tuple] = []
+            if self.peek()[1] == "(":
+                self.next()
+                while self.peek()[1] != ")":
+                    gparams.append(self.parse_expr())
+                    if self.peek()[1] == ",":
+                        self.next()
+                self.expect(")")
+            gargs: List[str] = []
+            while True:
+                gargs.append(self.expect(kind="ID"))
+                if self.peek()[1] == ",":
+                    self.next()
+                    continue
+                break
+            self.expect(";")
+            body.append((gname, gparams, gargs))
+        self.expect("}")
+        self.defs[name] = _GateDef(name, params, qargs, body)
+
+    # -- arguments ------------------------------------------------------------
+
+    def _qubit_of(self, reg: str, index: int) -> int:
+        if reg not in self.qregs:
+            raise QASMError(f"unknown quantum register {reg!r}")
+        offset, size = self.qregs[reg]
+        if not 0 <= index < size:
+            raise QASMError(f"index {index} out of range for qreg {reg!r}")
+        return offset + index
+
+    def _parse_argument(self) -> List[int]:
+        """A quantum argument: ``q[i]`` -> [qubit], or ``q`` -> all qubits."""
+        reg = self.expect(kind="ID")
+        if self.peek()[1] == "[":
+            self.next()
+            index = int(self.expect(kind="NUMBER"))
+            self.expect("]")
+            return [self._qubit_of(reg, index)]
+        if reg not in self.qregs:
+            raise QASMError(f"unknown quantum register {reg!r}")
+        offset, size = self.qregs[reg]
+        return list(range(offset, offset + size))
+
+    def _parse_creg_argument(self):
+        reg = self.expect(kind="ID")
+        if reg not in self.cregs:
+            raise QASMError(f"unknown classical register {reg!r}")
+        if self.peek()[1] == "[":
+            self.next()
+            self.expect(kind="NUMBER")
+            self.expect("]")
+
+    def _parse_mixed_args_flat(self) -> List[int]:
+        qubits: List[int] = []
+        while True:
+            qubits.extend(self._parse_argument())
+            if self.peek()[1] == ",":
+                self.next()
+                continue
+            break
+        return qubits
+
+    # -- applications -----------------------------------------------------------
+
+    def _parse_application(self):
+        name = self.expect(kind="ID")
+        params: List[float] = []
+        if self.peek()[1] == "(":
+            self.next()
+            while self.peek()[1] != ")":
+                params.append(_eval_expr(self.parse_expr(), {}))
+                if self.peek()[1] == ",":
+                    self.next()
+            self.expect(")")
+        arglists: List[List[int]] = []
+        while True:
+            arglists.append(self._parse_argument())
+            if self.peek()[1] == ",":
+                self.next()
+                continue
+            break
+        self.expect(";")
+        for qubits in _broadcast(arglists):
+            self._emit(name, params, qubits)
+
+    def _emit(self, name: str, params: List[float], qubits: List[int]):
+        if name in self.defs:
+            self._expand_def(self.defs[name], params, qubits)
+            return
+        builder = _BUILTINS.get(name)
+        if builder is None:
+            raise QASMError(f"unknown gate {name!r}")
+        nparams, nqubits, fn = builder
+        if len(params) != nparams:
+            raise QASMError(
+                f"gate {name!r} expects {nparams} parameter(s), got "
+                f"{len(params)}"
+            )
+        if len(qubits) != nqubits:
+            raise QASMError(
+                f"gate {name!r} expects {nqubits} qubit(s), got "
+                f"{len(qubits)}"
+            )
+        self.ops.append(fn(params, qubits))
+
+    def _expand_def(
+        self, gdef: _GateDef, params: List[float], qubits: List[int]
+    ):
+        if len(params) != len(gdef.params):
+            raise QASMError(
+                f"gate {gdef.name!r} expects {len(gdef.params)} "
+                f"parameter(s), got {len(params)}"
+            )
+        if len(qubits) != len(gdef.qargs):
+            raise QASMError(
+                f"gate {gdef.name!r} expects {len(gdef.qargs)} qubit(s), "
+                f"got {len(qubits)}"
+            )
+        env = dict(zip(gdef.params, params))
+        qmap = dict(zip(gdef.qargs, qubits))
+        for gname, gparams, gargs in gdef.body:
+            values = [_eval_expr(p, env) for p in gparams]
+            try:
+                actual = [qmap[a] for a in gargs]
+            except KeyError as exc:
+                raise QASMError(
+                    f"unknown qubit argument {exc.args[0]!r} in gate "
+                    f"{gdef.name!r}"
+                ) from None
+            self._emit(gname, values, actual)
+
+
+def _broadcast(arglists: List[List[int]]):
+    """OpenQASM broadcast: any whole-register argument fans out."""
+    lengths = {len(a) for a in arglists}
+    if lengths == {1}:
+        yield [a[0] for a in arglists]
+        return
+    size = max(lengths)
+    if lengths - {1, size}:
+        raise QASMError("mismatched register sizes in gate application")
+    for i in range(size):
+        yield [a[0] if len(a) == 1 else a[i] for a in arglists]
+
+
+_BUILTINS = {
+    # name: (nb params, nb qubits, builder)
+    "id": (0, 1, lambda p, q: Identity(q[0])),
+    "h": (0, 1, lambda p, q: Hadamard(q[0])),
+    "x": (0, 1, lambda p, q: PauliX(q[0])),
+    "y": (0, 1, lambda p, q: PauliY(q[0])),
+    "z": (0, 1, lambda p, q: PauliZ(q[0])),
+    "s": (0, 1, lambda p, q: S(q[0])),
+    "sdg": (0, 1, lambda p, q: Sdg(q[0])),
+    "t": (0, 1, lambda p, q: T(q[0])),
+    "tdg": (0, 1, lambda p, q: Tdg(q[0])),
+    "sx": (0, 1, lambda p, q: SqrtX(q[0])),
+    "sxdg": (0, 1, lambda p, q: _SqrtXdg(q[0])),
+    "u1": (1, 1, lambda p, q: Phase(q[0], p[0])),
+    "p": (1, 1, lambda p, q: Phase(q[0], p[0])),
+    "rx": (1, 1, lambda p, q: RotationX(q[0], p[0])),
+    "ry": (1, 1, lambda p, q: RotationY(q[0], p[0])),
+    "rz": (1, 1, lambda p, q: RotationZ(q[0], p[0])),
+    "u2": (2, 1, lambda p, q: U2(q[0], p[0], p[1])),
+    "u3": (3, 1, lambda p, q: U3(q[0], p[0], p[1], p[2])),
+    "u": (3, 1, lambda p, q: U3(q[0], p[0], p[1], p[2])),
+    "U": (3, 1, lambda p, q: U3(q[0], p[0], p[1], p[2])),
+    "cx": (0, 2, lambda p, q: CNOT(q[0], q[1])),
+    "CX": (0, 2, lambda p, q: CNOT(q[0], q[1])),
+    "cy": (0, 2, lambda p, q: CY(q[0], q[1])),
+    "cz": (0, 2, lambda p, q: CZ(q[0], q[1])),
+    "ch": (0, 2, lambda p, q: CH(q[0], q[1])),
+    "cu1": (1, 2, lambda p, q: CPhase(q[0], q[1], p[0])),
+    "cp": (1, 2, lambda p, q: CPhase(q[0], q[1], p[0])),
+    "crx": (1, 2, lambda p, q: CRotationX(q[0], q[1], p[0])),
+    "cry": (1, 2, lambda p, q: CRotationY(q[0], q[1], p[0])),
+    "crz": (1, 2, lambda p, q: CRotationZ(q[0], q[1], p[0])),
+    "cu3": (
+        3,
+        2,
+        lambda p, q: ControlledGate1(U3(q[1], p[0], p[1], p[2]), q[0]),
+    ),
+    "swap": (0, 2, lambda p, q: SWAP(q[0], q[1])),
+    "iswap": (0, 2, lambda p, q: iSWAP(q[0], q[1])),
+    "iswapdg": (0, 2, lambda p, q: _iSWAPdg(q[0], q[1])),
+    "ccx": (0, 3, lambda p, q: MCX([q[0], q[1]], q[2])),
+    "cswap": (0, 3, lambda p, q: CSwap(q[0], q[1], q[2])),
+    "rxx": (1, 2, lambda p, q: RotationXX(q[0], q[1], p[0])),
+    "ryy": (1, 2, lambda p, q: RotationYY(q[0], q[1], p[0])),
+    "rzz": (1, 2, lambda p, q: RotationZZ(q[0], q[1], p[0])),
+}
+
+
+def parse_qasm(text: str) -> QCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QCircuit`."""
+    return _Parser(text).parse()
+
+
+def fromQASM(source) -> QCircuit:
+    """Parse OpenQASM 2.0 from a string, file path or open file object."""
+    if hasattr(source, "read"):
+        return parse_qasm(source.read())
+    text = str(source)
+    if "\n" not in text and text.endswith(".qasm"):
+        with open(text, "r", encoding="utf-8") as fh:
+            return parse_qasm(fh.read())
+    return parse_qasm(text)

@@ -1,0 +1,48 @@
+"""Noise channels and quantum-trajectory simulation (extension).
+
+The paper's QEC example injects a *deterministic* error; real error
+correction is assessed against *stochastic* noise.  This package adds
+single-qubit noise channels (Kraus operators), a :class:`NoiseModel`
+attaching channels to circuit locations, and a Monte-Carlo wavefunction
+(trajectory) simulator that samples one collapse path per shot — the
+standard technique for simulating open-system dynamics on a
+state-vector engine.
+
+The flagship experiment built on top is the distance-3 repetition-code
+threshold curve: the measured logical error rate must follow the exact
+combinatorics ``p_L = 3 p^2 - 2 p^3``.
+"""
+
+from repro.noise.channels import (
+    AmplitudeDamping,
+    BitFlip,
+    Depolarizing,
+    NoiseChannel,
+    PauliChannel,
+    PhaseFlip,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.trajectory import (
+    TrajectoryResult,
+    noisy_counts,
+    run_trajectory,
+)
+from repro.noise.qec_threshold import (
+    repetition_code_logical_error_rate,
+    theoretical_logical_error_rate,
+)
+
+__all__ = [
+    "NoiseChannel",
+    "PauliChannel",
+    "BitFlip",
+    "PhaseFlip",
+    "Depolarizing",
+    "AmplitudeDamping",
+    "NoiseModel",
+    "run_trajectory",
+    "noisy_counts",
+    "TrajectoryResult",
+    "repetition_code_logical_error_rate",
+    "theoretical_logical_error_rate",
+]

@@ -1,0 +1,93 @@
+"""Noise models: where channels strike in a circuit.
+
+A :class:`NoiseModel` attaches channels to circuit locations:
+
+* ``gate_noise`` — applied to every qubit a gate touches, after the
+  gate (the standard circuit-level noise model);
+* ``per_gate`` — overrides per gate class (e.g. stronger noise on
+  two-qubit gates, the usual hardware reality);
+* ``idle_noise`` — applied to qubits named by an :class:`Identity`
+  gate (lets a circuit mark explicit "wait" locations);
+* ``readout_error`` — classical bit-flip probability on each recorded
+  measurement outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.exceptions import SimulationError
+from repro.gates import Identity
+from repro.gates.base import QGate
+from repro.noise.channels import NoiseChannel
+
+__all__ = ["NoiseModel"]
+
+
+class NoiseModel:
+    """Maps circuit locations to noise channels.
+
+    Parameters
+    ----------
+    gate_noise:
+        Channel applied on every qubit touched by every gate (``None``
+        disables).
+    per_gate:
+        ``{GateClass: channel}`` overrides; an entry with value ``None``
+        makes that gate class noiseless.
+    idle_noise:
+        Channel applied where the circuit contains an explicit
+        :class:`~repro.gates.Identity` (wait) gate.  Overrides
+        ``gate_noise`` on those markers.
+    readout_error:
+        Probability of classically flipping each recorded measurement
+        outcome.
+    """
+
+    def __init__(
+        self,
+        gate_noise: Optional[NoiseChannel] = None,
+        per_gate: Optional[Dict[Type[QGate], Optional[NoiseChannel]]] = None,
+        idle_noise: Optional[NoiseChannel] = None,
+        readout_error: float = 0.0,
+    ):
+        if not 0.0 <= readout_error <= 1.0:
+            raise SimulationError(
+                f"readout_error {readout_error} outside [0, 1]"
+            )
+        for ch in [gate_noise, idle_noise] + list(
+            (per_gate or {}).values()
+        ):
+            if ch is not None and not isinstance(ch, NoiseChannel):
+                raise SimulationError(
+                    f"expected a NoiseChannel, got {type(ch).__name__}"
+                )
+        self.gate_noise = gate_noise
+        self.per_gate = dict(per_gate or {})
+        self.idle_noise = idle_noise
+        self.readout_error = float(readout_error)
+
+    def channel_for(self, gate: QGate) -> Optional[NoiseChannel]:
+        """The channel that strikes after ``gate`` (``None`` = noiseless)."""
+        if self.idle_noise is not None and isinstance(gate, Identity):
+            return self.idle_noise
+        if type(gate) in self.per_gate:
+            return self.per_gate[type(gate)]
+        return self.gate_noise
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` when the model never applies any noise."""
+        return (
+            self.gate_noise is None
+            and self.idle_noise is None
+            and not any(self.per_gate.values())
+            and self.readout_error == 0.0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel(gate_noise={self.gate_noise!r}, "
+            f"idle_noise={self.idle_noise!r}, "
+            f"readout_error={self.readout_error})"
+        )

@@ -1,0 +1,170 @@
+"""Monte-Carlo wavefunction (quantum trajectory) simulation.
+
+Instead of tracking every measurement branch (as
+:func:`repro.simulation.simulate` does), a trajectory run samples ONE
+path: each measurement collapses randomly according to its outcome
+probabilities and each noise channel applies one Kraus operator drawn
+with probability ``||K_i psi||^2``.  Averaging over shots reproduces
+the open-system statistics exactly, at state-vector cost per shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import SimulationError
+from repro.gates.base import QGate
+from repro.noise.model import NoiseModel
+from repro.simulation.backends import get_backend
+from repro.simulation.simulate import apply_operation
+from repro.simulation.state import initial_state
+
+__all__ = ["TrajectoryResult", "run_trajectory", "noisy_counts"]
+
+
+@dataclass
+class TrajectoryResult:
+    """One sampled path: recorded outcomes and the final state."""
+
+    result: str
+    state: np.ndarray
+
+
+def _apply_kraus(engine, state, kraus, qubit, nb_qubits, rng):
+    """Select and apply one Kraus operator (Monte-Carlo branch)."""
+    if len(kraus) == 1:
+        out = engine.apply(state, kraus[0], [qubit], nb_qubits)
+        norm = np.linalg.norm(out)
+        return out / norm
+    r = float(rng.random())
+    acc = 0.0
+    for k in kraus:
+        candidate = engine.apply(state.copy(), k, [qubit], nb_qubits)
+        p = float(np.linalg.norm(candidate) ** 2)
+        acc += p
+        if r < acc or k is kraus[-1]:
+            if p <= 1e-300:
+                continue  # zero-probability op; keep scanning
+            return candidate / np.sqrt(p)
+    raise SimulationError("Kraus sampling failed to select an operator")
+
+
+def _sample_measurement(engine, state, meas, qubit, nb_qubits, rng):
+    """Collapse one measurement randomly; returns (outcome, state)."""
+    if meas.basis != "z":
+        state = engine.apply(state, meas.basis_change, [qubit], nb_qubits)
+    left = 1 << qubit
+    view = state.reshape(left, 2, -1)
+    p1 = float(np.sum(np.abs(view[:, 1, :]) ** 2))
+    outcome = 1 if rng.random() < p1 else 0
+    prob = p1 if outcome == 1 else 1.0 - p1
+    view[:, 1 - outcome, :] = 0.0
+    state = state * (1.0 / np.sqrt(prob))
+    if meas.basis != "z":
+        state = engine.apply(
+            state, meas.basis_change_dagger, [qubit], nb_qubits
+        )
+    return outcome, state
+
+
+def run_trajectory(
+    circuit,
+    noise: Optional[NoiseModel] = None,
+    rng=None,
+    start=None,
+    backend: str = "kernel",
+) -> TrajectoryResult:
+    """Sample a single noisy run of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The :class:`~repro.circuit.QCircuit` to run.
+    noise:
+        A :class:`NoiseModel` (``None`` = noiseless trajectory).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+    start:
+        Initial state (bitstring or vector).
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    noise = noise or NoiseModel()
+    engine = get_backend(backend)
+    nb_qubits = circuit.nbQubits
+    if start is None:
+        start = "0" * nb_qubits
+    state = initial_state(start, nb_qubits)
+    outcomes = []
+
+    for op, off in circuit.operations():
+        if isinstance(op, Barrier):
+            continue
+        if isinstance(op, QGate):
+            state = apply_operation(engine, state, op, off, nb_qubits)
+            channel = noise.channel_for(op)
+            if channel is not None and not channel.is_identity:
+                for q in op.qubits:
+                    state = _apply_kraus(
+                        engine, state, channel.kraus, q + off,
+                        nb_qubits, rng,
+                    )
+            continue
+        if isinstance(op, Measurement):
+            outcome, state = _sample_measurement(
+                engine, state, op, op.qubit + off, nb_qubits, rng
+            )
+            if noise.readout_error > 0.0 and (
+                rng.random() < noise.readout_error
+            ):
+                outcome = 1 - outcome
+            outcomes.append(str(outcome))
+            continue
+        if isinstance(op, Reset):
+            meas = Measurement(op.qubit)
+            outcome, state = _sample_measurement(
+                engine, state, meas, op.qubit + off, nb_qubits, rng
+            )
+            if outcome == 1:
+                from repro.gates import PauliX
+
+                state = apply_operation(
+                    engine, state, PauliX(op.qubit), off, nb_qubits
+                )
+            if op.record:
+                outcomes.append(str(outcome))
+            continue
+        raise SimulationError(
+            f"cannot simulate circuit element {type(op).__name__}"
+        )
+
+    return TrajectoryResult(result="".join(outcomes), state=state)
+
+
+def noisy_counts(
+    circuit,
+    noise: Optional[NoiseModel] = None,
+    shots: int = 1000,
+    seed=None,
+    start=None,
+    backend: str = "kernel",
+) -> Dict[str, int]:
+    """Outcome histogram over ``shots`` independent noisy trajectories."""
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    counts: Dict[str, int] = {}
+    for _ in range(int(shots)):
+        result = run_trajectory(
+            circuit, noise, rng=rng, start=start, backend=backend
+        ).result
+        counts[result] = counts.get(result, 0) + 1
+    return counts

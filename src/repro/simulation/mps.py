@@ -1,0 +1,292 @@
+"""Matrix-product-state (MPS) simulation (extension).
+
+A fourth simulation engine alongside the state-vector backends, the
+density-matrix simulator and the stabilizer tableau: the state is held
+as a chain of rank-3 tensors ``A[q] : (D_l, 2, D_r)`` kept in **mixed
+canonical form** around a moving orthogonality center, two-qubit gates
+act on neighbouring sites through a truncated SVD (TEBD style), and
+the bond dimension — optionally capped at ``chi_max`` — measures the
+entanglement the circuit has built.  Low-entanglement circuits on
+*dozens* of qubits simulate comfortably where the ``2^n`` state vector
+cannot exist.
+
+Supported operations: any one-qubit gate, any two-qubit gate
+(non-adjacent pairs are routed with SWAPs), Z/X/Y measurements
+(sampled, trajectory style) and resets.  Gates on three or more qubits
+raise :class:`~repro.exceptions.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import SimulationError
+from repro.gates import SWAP
+from repro.gates.base import QGate
+
+__all__ = ["MPSState", "simulate_mps", "mps_counts"]
+
+_SWAP_MATRIX = SWAP(0, 1).matrix
+
+
+class MPSState:
+    """An n-qubit pure state in mixed-canonical matrix-product form.
+
+    Sites left of the orthogonality center are left-isometries, sites
+    right of it right-isometries; the center tensor carries the state's
+    norm, so all probabilities and truncations are *globally* correct.
+
+    Parameters
+    ----------
+    nb_qubits:
+        Chain length; starts in ``|0...0>``.
+    chi_max:
+        Optional bond-dimension cap; exceeding bonds are truncated to
+        the ``chi_max`` largest singular values and the state is
+        renormalized (controlled truncation error).
+    """
+
+    def __init__(self, nb_qubits: int, chi_max: Optional[int] = None):
+        if nb_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        if chi_max is not None and chi_max < 1:
+            raise SimulationError("chi_max must be positive")
+        self.n = int(nb_qubits)
+        self.chi_max = chi_max
+        self.tensors: List[np.ndarray] = []
+        for _ in range(self.n):
+            t = np.zeros((1, 2, 1), dtype=np.complex128)
+            t[0, 0, 0] = 1.0
+            self.tensors.append(t)
+        self.center = 0
+        #: largest bond dimension reached during the evolution.
+        self.max_bond_seen = 1
+
+    # -- canonical-form maintenance -----------------------------------------
+
+    def _shift_center_right(self) -> None:
+        i = self.center
+        t = self.tensors[i]
+        dl, _, dr = t.shape
+        q, r = np.linalg.qr(t.reshape(dl * 2, dr))
+        k = q.shape[1]
+        self.tensors[i] = q.reshape(dl, 2, k)
+        self.tensors[i + 1] = np.einsum(
+            "ab,bcd->acd", r, self.tensors[i + 1]
+        )
+        self.center = i + 1
+
+    def _shift_center_left(self) -> None:
+        i = self.center
+        t = self.tensors[i]
+        dl, _, dr = t.shape
+        # LQ via QR of the conjugate transpose: t = L Q, Q row-orthonormal
+        q, r = np.linalg.qr(t.reshape(dl, 2 * dr).conj().T)
+        k = q.shape[1]
+        self.tensors[i] = q.conj().T.reshape(k, 2, dr)
+        self.tensors[i - 1] = np.einsum(
+            "abc,cd->abd", self.tensors[i - 1], r.conj().T
+        )
+        self.center = i - 1
+
+    def _move_center(self, site: int) -> None:
+        while self.center < site:
+            self._shift_center_right()
+        while self.center > site:
+            self._shift_center_left()
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def bond_dimensions(self) -> List[int]:
+        """Current bond dimensions between neighbouring sites."""
+        return [self.tensors[q].shape[2] for q in range(self.n - 1)]
+
+    # -- gates ------------------------------------------------------------------
+
+    def apply_1q(self, matrix: np.ndarray, site: int) -> None:
+        """Apply a one-qubit gate at ``site`` (canonicity preserved)."""
+        self.tensors[site] = np.einsum(
+            "ab,lbr->lar", matrix, self.tensors[site]
+        )
+
+    def apply_2q_adjacent(self, matrix: np.ndarray, site: int) -> None:
+        """Apply a two-qubit gate on sites ``(site, site + 1)``.
+
+        ``matrix`` is ``4 x 4`` with ``site`` as the most significant
+        sub-index bit.  The orthogonality center moves here first, so
+        the SVD truncation and renormalization are globally optimal.
+        """
+        self._move_center(site)
+        a, b = self.tensors[site], self.tensors[site + 1]
+        dl = a.shape[0]
+        dr = b.shape[2]
+        theta = np.einsum("las,sbr->labr", a, b)
+        u = matrix.reshape(2, 2, 2, 2)
+        theta = np.einsum("cdab,labr->lcdr", u, theta)
+        mat = theta.reshape(dl * 2, 2 * dr)
+        left, sing, right = np.linalg.svd(mat, full_matrices=False)
+        keep = sing > 1e-14
+        if self.chi_max is not None:
+            keep[self.chi_max:] = False
+        if not np.any(keep):
+            keep[0] = True
+        left = left[:, keep]
+        sing = sing[keep]
+        right = right[keep, :]
+        # with the center here, ||sing|| is the global norm: renormalize
+        sing = sing / np.linalg.norm(sing)
+        chi = sing.size
+        self.max_bond_seen = max(self.max_bond_seen, chi)
+        self.tensors[site] = left.reshape(dl, 2, chi)
+        self.tensors[site + 1] = (
+            (sing[:, None] * right).reshape(chi, 2, dr)
+        )
+        self.center = site + 1
+
+    def apply_2q(self, matrix: np.ndarray, site_a: int, site_b: int):
+        """Apply a two-qubit gate on arbitrary sites (``site_a`` is the
+        most significant sub-index bit); non-neighbours are routed with
+        SWAPs."""
+        if site_a == site_b:
+            raise SimulationError("two-qubit gate needs distinct sites")
+        lo, hi = sorted((site_a, site_b))
+        kernel = matrix
+        if site_a > site_b:
+            # re-express with the lower site as the MSB
+            kernel = (
+                matrix.reshape(2, 2, 2, 2)
+                .transpose(1, 0, 3, 2)
+                .reshape(4, 4)
+            )
+        for k in range(hi - 1, lo, -1):
+            self.apply_2q_adjacent(_SWAP_MATRIX, k)
+        self.apply_2q_adjacent(kernel, lo)
+        for k in range(lo + 1, hi):
+            self.apply_2q_adjacent(_SWAP_MATRIX, k)
+
+    # -- read-out -------------------------------------------------------------
+
+    def norm(self) -> float:
+        """The 2-norm of the state (1 up to roundoff, by construction)."""
+        return float(np.linalg.norm(self.tensors[self.center]))
+
+    def probability_one(self, site: int) -> float:
+        """P(measuring 1) on ``site``: local at the center."""
+        self._move_center(site)
+        t = self.tensors[site]
+        total = np.linalg.norm(t) ** 2
+        p1 = np.linalg.norm(t[:, 1, :]) ** 2
+        return float(p1 / total)
+
+    def collapse(self, site: int, outcome: int, prob: float) -> None:
+        """Project ``site`` onto ``outcome`` and renormalize (the center
+        must already be at ``site``, as after :meth:`probability_one`)."""
+        self._move_center(site)
+        t = self.tensors[site].copy()
+        t[:, 1 - outcome, :] = 0.0
+        self.tensors[site] = t / np.sqrt(max(prob, 1e-300))
+
+    def amplitude(self, bits: str) -> complex:
+        """The amplitude ``<bits|psi>`` (O(n chi^2))."""
+        if len(bits) != self.n:
+            raise SimulationError(
+                f"bitstring length {len(bits)} != {self.n} qubits"
+            )
+        env = np.ones(1, dtype=np.complex128)
+        for q, c in enumerate(bits):
+            env = env @ self.tensors[q][:, int(c), :]
+        return complex(env[0])
+
+    def to_statevector(self) -> np.ndarray:
+        """Contract to the dense state vector (small ``n`` only)."""
+        if self.n > 20:
+            raise SimulationError(
+                "refusing to densify an MPS with more than 20 qubits"
+            )
+        psi = self.tensors[0]
+        for q in range(1, self.n):
+            psi = np.einsum("l...s,sbr->l...br", psi, self.tensors[q])
+        return psi.reshape(-1)
+
+
+def simulate_mps(
+    circuit: QCircuit,
+    chi_max: Optional[int] = None,
+    rng=None,
+) -> tuple:
+    """One MPS run of a circuit (measurements sampled trajectory-style).
+
+    Returns ``(result_string, MPSState)``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    state = MPSState(circuit.nbQubits, chi_max=chi_max)
+    outcomes: List[str] = []
+    for op, off in circuit.operations():
+        if isinstance(op, Barrier):
+            continue
+        if isinstance(op, Measurement):
+            site = op.qubit + off
+            if op.basis != "z":
+                state.apply_1q(op.basis_change, site)
+            p1 = state.probability_one(site)
+            outcome = 1 if rng.random() < p1 else 0
+            prob = p1 if outcome else 1.0 - p1
+            state.collapse(site, outcome, prob)
+            if op.basis != "z":
+                state.apply_1q(op.basis_change_dagger, site)
+            outcomes.append(str(outcome))
+            continue
+        if isinstance(op, Reset):
+            site = op.qubit + off
+            p1 = state.probability_one(site)
+            outcome = 1 if rng.random() < p1 else 0
+            prob = p1 if outcome else 1.0 - p1
+            state.collapse(site, outcome, prob)
+            if outcome == 1:
+                x = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+                state.apply_1q(x, site)
+            if op.record:
+                outcomes.append(str(outcome))
+            continue
+        if not isinstance(op, QGate):
+            raise SimulationError(
+                f"cannot simulate circuit element {type(op).__name__}"
+            )
+        sites = [q + off for q in op.qubits]
+        if len(sites) == 1:
+            state.apply_1q(op.matrix, sites[0])
+        elif len(sites) == 2:
+            state.apply_2q(op.matrix, sites[0], sites[1])
+        else:
+            raise SimulationError(
+                f"the MPS backend supports 1- and 2-qubit gates; "
+                f"decompose {type(op).__name__} first"
+            )
+    return "".join(outcomes), state
+
+
+def mps_counts(
+    circuit: QCircuit,
+    shots: int = 1000,
+    chi_max: Optional[int] = None,
+    seed=None,
+) -> Dict[str, int]:
+    """Outcome histogram over ``shots`` independent MPS trajectories."""
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    counts: Dict[str, int] = {}
+    for _ in range(int(shots)):
+        result, _state = simulate_mps(circuit, chi_max=chi_max, rng=rng)
+        counts[result] = counts.get(result, 0) + 1
+    return counts

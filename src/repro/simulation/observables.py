@@ -1,0 +1,123 @@
+"""Pauli-string observables and expectation values.
+
+Expectation values are the bread and butter of variational workflows;
+this module evaluates ``<psi| P |psi>`` for Pauli strings ``P`` without
+ever materializing the ``2^n x 2^n`` operator: each non-identity letter
+is applied through the optimized backend.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.simulation.backends import default_backend
+from repro.utils.bits import bit_length_for
+from repro.utils.linalg import kron_all
+
+__all__ = ["pauli_matrix", "expectation", "variance", "PauliSum"]
+
+_PAULI = {
+    "i": np.eye(2, dtype=np.complex128),
+    "x": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "z": np.diag([1.0, -1.0]).astype(np.complex128),
+}
+
+
+def _check_pauli(pauli: str) -> str:
+    p = pauli.lower()
+    if not p or any(c not in "ixyz" for c in p):
+        raise StateError(
+            f"invalid Pauli string {pauli!r}; expected letters from IXYZ"
+        )
+    return p
+
+
+def pauli_matrix(pauli: str) -> np.ndarray:
+    """The dense matrix of a Pauli string (first letter = ``q0``)."""
+    p = _check_pauli(pauli)
+    return kron_all([_PAULI[c] for c in p])
+
+
+def _apply_pauli(state: np.ndarray, pauli: str) -> np.ndarray:
+    n = bit_length_for(state.size)
+    if len(pauli) != n:
+        raise StateError(
+            f"Pauli string of length {len(pauli)} does not match "
+            f"{n} qubit(s)"
+        )
+    backend = default_backend()
+    out = state.copy()
+    for q, letter in enumerate(pauli):
+        if letter == "i":
+            continue
+        out = backend.apply(
+            out, _PAULI[letter], [q], n, diagonal=(letter == "z")
+        )
+    return out
+
+
+def expectation(state, pauli: str) -> float:
+    """``<psi| P |psi>`` for a Pauli string ``P`` (a real number).
+
+    >>> expectation([1, 0], 'z')
+    1.0
+    """
+    psi = np.asarray(state, dtype=np.complex128).ravel()
+    p = _check_pauli(pauli)
+    transformed = _apply_pauli(psi, p)
+    return float(np.real(np.vdot(psi, transformed)))
+
+
+def variance(state, pauli: str) -> float:
+    """``<P^2> - <P>^2``; since ``P^2 = I`` this is ``1 - <P>^2``."""
+    e = expectation(state, pauli)
+    return max(0.0, 1.0 - e * e)
+
+
+class PauliSum:
+    """A real-weighted sum of Pauli strings (an observable/Hamiltonian).
+
+    >>> h = PauliSum([(0.5, 'zz'), (-1.0, 'xi')])
+    >>> round(h.expectation([1, 0, 0, 0]), 6)
+    0.5
+    """
+
+    def __init__(self, terms: Sequence[Tuple[float, str]]):
+        if not terms:
+            raise StateError("PauliSum requires at least one term")
+        lengths = {len(p) for _c, p in terms}
+        if len(lengths) != 1:
+            raise StateError(
+                f"all Pauli strings must have equal length, got {lengths}"
+            )
+        self._terms = [
+            (float(c), _check_pauli(p)) for c, p in terms
+        ]
+
+    @property
+    def terms(self):
+        """The ``(coefficient, pauli)`` terms."""
+        return list(self._terms)
+
+    @property
+    def nbQubits(self) -> int:
+        """Register width the observable acts on."""
+        return len(self._terms[0][1])
+
+    def matrix(self) -> np.ndarray:
+        """The dense operator (small registers only)."""
+        return sum(c * pauli_matrix(p) for c, p in self._terms)
+
+    def expectation(self, state) -> float:
+        """``sum_k c_k <psi| P_k |psi>``."""
+        return float(
+            sum(c * expectation(state, p) for c, p in self._terms)
+        )
+
+    def __repr__(self) -> str:
+        inner = " + ".join(f"{c}*{p.upper()}" for c, p in self._terms)
+        return f"PauliSum({inner})"

@@ -1,0 +1,124 @@
+"""Reduced state vectors and partial traces.
+
+Implements the paper's ``reducedStatevector`` (used in the teleportation
+example to verify that the state arrived on the receiver's qubit) and a
+general partial trace for density-matrix work (tomography).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.utils.bits import bit_length_for, gather_indices
+
+__all__ = ["reducedStatevector", "partial_trace"]
+
+
+def reducedStatevector(
+    state: np.ndarray,
+    qubits: Sequence[int],
+    values: Union[str, Sequence[int]],
+    atol: float = 1e-8,
+) -> np.ndarray:
+    """Extract the state of the *remaining* qubits given known qubits.
+
+    Mirrors QCLAB's ``reducedStatevector(state, qubits, values)``: the
+    qubits in ``qubits`` are known to be in the computational basis
+    state spelled by ``values`` (a bitstring like ``'00'`` or a 0/1
+    sequence); the function returns the normalized state vector of the
+    other qubits.
+
+    Raises :class:`~repro.exceptions.StateError` if the state has
+    (more than ``atol``) support outside the asserted subspace — i.e.
+    when the known qubits are *not* actually in that basis state — or if
+    all qubits are listed as known.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> psi = np.zeros(8); psi[0b001] = 1.0   # |0 0 1>
+    >>> reducedStatevector(psi, [0, 1], '00')
+    array([0.+0.j, 1.+0.j])
+    """
+    state = np.asarray(state, dtype=np.complex128).ravel()
+    nb_qubits = bit_length_for(state.size)
+    if isinstance(values, str):
+        bits = [int(c) for c in values]
+        if any(b not in (0, 1) for b in bits):
+            raise StateError(f"invalid bitstring {values!r}")
+    else:
+        bits = [int(b) for b in values]
+    if len(bits) != len(qubits):
+        raise StateError(
+            f"{len(qubits)} qubit(s) but {len(bits)} value bit(s)"
+        )
+    if len(qubits) >= nb_qubits:
+        raise StateError("cannot reduce away every qubit")
+
+    idx = gather_indices(nb_qubits, list(qubits), bits)
+    sub = state[idx]
+    norm = np.linalg.norm(sub)
+    total = np.linalg.norm(state)
+    if norm < atol:
+        raise StateError(
+            "state has no support on the asserted subspace "
+            f"(qubits {list(qubits)} = {bits})"
+        )
+    if abs(norm - total) > atol * max(1.0, total):
+        raise StateError(
+            "state has support outside the asserted subspace; the known "
+            "qubits are not in a definite basis state"
+        )
+    return sub / norm
+
+
+def partial_trace(
+    state_or_rho: np.ndarray,
+    keep: Sequence[int],
+    nb_qubits: int | None = None,
+) -> np.ndarray:
+    """Partial trace onto the qubits in ``keep`` (ascending output order).
+
+    Accepts a state vector (length ``2**n``) or a density matrix
+    (``2**n x 2**n``); returns the reduced density matrix over ``keep``.
+    """
+    arr = np.asarray(state_or_rho, dtype=np.complex128)
+    if arr.ndim == 1:
+        n = bit_length_for(arr.size)
+        rho = None
+    elif arr.ndim == 2 and arr.shape[0] == arr.shape[1]:
+        n = bit_length_for(arr.shape[0])
+        rho = arr
+    else:
+        raise StateError(
+            f"expected a state vector or square density matrix, got shape "
+            f"{arr.shape}"
+        )
+    if nb_qubits is not None and nb_qubits != n:
+        raise StateError(
+            f"nb_qubits={nb_qubits} does not match array size for {n} "
+            "qubit(s)"
+        )
+    keep = sorted(set(int(q) for q in keep))
+    if any(q < 0 or q >= n for q in keep):
+        raise StateError(f"keep qubits {keep} out of range for {n} qubit(s)")
+    if not keep:
+        raise StateError("must keep at least one qubit")
+    drop = [q for q in range(n) if q not in keep]
+    k = len(keep)
+
+    if rho is None:
+        # psi as tensor, reshape into (kept, dropped) and contract.
+        psi = arr.reshape((2,) * n)
+        psi = np.transpose(psi, keep + drop).reshape(1 << k, -1)
+        return psi @ psi.conj().T
+
+    t = rho.reshape((2,) * (2 * n))
+    perm = keep + drop + [n + q for q in keep] + [n + q for q in drop]
+    t = np.transpose(t, perm).reshape(
+        1 << k, 1 << (n - k), 1 << k, 1 << (n - k)
+    )
+    return np.einsum("arbr->ab", t)

@@ -1,0 +1,419 @@
+"""The simulation driver and :class:`Simulation` result object.
+
+Implements the measurement model of the paper's Section 3.3:
+
+* measurement probabilities are computed from amplitude magnitudes with
+  bitwise index arithmetic;
+* the state collapses branch-wise — after a mid-circuit measurement the
+  evolution continues *independently for each branch*, each with its own
+  collapsed state vector and probability;
+* non-computational bases apply their basis change before the standard
+  Z measurement and revert it afterwards;
+* ``counts(shots)`` samples repeated experiments, ``reducedStates``
+  exposes the state of unmeasured qubits after end-of-circuit
+  measurements, and zero-probability branches are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import SimulationError
+from repro.gates.base import QGate
+from repro.simulation.backends import Backend, get_backend
+from repro.simulation.reduced import reducedStatevector
+from repro.simulation.state import initial_state
+
+__all__ = ["Branch", "Simulation", "simulate", "apply_operation"]
+
+
+@dataclass
+class Branch:
+    """One measurement branch: a collapsed state with its probability
+    and the concatenated outcomes observed along the way."""
+
+    probability: float
+    state: np.ndarray
+    result: str
+
+
+def apply_operation(
+    backend: Backend,
+    state: np.ndarray,
+    gate: QGate,
+    offset: int,
+    nb_qubits: int,
+) -> np.ndarray:
+    """Apply one gate (shifted by ``offset``) to a state via ``backend``."""
+    targets = [q + offset for q in gate.target_qubits()]
+    controls = [q + offset for q in gate.controls()]
+    return backend.apply(
+        state,
+        gate.target_matrix(),
+        targets,
+        nb_qubits,
+        controls=controls,
+        control_states=list(gate.control_states()),
+        diagonal=gate.is_diagonal,
+    )
+
+
+def _branch_probabilities(state: np.ndarray, qubit: int, nb_qubits: int):
+    """P(0), P(1) of measuring ``qubit`` — Section 3.3's amplitude sums."""
+    left = 1 << qubit
+    right = 1 << (nb_qubits - 1 - qubit)
+    view = state.reshape(left, 2, right)
+    mags = np.abs(view) ** 2
+    p0 = float(np.sum(mags[:, 0, :]))
+    p1 = float(np.sum(mags[:, 1, :]))
+    return p0, p1
+
+
+def _collapse(
+    state: np.ndarray, qubit: int, nb_qubits: int, outcome: int, prob: float
+) -> np.ndarray:
+    """Collapsed, renormalized copy of ``state`` after observing ``outcome``."""
+    left = 1 << qubit
+    collapsed = state.copy()
+    view = collapsed.reshape(left, 2, -1)
+    view[:, 1 - outcome, :] = 0.0
+    collapsed *= 1.0 / np.sqrt(prob)
+    return collapsed
+
+
+class Simulation:
+    """Result of simulating a circuit.
+
+    Mirrors the paper's ``simulate`` output object: ``results`` is the
+    list of distinct measurement-outcome strings (in branch order),
+    ``probabilities`` their probabilities, ``states`` the corresponding
+    final state vectors, ``counts(shots)`` samples repeated experiments,
+    and ``reducedStates`` gives the states of unmeasured qubits when the
+    circuit ends with measurements on a subset of the register.
+    """
+
+    def __init__(
+        self,
+        nb_qubits: int,
+        branches: List[Branch],
+        measurements: list,
+        end_measured: dict,
+        backend_name: str,
+    ):
+        self._nb_qubits = nb_qubits
+        self._branches = branches
+        self._measurements = measurements  # [(qubit, Measurement)] recorded
+        self._end_measured = end_measured  # qubit -> (result index, Measurement)
+        self._backend_name = backend_name
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def nbQubits(self) -> int:
+        """Register width."""
+        return self._nb_qubits
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend that produced this simulation."""
+        return self._backend_name
+
+    @property
+    def branches(self) -> List[Branch]:
+        """All measurement branches (pruned of zero-probability ones)."""
+        return list(self._branches)
+
+    @property
+    def nbBranches(self) -> int:
+        """Number of surviving branches."""
+        return len(self._branches)
+
+    @property
+    def results(self) -> List[str]:
+        """Outcome strings, one per branch, in branch (lexicographic)
+        order — e.g. ``['00', '01', '10', '11']`` for teleportation."""
+        return [b.result for b in self._branches]
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Branch probabilities, aligned with :attr:`results`."""
+        return np.array([b.probability for b in self._branches])
+
+    @property
+    def states(self) -> List[np.ndarray]:
+        """Final full-register state vectors, aligned with :attr:`results`."""
+        return [b.state for b in self._branches]
+
+    @property
+    def nbMeasurements(self) -> int:
+        """Number of recorded measurement outcomes per branch."""
+        return len(self._measurements)
+
+    @property
+    def measuredQubits(self) -> List[int]:
+        """Qubits in recorded-measurement order (repeats possible)."""
+        return [q for q, _m in self._measurements]
+
+    # -- shots --------------------------------------------------------------
+
+    def counts(self, shots: int, seed=None) -> np.ndarray:
+        """Simulated outcome frequencies over ``shots`` repetitions.
+
+        Returns a vector of length ``2**m`` (``m`` = number of recorded
+        measurements) ordered lexicographically by outcome string — for
+        a single measured qubit, ``[count_0, count_1]`` exactly as in
+        the paper's tomography example.
+
+        ``seed`` may be an int or a :class:`numpy.random.Generator`
+        (the MATLAB listing's ``rng(1)`` becomes ``seed=1``).
+        """
+        m = self.nbMeasurements
+        if m == 0:
+            raise SimulationError(
+                "counts requires at least one measurement in the circuit"
+            )
+        if m > 24:
+            raise SimulationError(
+                f"counts vector for {m} measurements would have 2**{m} "
+                "entries; use counts_dict instead"
+            )
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        probs = self.probabilities
+        probs = probs / probs.sum()
+        draws = rng.multinomial(int(shots), probs)
+        out = np.zeros(1 << m, dtype=np.int64)
+        for branch, n in zip(self._branches, draws):
+            out[int(branch.result, 2)] += n
+        return out
+
+    def counts_dict(self, shots: int, seed=None) -> dict:
+        """Like :meth:`counts` but as ``{outcome: count}`` over observed
+        outcomes only (scales to many measured qubits)."""
+        if self.nbMeasurements == 0:
+            raise SimulationError(
+                "counts requires at least one measurement in the circuit"
+            )
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        probs = self.probabilities
+        probs = probs / probs.sum()
+        draws = rng.multinomial(int(shots), probs)
+        return {
+            b.result: int(n)
+            for b, n in zip(self._branches, draws)
+            if n > 0
+        }
+
+    # -- reduced states -------------------------------------------------------
+
+    @property
+    def reducedStates(self) -> Optional[List[np.ndarray]]:
+        """States of the unmeasured qubits after end-circuit measurements.
+
+        ``None`` when not applicable: no qubit's *final* operation is a
+        measurement (mid-circuit only, as in teleportation) or every
+        qubit is measured at the end.
+        """
+        if not self._end_measured:
+            return None
+        if len(self._end_measured) >= self._nb_qubits:
+            return None
+        qubits = sorted(self._end_measured)
+        out = []
+        for branch in self._branches:
+            state = branch.state
+            needs_copy = any(
+                self._end_measured[q][1].basis != "z" for q in qubits
+            )
+            if needs_copy:
+                state = state.copy()
+                from repro.simulation.backends import default_backend
+
+                backend = default_backend()
+                for q in qubits:
+                    meas = self._end_measured[q][1]
+                    if meas.basis != "z":
+                        state = backend.apply(
+                            state, meas.basis_change, [q], self._nb_qubits
+                        )
+            bits = [int(branch.result[self._end_measured[q][0]]) for q in qubits]
+            out.append(reducedStatevector(state, qubits, bits))
+        return out
+
+    def expectation(self, pauli: str) -> float:
+        """Ensemble expectation of a Pauli string over the branches.
+
+        Computes ``sum_b p_b <psi_b| P |psi_b>`` — the expectation in
+        the post-measurement mixed state.
+        """
+        from repro.simulation.observables import expectation as _exp
+
+        return float(
+            sum(
+                b.probability * _exp(b.state, pauli)
+                for b in self._branches
+            )
+        )
+
+    def reduced_density(self, keep) -> np.ndarray:
+        """Ensemble reduced density matrix over the kept qubits:
+        ``sum_b p_b Tr_rest |psi_b><psi_b|``."""
+        from repro.simulation.reduced import partial_trace
+
+        out = None
+        for b in self._branches:
+            rho = b.probability * partial_trace(b.state, keep)
+            out = rho if out is None else out + rho
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulation(nbQubits={self._nb_qubits}, "
+            f"nbBranches={self.nbBranches}, "
+            f"nbMeasurements={self.nbMeasurements}, "
+            f"backend={self._backend_name!r})"
+        )
+
+
+def simulate(
+    circuit,
+    start="0",
+    backend="kernel",
+    atol: float = 1e-12,
+    dtype=np.complex128,
+):
+    """Simulate a :class:`~repro.circuit.QCircuit`.
+
+    See :meth:`repro.circuit.QCircuit.simulate` for the parameters; this
+    is the underlying free function.  ``dtype`` selects the working
+    precision (``complex128`` default, ``complex64`` mirrors QCLAB++'s
+    single-precision template instantiation).
+    """
+    engine = get_backend(backend)
+    nb_qubits = circuit.nbQubits
+    state = initial_state(start, nb_qubits, dtype=dtype)
+    ops = list(circuit.operations())
+
+    # Which qubits end on a measurement (for reducedStates)?
+    last_touch: dict = {}
+    record_counter = 0
+    record_index: dict = {}  # id(op) -> result-string position
+    for op, off in ops:
+        if isinstance(op, Barrier):
+            continue
+        recorded = isinstance(op, Measurement) or (
+            isinstance(op, Reset) and op.record
+        )
+        if recorded:
+            record_index[id(op)] = record_counter
+            record_counter += 1
+        for q in op.qubits:
+            last_touch[q + off] = op
+    end_measured = {}
+    for q, op in last_touch.items():
+        if isinstance(op, Measurement):
+            end_measured[q] = (record_index[id(op)], op)
+
+    branches = [Branch(1.0, state, "")]
+    measurements = []
+
+    for op, off in ops:
+        if isinstance(op, Barrier):
+            continue
+        if isinstance(op, QGate):
+            for branch in branches:
+                branch.state = apply_operation(
+                    engine, branch.state, op, off, nb_qubits
+                )
+            continue
+        if isinstance(op, Measurement):
+            qubit = op.qubit + off
+            measurements.append((qubit, op))
+            branches = _measure(
+                engine, branches, qubit, op, nb_qubits, atol, record=True
+            )
+            continue
+        if isinstance(op, Reset):
+            qubit = op.qubit + off
+            if op.record:
+                measurements.append((qubit, op))
+            branches = _reset(
+                engine, branches, qubit, nb_qubits, atol, record=op.record
+            )
+            continue
+        raise SimulationError(
+            f"cannot simulate circuit element {type(op).__name__}"
+        )
+
+    return Simulation(
+        nb_qubits, branches, measurements, end_measured, engine.name
+    )
+
+
+def _measure(engine, branches, qubit, meas, nb_qubits, atol, record):
+    """Split every branch on a measurement of ``qubit``."""
+    non_z = meas.basis != "z"
+    out = []
+    for branch in branches:
+        state = branch.state
+        if non_z:
+            state = engine.apply(
+                state, meas.basis_change, [qubit], nb_qubits
+            )
+        p0, p1 = _branch_probabilities(state, qubit, nb_qubits)
+        total = p0 + p1
+        children = []
+        for outcome, p in ((0, p0), (1, p1)):
+            if p / total <= atol:
+                continue
+            collapsed = _collapse(state, qubit, nb_qubits, outcome, p / total)
+            if non_z:
+                collapsed = engine.apply(
+                    collapsed,
+                    meas.basis_change_dagger,
+                    [qubit],
+                    nb_qubits,
+                )
+            result = branch.result + (str(outcome) if record else "")
+            children.append(
+                Branch(branch.probability * (p / total), collapsed, result)
+            )
+        out.extend(children)
+    return out
+
+
+def _reset(engine, branches, qubit, nb_qubits, atol, record):
+    """Reset ``qubit`` to |0> in every branch (measure + conditional X)."""
+    out = []
+    left = 1 << qubit
+    for branch in branches:
+        state = branch.state
+        p0, p1 = _branch_probabilities(state, qubit, nb_qubits)
+        total = p0 + p1
+        for outcome, p in ((0, p0), (1, p1)):
+            if p / total <= atol:
+                continue
+            collapsed = state.copy()
+            view = collapsed.reshape(left, 2, -1)
+            if outcome == 1:
+                view[:, 0, :] = view[:, 1, :]
+            view[:, 1, :] = 0.0
+            collapsed *= 1.0 / np.sqrt(p / total)
+            result = branch.result + (str(outcome) if record else "")
+            out.append(
+                Branch(branch.probability * (p / total), collapsed, result)
+            )
+    return out

@@ -1,0 +1,274 @@
+"""Stabilizer (Clifford tableau) simulation (extension).
+
+The paper's QEC footnote notes that corrections "can be implemented
+... entirely in software by tracking the Pauli frame"; the general
+machinery behind that remark is stabilizer simulation.  This module
+implements the Aaronson–Gottesman CHP tableau algorithm: Clifford
+circuits on *hundreds* of qubits simulate in polynomial time, versus
+the state-vector engines' exponential cost — the classic scaling
+crossover reproduced in ``benchmarks/bench_b8_stabilizer.py``.
+
+Supported gates: H, S, S†, X, Y, Z, CNOT/CX, CZ, SWAP (all Clifford);
+measurements are computational-basis.  Non-Clifford gates raise
+:class:`~repro.exceptions.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import SimulationError
+from repro.gates import (
+    CNOT,
+    CZ,
+    Hadamard,
+    Identity,
+    PauliX,
+    PauliY,
+    PauliZ,
+    S,
+    Sdg,
+    SWAP,
+)
+
+__all__ = ["StabilizerState", "simulate_stabilizer", "stabilizer_counts"]
+
+
+class StabilizerState:
+    """A stabilizer state as a CHP tableau.
+
+    Rows ``0..n-1`` are destabilizers, rows ``n..2n-1`` stabilizers;
+    ``x``/``z`` are the binary symplectic parts, ``r`` the sign bits.
+    Starts in ``|0...0>``.
+    """
+
+    def __init__(self, nb_qubits: int):
+        if nb_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        n = int(nb_qubits)
+        self.n = n
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        for i in range(n):
+            self.x[i, i] = 1          # destabilizer X_i
+            self.z[n + i, i] = 1      # stabilizer Z_i
+
+    # -- Clifford generators --------------------------------------------------
+
+    def h(self, q: int) -> None:
+        """Hadamard on qubit ``q``: swaps X and Z columns."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = (
+            self.z[:, q].copy(),
+            self.x[:, q].copy(),
+        )
+
+    def s(self, q: int) -> None:
+        """Phase gate S on qubit ``q``."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        """S† = S Z."""
+        self.s(q)
+        self.z_gate(q)
+
+    def x_gate(self, q: int) -> None:
+        """Pauli X: flips signs of rows with a Z component on ``q``."""
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        """Pauli Z: flips signs of rows with an X component on ``q``."""
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        """Pauli Y = iXZ."""
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def cnot(self, control: int, target: int) -> None:
+        """CNOT with the CHP sign rule."""
+        a, b = control, target
+        self.r ^= (
+            self.x[:, a]
+            & self.z[:, b]
+            & (self.x[:, b] ^ self.z[:, a] ^ 1)
+        )
+        self.x[:, b] ^= self.x[:, a]
+        self.z[:, a] ^= self.z[:, b]
+
+    def cz(self, a: int, b: int) -> None:
+        """CZ = H(b) CNOT(a,b) H(b)."""
+        self.h(b)
+        self.cnot(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        """SWAP via three CNOTs."""
+        self.cnot(a, b)
+        self.cnot(b, a)
+        self.cnot(a, b)
+
+    # -- row algebra ------------------------------------------------------------
+
+    def _g(self, x1, z1, x2, z2) -> int:
+        """Phase exponent of multiplying single-qubit Paulis (CHP g)."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return int(z2) - int(x2)
+        if x1 == 1 and z1 == 0:  # X
+            return int(z2) * (2 * int(x2) - 1)
+        return int(x2) * (1 - 2 * int(z2))  # Z
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h <- row h * row i, tracking the sign."""
+        phase = 2 * int(self.r[h]) + 2 * int(self.r[i])
+        for q in range(self.n):
+            phase += self._g(
+                self.x[i, q], self.z[i, q], self.x[h, q], self.z[h, q]
+            )
+        self.r[h] = (phase % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    # -- measurement --------------------------------------------------------------
+
+    def measure(self, q: int, rng: np.random.Generator) -> int:
+        """Measure qubit ``q`` in Z, collapsing the tableau."""
+        n = self.n
+        p = None
+        for i in range(n, 2 * n):
+            if self.x[i, q]:
+                p = i
+                break
+        if p is not None:
+            # random outcome
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            outcome = int(rng.integers(0, 2))
+            self.r[p] = outcome
+            return outcome
+        # deterministic outcome: scratch row accumulation
+        scratch_x = np.zeros(self.n, dtype=np.uint8)
+        scratch_z = np.zeros(self.n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, q]:
+                phase = 2 * scratch_r + 2 * int(self.r[n + i])
+                for k in range(self.n):
+                    phase += self._g(
+                        self.x[n + i, k],
+                        self.z[n + i, k],
+                        scratch_x[k],
+                        scratch_z[k],
+                    )
+                scratch_r = (phase % 4) // 2
+                scratch_x ^= self.x[n + i]
+                scratch_z ^= self.z[n + i]
+        return int(scratch_r)
+
+    def reset(self, q: int, rng: np.random.Generator) -> int:
+        """Reset qubit ``q`` to |0> (measure, flip on 1)."""
+        outcome = self.measure(q, rng)
+        if outcome == 1:
+            self.x_gate(q)
+        return outcome
+
+
+def _apply_clifford(state: StabilizerState, gate) -> None:
+    if isinstance(gate, Identity):
+        return
+    if isinstance(gate, Hadamard):
+        state.h(gate.qubit)
+        return
+    if type(gate) is S:
+        state.s(gate.qubit)
+        return
+    if type(gate) is Sdg:
+        state.sdg(gate.qubit)
+        return
+    if isinstance(gate, PauliX):
+        state.x_gate(gate.qubit)
+        return
+    if isinstance(gate, PauliY):
+        state.y_gate(gate.qubit)
+        return
+    if isinstance(gate, PauliZ):
+        state.z_gate(gate.qubit)
+        return
+    if isinstance(gate, CNOT) and gate.control_state == 1:
+        state.cnot(gate.control, gate.target)
+        return
+    if isinstance(gate, CZ) and gate.control_state == 1:
+        state.cz(gate.control, gate.target)
+        return
+    if isinstance(gate, SWAP):
+        a, b = gate.qubits
+        state.swap(a, b)
+        return
+    raise SimulationError(
+        f"{type(gate).__name__} is not a supported Clifford gate for "
+        "the stabilizer backend"
+    )
+
+
+def simulate_stabilizer(
+    circuit: QCircuit, rng=None
+) -> tuple:
+    """One stabilizer run of a Clifford circuit.
+
+    Returns ``(result_string, StabilizerState)``; random measurement
+    outcomes are drawn from ``rng``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    state = StabilizerState(circuit.nbQubits)
+    outcomes: List[str] = []
+    for op, off in circuit.operations():
+        if isinstance(op, Barrier):
+            continue
+        if isinstance(op, Measurement):
+            if op.basis != "z":
+                raise SimulationError(
+                    "stabilizer backend supports Z-basis measurements "
+                    "only (conjugate with Cliffords instead)"
+                )
+            outcomes.append(str(state.measure(op.qubit + off, rng)))
+            continue
+        if isinstance(op, Reset):
+            outcome = state.reset(op.qubit + off, rng)
+            if op.record:
+                outcomes.append(str(outcome))
+            continue
+        _apply_clifford(state, op.shifted(off))
+    return "".join(outcomes), state
+
+
+def stabilizer_counts(
+    circuit: QCircuit, shots: int = 1000, seed=None
+) -> Dict[str, int]:
+    """Outcome histogram of a Clifford circuit over ``shots`` runs."""
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    counts: Dict[str, int] = {}
+    for _ in range(int(shots)):
+        result, _state = simulate_stabilizer(circuit, rng=rng)
+        counts[result] = counts.get(result, 0) + 1
+    return counts

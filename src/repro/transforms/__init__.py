@@ -1,0 +1,39 @@
+"""Circuit transformation passes (extension).
+
+QCLAB's numerically stable rotation fusion (and its derived compilers,
+paper refs [5, 6]) exist to *rewrite circuits without losing accuracy*.
+This package packages those rewrites as composable passes:
+
+* :func:`flatten` — expand nested sub-circuits into absolute qubits;
+* :func:`fuse_rotations` — merge adjacent same-axis rotations/phases
+  through the stable :class:`~repro.angle.QRotation` arithmetic;
+* :func:`cancel_inverses` — drop adjacent gate pairs that multiply to
+  the identity (H·H, CNOT·CNOT, S·S†, ...);
+* :func:`merge_single_qubit_runs` — collapse runs of one-qubit gates
+  into a single ``U3``;
+* :func:`optimize` — the fixpoint pipeline;
+* :func:`gate_counts` — per-gate-type statistics.
+
+All passes preserve the circuit unitary exactly (up to global phase for
+:func:`merge_single_qubit_runs`) — property-tested on random circuits.
+"""
+
+from repro.transforms.passes import (
+    cancel_inverses,
+    circuits_equivalent,
+    flatten,
+    fuse_rotations,
+    gate_counts,
+    merge_single_qubit_runs,
+    optimize,
+)
+
+__all__ = [
+    "flatten",
+    "fuse_rotations",
+    "cancel_inverses",
+    "merge_single_qubit_runs",
+    "optimize",
+    "gate_counts",
+    "circuits_equivalent",
+]

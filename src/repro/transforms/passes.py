@@ -1,0 +1,231 @@
+"""Peephole optimization passes over :class:`QCircuit`.
+
+Passes share a simple dataflow view: walking the operation list while
+tracking, per qubit, the index of the last operation touching it.  Two
+operations are *adjacent* when every qubit of the later one last saw
+the earlier one — only then may they be fused or cancelled, which
+guarantees unitary preservation even across measurements (a measurement
+is an opaque "last toucher" that nothing fuses across).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import CircuitError
+from repro.gates import U3, Identity
+from repro.gates.base import QGate
+from repro.gates.parametric import Phase, RotationGate1, RotationGate2
+
+__all__ = [
+    "flatten",
+    "fuse_rotations",
+    "cancel_inverses",
+    "merge_single_qubit_runs",
+    "optimize",
+    "gate_counts",
+    "circuits_equivalent",
+]
+
+
+def flatten(circuit: QCircuit) -> QCircuit:
+    """Expand nested sub-circuits into a flat circuit on absolute qubits.
+
+    Every element is copied via its ``shifted`` protocol, so the result
+    shares no mutable state with the input.
+    """
+    out = QCircuit(circuit.nbQubits)
+    for op, off in circuit.operations():
+        out.push_back(op.shifted(off))
+    return out
+
+
+def gate_counts(circuit: QCircuit) -> Counter:
+    """Count operations by class name (recursing into sub-circuits)."""
+    return Counter(
+        type(op).__name__ for op, _off in circuit.operations()
+    )
+
+
+def _adjacent_pairs_pass(circuit: QCircuit, combine) -> QCircuit:
+    """Shared engine: walk ops; ``combine(prev_op, op)`` may return a
+    replacement list (possibly empty) when the two are adjacent."""
+    ops: List[Optional[object]] = []
+    last_touch: dict = {}  # qubit -> index into ops
+
+    for op, off in circuit.operations():
+        op = op.shifted(off)
+        qubits = op.qubits
+        prev_indices = {last_touch.get(q) for q in qubits}
+        merged = False
+        if len(prev_indices) == 1 and None not in prev_indices:
+            (idx,) = prev_indices
+            prev = ops[idx]
+            if prev is not None and tuple(prev.qubits) == tuple(qubits):
+                replacement = combine(prev, op)
+                if replacement is not None:
+                    ops[idx] = None
+                    for q in qubits:
+                        last_touch.pop(q, None)
+                    for new_op in replacement:
+                        ops.append(new_op)
+                        for q in new_op.qubits:
+                            last_touch[q] = len(ops) - 1
+                    merged = True
+        if not merged:
+            ops.append(op)
+            for q in qubits:
+                last_touch[q] = len(ops) - 1
+
+    out = QCircuit(circuit.nbQubits)
+    for op in ops:
+        if op is not None:
+            out.push_back(op)
+    return out
+
+
+def fuse_rotations(circuit: QCircuit, drop_identity: bool = True) -> QCircuit:
+    """Merge adjacent same-axis rotation/phase gates stably.
+
+    ``RX(a) RX(b) -> RX(a+b)`` (likewise RY/RZ/RXX/RYY/RZZ/Phase), with
+    the sum evaluated on the ``(cos, sin)`` representation.  Fused gates
+    whose angle becomes 0 (mod 4 pi for rotations) are dropped when
+    ``drop_identity`` is set.
+    """
+
+    def combine(prev, op):
+        fusable = (RotationGate1, RotationGate2, Phase)
+        if not isinstance(prev, fusable) or type(prev) is not type(op):
+            return None
+        fused = prev.shifted(0)  # fresh copy; fuse mutates in place
+        fused.fuse(op)
+        if drop_identity and _is_identity_rotation(fused):
+            return []
+        return [fused]
+
+    return _adjacent_pairs_pass(circuit, combine)
+
+
+def _is_identity_rotation(gate) -> bool:
+    if isinstance(gate, Phase):
+        a = gate.angle
+        return abs(a.cos - 1.0) < 1e-14 and abs(a.sin) < 1e-14
+    rot = gate.rotation
+    return abs(rot.cos - 1.0) < 1e-14 and abs(rot.sin) < 1e-14
+
+
+def cancel_inverses(circuit: QCircuit) -> QCircuit:
+    """Remove adjacent gate pairs whose product is the identity.
+
+    Covers self-inverse gates (H, X, CNOT, SWAP, ...) and explicit
+    inverse pairs (S/S†, T/T†, any gates whose matrices multiply to I).
+    Only small gates (up to 3 qubits) are checked, by dense product.
+    """
+
+    def combine(prev, op):
+        if not isinstance(prev, QGate) or not isinstance(op, QGate):
+            return None
+        if prev.nbQubits > 3:
+            return None
+        product = op.matrix @ prev.matrix
+        if np.allclose(product, np.eye(product.shape[0]), atol=1e-12):
+            return []
+        return None
+
+    return _adjacent_pairs_pass(circuit, combine)
+
+
+def merge_single_qubit_runs(circuit: QCircuit) -> QCircuit:
+    """Collapse adjacent one-qubit gates into a single ``U3``.
+
+    The run's product is re-synthesized through the numerically robust
+    ZYZ extraction of :func:`repro.io.qasm_export.u3_params`; the global
+    phase is dropped (it is unobservable for an uncontrolled gate).
+    Runs that multiply to the identity disappear entirely.
+    """
+    from repro.io.qasm_export import u3_params
+
+    def combine(prev, op):
+        if not (
+            isinstance(prev, QGate)
+            and isinstance(op, QGate)
+            and prev.nbQubits == 1
+            and op.nbQubits == 1
+        ):
+            return None
+        product = op.matrix @ prev.matrix
+        theta, phi, lam, _alpha = u3_params(product)
+        wrapped = (phi + lam) % (2 * np.pi)
+        if abs(theta) < 1e-14 and min(wrapped, 2 * np.pi - wrapped) < 1e-12:
+            return []
+        return [U3(op.qubits[0], theta, phi, lam)]
+
+    return _adjacent_pairs_pass(circuit, combine)
+
+
+_DEFAULT_PASSES = ("fuse_rotations", "cancel_inverses")
+
+_PASS_TABLE = {
+    "fuse_rotations": fuse_rotations,
+    "cancel_inverses": cancel_inverses,
+    "merge_single_qubit_runs": merge_single_qubit_runs,
+}
+
+
+def optimize(
+    circuit: QCircuit,
+    passes=_DEFAULT_PASSES,
+    max_iterations: int = 20,
+) -> QCircuit:
+    """Run the given passes to a fixpoint (bounded by ``max_iterations``).
+
+    The default pipeline (stable rotation fusion + inverse
+    cancellation) preserves the circuit unitary *exactly*; add
+    ``'merge_single_qubit_runs'`` for aggressive 1-qubit resynthesis
+    (exact up to global phase).
+    """
+    for name in passes:
+        if name not in _PASS_TABLE:
+            raise CircuitError(
+                f"unknown pass {name!r}; available: {sorted(_PASS_TABLE)}"
+            )
+    current = flatten(circuit)
+    for _ in range(max_iterations):
+        before = len(current)
+        for name in passes:
+            current = _PASS_TABLE[name](current)
+        if len(current) >= before:
+            break
+    return current
+
+
+def circuits_equivalent(
+    a: QCircuit,
+    b: QCircuit,
+    up_to_global_phase: bool = True,
+    atol: float = 1e-10,
+) -> bool:
+    """Whether two measurement-free circuits implement the same unitary.
+
+    Compares the dense matrices (small registers); with
+    ``up_to_global_phase`` the comparison ignores an overall phase.
+    """
+    if a.nbQubits != b.nbQubits:
+        return False
+    ma, mb = a.matrix, b.matrix
+    if not up_to_global_phase:
+        return bool(np.allclose(ma, mb, atol=atol))
+    k = int(np.argmax(np.abs(ma)))
+    pivot = ma.flat[k]
+    if abs(pivot) < atol:
+        return bool(np.allclose(ma, mb, atol=atol))
+    phase = mb.flat[k] / pivot
+    if abs(abs(phase) - 1.0) > atol:
+        return False
+    return bool(np.allclose(ma * phase, mb, atol=atol))

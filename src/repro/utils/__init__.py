@@ -1,0 +1,55 @@
+"""Internal utilities: bit manipulation, linear algebra and validation.
+
+These helpers implement the low-level machinery the paper alludes to in
+Section 3.3 ("bitwise operations are used to efficiently determine the
+indices for constituting the collapsed state") and Section 3.2 (building
+``I_l (x) U (x) I_r`` operators).
+"""
+
+from repro.utils.bits import (
+    bit_length_for,
+    bitstring_to_index,
+    gather_indices,
+    index_to_bitstring,
+    insert_bit,
+    insert_bits,
+    qubit_bit,
+    qubit_mask,
+    subindex_map,
+)
+from repro.utils.linalg import (
+    closeto,
+    dagger,
+    is_hermitian,
+    is_normalized,
+    is_unitary,
+    kron_all,
+)
+from repro.utils.validation import (
+    check_control_states,
+    check_dtype,
+    check_qubit,
+    check_qubits,
+)
+
+__all__ = [
+    "bit_length_for",
+    "bitstring_to_index",
+    "gather_indices",
+    "index_to_bitstring",
+    "insert_bit",
+    "insert_bits",
+    "qubit_bit",
+    "qubit_mask",
+    "subindex_map",
+    "closeto",
+    "dagger",
+    "is_hermitian",
+    "is_normalized",
+    "is_unitary",
+    "kron_all",
+    "check_control_states",
+    "check_dtype",
+    "check_qubit",
+    "check_qubits",
+]

@@ -1,0 +1,171 @@
+"""Bitwise index manipulation for state-vector simulation.
+
+The paper (Section 3.3) notes that *"bitwise operations are used to
+efficiently determine the indices for constituting the collapsed state"*.
+This module provides those operations, vectorized over NumPy integer
+arrays so that the simulation backends never loop over amplitudes in
+Python.
+
+Conventions
+-----------
+Qubit ``q0`` is the **most significant** bit of a basis-state index
+(matching the paper, where ``kron(v, bell)`` places ``v`` on ``q0`` and
+result strings such as ``'00'`` list ``q0`` first).  For an ``n``-qubit
+register, the bit of qubit ``q`` inside index ``i`` therefore lives at
+bit position ``n - 1 - q`` (counted from the least significant bit).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import QubitError
+
+__all__ = [
+    "bit_length_for",
+    "bitstring_to_index",
+    "index_to_bitstring",
+    "qubit_mask",
+    "qubit_bit",
+    "insert_bit",
+    "insert_bits",
+    "gather_indices",
+    "subindex_map",
+]
+
+_INT = np.int64
+
+
+def bit_length_for(dim: int) -> int:
+    """Number of qubits for a state-vector of length ``dim``.
+
+    Raises :class:`QubitError` if ``dim`` is not a positive power of two.
+    """
+    if dim <= 0 or (dim & (dim - 1)) != 0:
+        raise QubitError(f"state dimension {dim} is not a positive power of 2")
+    return int(dim).bit_length() - 1
+
+
+def bitstring_to_index(bits: str) -> int:
+    """Convert a bitstring such as ``'011'`` (q0 first) to a basis index."""
+    if not bits or any(c not in "01" for c in bits):
+        raise QubitError(f"invalid bitstring {bits!r}: expected only '0'/'1'")
+    return int(bits, 2)
+
+
+def index_to_bitstring(index: int, nb_qubits: int) -> str:
+    """Convert a basis index to its ``nb_qubits``-character bitstring."""
+    if index < 0 or index >= (1 << nb_qubits):
+        raise QubitError(
+            f"index {index} out of range for {nb_qubits} qubit(s)"
+        )
+    return format(index, f"0{nb_qubits}b")
+
+
+def qubit_mask(qubit: int, nb_qubits: int) -> int:
+    """Single-bit mask selecting qubit ``qubit`` in an ``nb_qubits`` register."""
+    if not 0 <= qubit < nb_qubits:
+        raise QubitError(f"qubit {qubit} out of range for {nb_qubits} qubit(s)")
+    return 1 << (nb_qubits - 1 - qubit)
+
+
+def qubit_bit(indices, qubit: int, nb_qubits: int):
+    """Extract the bit of ``qubit`` from basis index/indices.
+
+    Works on Python ints and NumPy arrays alike; the return type follows
+    the input type.
+    """
+    shift = nb_qubits - 1 - qubit
+    if shift < 0 or qubit < 0:
+        raise QubitError(f"qubit {qubit} out of range for {nb_qubits} qubit(s)")
+    return (indices >> shift) & 1
+
+
+def insert_bit(indices, position: int, bit: int):
+    """Insert ``bit`` at bit-``position`` (from the LSB), shifting higher bits up.
+
+    Given an index over ``m`` bits, returns the corresponding index over
+    ``m + 1`` bits in which bit-position ``position`` holds ``bit`` and all
+    previously-higher bits moved one position up.  Vectorized over arrays.
+    """
+    low_mask = (1 << position) - 1
+    low = indices & low_mask
+    high = (indices >> position) << (position + 1)
+    return high | (bit << position) | low
+
+
+def insert_bits(
+    indices,
+    positions: Sequence[int],
+    bits: Sequence[int],
+):
+    """Insert several bits at the given (distinct) bit positions.
+
+    ``positions`` are final bit positions (from the LSB) and may be given
+    in any order; ``bits[i]`` is deposited at ``positions[i]``.  The input
+    indices enumerate the remaining (non-inserted) bits packed densely.
+    """
+    if len(positions) != len(bits):
+        raise QubitError("positions and bits must have equal length")
+    if len(set(positions)) != len(positions):
+        raise QubitError(f"duplicate bit positions in {positions!r}")
+    order = np.argsort(np.asarray(positions, dtype=_INT))
+    out = indices
+    for k in order:
+        out = insert_bit(out, int(positions[k]), int(bits[k]))
+    return out
+
+
+def _positions_for(qubits: Sequence[int], nb_qubits: int) -> list[int]:
+    pos = []
+    for q in qubits:
+        if not 0 <= q < nb_qubits:
+            raise QubitError(
+                f"qubit {q} out of range for {nb_qubits} qubit(s)"
+            )
+        pos.append(nb_qubits - 1 - q)
+    if len(set(pos)) != len(pos):
+        raise QubitError(f"duplicate qubits in {list(qubits)!r}")
+    return pos
+
+
+def gather_indices(
+    nb_qubits: int,
+    qubits: Sequence[int],
+    values: Sequence[int],
+) -> np.ndarray:
+    """All basis indices where each ``qubits[i]`` holds bit ``values[i]``.
+
+    Returns a sorted ``int64`` array of length ``2**(nb_qubits - k)``.
+    This is the collapse/gather primitive from Section 3.3 of the paper.
+    """
+    positions = _positions_for(qubits, nb_qubits)
+    if len(values) != len(qubits):
+        raise QubitError("qubits and values must have equal length")
+    for v in values:
+        if v not in (0, 1):
+            raise QubitError(f"bit value {v!r} is not 0 or 1")
+    rest = np.arange(1 << (nb_qubits - len(qubits)), dtype=_INT)
+    return insert_bits(rest, positions, list(values))
+
+
+def subindex_map(nb_qubits: int, qubits: Sequence[int]) -> np.ndarray:
+    """Index map exposing a ``k``-qubit subspace of the register.
+
+    Returns an ``int64`` array ``idx`` of shape ``(2**k, 2**(n-k))`` such
+    that ``idx[a, r]`` is the full-register basis index in which the
+    qubits in ``qubits`` spell the sub-index ``a`` (``qubits[0]`` being
+    the most significant bit of ``a``) and the remaining qubits enumerate
+    ``r``.  ``state[idx]`` is then a matrix on which a ``2**k x 2**k``
+    gate kernel acts by plain matrix multiplication.
+    """
+    positions = _positions_for(qubits, nb_qubits)
+    k = len(qubits)
+    rest = np.arange(1 << (nb_qubits - k), dtype=_INT)
+    rows = np.empty((1 << k, 1 << (nb_qubits - k)), dtype=_INT)
+    for a in range(1 << k):
+        bits = [(a >> (k - 1 - j)) & 1 for j in range(k)]
+        rows[a] = insert_bits(rest, positions, bits)
+    return rows

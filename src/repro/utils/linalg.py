@@ -1,0 +1,75 @@
+"""Small linear-algebra helpers shared across the package.
+
+QCLAB emphasizes numerical stability; the checks here are used both for
+argument validation (e.g. :class:`~repro.gates.matrix_gate.MatrixGate`
+requires a unitary) and in the test suite as invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "closeto",
+    "dagger",
+    "is_unitary",
+    "is_hermitian",
+    "is_normalized",
+    "kron_all",
+]
+
+#: Default absolute tolerance for matrix/vector comparisons. ``1e-10`` is
+#: loose enough for long chains of complex128 arithmetic yet tight enough
+#: to catch genuinely non-unitary inputs.
+ATOL = 1e-10
+
+
+def closeto(a, b, atol: float = ATOL) -> bool:
+    """Elementwise closeness with a package-wide default tolerance."""
+    return bool(np.allclose(np.asarray(a), np.asarray(b), atol=atol, rtol=0.0))
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose of ``matrix``."""
+    return np.conjugate(np.asarray(matrix)).T
+
+
+def is_unitary(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    """``True`` when ``matrix`` is square and satisfies ``U @ U^dagger = I``."""
+    m = np.asarray(matrix)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    eye = np.eye(m.shape[0], dtype=m.dtype)
+    return closeto(m @ dagger(m), eye, atol) and closeto(dagger(m) @ m, eye, atol)
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    """``True`` when ``matrix`` equals its conjugate transpose."""
+    m = np.asarray(matrix)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    return closeto(m, dagger(m), atol)
+
+
+def is_normalized(vector: np.ndarray, atol: float = 1e-8) -> bool:
+    """``True`` when the 2-norm of ``vector`` is 1 within ``atol``."""
+    v = np.asarray(vector).ravel()
+    return abs(np.linalg.norm(v) - 1.0) <= atol
+
+
+def kron_all(factors: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices/vectors, left to right.
+
+    ``kron_all([a, b, c])`` computes ``kron(kron(a, b), c)``; with qubit
+    ``q0`` as the most significant bit this places the first factor on the
+    lowest-numbered qubits.
+    """
+    factors = list(factors)
+    if not factors:
+        raise ValueError("kron_all requires at least one factor")
+    out = np.asarray(factors[0])
+    for f in factors[1:]:
+        out = np.kron(out, np.asarray(f))
+    return out

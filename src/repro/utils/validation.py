@@ -1,0 +1,71 @@
+"""Argument validation helpers.
+
+These are intentionally strict: QCLAB is pitched at prototyping, where a
+clear error at construction time is worth far more than a mysterious
+shape error deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GateError, QubitError
+
+__all__ = ["check_qubit", "check_qubits", "check_dtype"]
+
+#: Supported complex dtypes, mirroring QCLAB++'s template parameter ``T``.
+SUPPORTED_DTYPES = (np.complex64, np.complex128)
+
+
+def check_qubit(qubit: int, nb_qubits: int | None = None) -> int:
+    """Validate a single qubit index; returns it as a plain ``int``.
+
+    When ``nb_qubits`` is given, the index must also fall inside the
+    register.
+    """
+    if isinstance(qubit, bool) or not isinstance(qubit, (int, np.integer)):
+        raise QubitError(f"qubit index must be an integer, got {qubit!r}")
+    q = int(qubit)
+    if q < 0:
+        raise QubitError(f"qubit index must be non-negative, got {q}")
+    if nb_qubits is not None and q >= nb_qubits:
+        raise QubitError(f"qubit {q} out of range for {nb_qubits} qubit(s)")
+    return q
+
+
+def check_qubits(
+    qubits: Iterable[int],
+    nb_qubits: int | None = None,
+    *,
+    distinct: bool = True,
+) -> list[int]:
+    """Validate a sequence of qubit indices; returns them as ``list[int]``."""
+    qs = [check_qubit(q, nb_qubits) for q in qubits]
+    if distinct and len(set(qs)) != len(qs):
+        raise QubitError(f"duplicate qubits in {qs!r}")
+    return qs
+
+
+def check_dtype(dtype) -> np.dtype:
+    """Validate and normalize a complex dtype (complex64 or complex128)."""
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+        raise GateError(
+            f"unsupported dtype {dt}; expected complex64 or complex128"
+        )
+    return dt
+
+
+def check_control_states(states: Sequence[int], nb_controls: int) -> list[int]:
+    """Validate a control-state vector (one 0/1 entry per control qubit)."""
+    sts = list(states)
+    if len(sts) != nb_controls:
+        raise GateError(
+            f"expected {nb_controls} control state(s), got {len(sts)}"
+        )
+    for s in sts:
+        if s not in (0, 1):
+            raise GateError(f"control state {s!r} is not 0 or 1")
+    return [int(s) for s in sts]

@@ -1,0 +1,218 @@
+"""Tests for the QFT / QPE / oracle-algorithm extensions."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani_circuit,
+    bernstein_vazirani_secret,
+    deutsch_jozsa_is_constant,
+    estimate_phase,
+    inverse_qft_circuit,
+    phase_estimation_circuit,
+    phase_oracle,
+    qft_circuit,
+)
+from repro.exceptions import CircuitError
+
+
+def dft_matrix(n):
+    dim = 1 << n
+    w = np.exp(2j * np.pi / dim)
+    return np.array(
+        [[w ** (j * k) for k in range(dim)] for j in range(dim)]
+    ) / np.sqrt(dim)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_matches_dft(self, n):
+        np.testing.assert_allclose(
+            qft_circuit(n).matrix, dft_matrix(n), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_inverse(self, n):
+        f = qft_circuit(n).matrix
+        finv = inverse_qft_circuit(n).matrix
+        np.testing.assert_allclose(
+            finv @ f, np.eye(1 << n), atol=1e-12
+        )
+
+    def test_no_swaps_is_bit_reversed(self):
+        n = 3
+        f = qft_circuit(n, do_swaps=False).matrix
+        full = qft_circuit(n).matrix
+        # applying the swap network afterwards recovers the full QFT
+        from repro.circuit import QCircuit
+        from repro.gates import SWAP
+
+        sw = QCircuit(n)
+        sw.push_back(SWAP(0, 2))
+        np.testing.assert_allclose(sw.matrix @ f, full, atol=1e-12)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+
+    def test_gate_count_quadratic(self):
+        n = 5
+        c = qft_circuit(n, do_swaps=False)
+        assert c.nbGates == n + n * (n - 1) // 2
+
+
+class TestQPE:
+    def test_exact_phase(self):
+        u = np.diag([1.0, np.exp(2j * np.pi * (5 / 32))])
+        est = estimate_phase(u, [0, 1], nb_counting=5)
+        assert est.phase == pytest.approx(5 / 32)
+        assert est.probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_s_gate_quarter(self):
+        est = estimate_phase(np.diag([1.0, 1j]), [0, 1], nb_counting=3)
+        assert est.phase == pytest.approx(0.25)
+
+    def test_eigenvector_zero_gives_zero_phase(self):
+        u = np.diag([1.0, np.exp(0.7j)])
+        est = estimate_phase(u, [1, 0], nb_counting=4)
+        assert est.phase == pytest.approx(0.0)
+
+    def test_inexact_phase_concentrates(self):
+        phi = 1 / 3
+        u = np.diag([1.0, np.exp(2j * np.pi * phi)])
+        est = estimate_phase(u, [0, 1], nb_counting=6)
+        assert abs(est.phase - phi) < 1 / 64
+        assert est.probability > 0.4
+
+    def test_non_diagonal_unitary(self):
+        # X has eigenvector |+> with eigenvalue +1 and |-> with -1
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        minus = np.array([1, -1]) / np.sqrt(2)
+        est = estimate_phase(x, minus, nb_counting=3)
+        assert est.phase == pytest.approx(0.5)  # e^{i pi}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(np.eye(4), 3)
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(np.eye(2), 0)
+        with pytest.raises(CircuitError):
+            estimate_phase(np.eye(2), np.ones(4), 3)
+
+
+class TestOracleAlgorithms:
+    def test_bv_recovers_secrets(self):
+        for secret in ("1", "10", "1101", "010101"):
+            assert bernstein_vazirani_secret(secret) == secret
+
+    def test_bv_single_deterministic_branch(self):
+        sim = bernstein_vazirani_circuit("101").simulate("000")
+        assert sim.results == ["101"]
+        np.testing.assert_allclose(sim.probabilities, [1.0])
+
+    def test_bv_rejects_bad_secret(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit("12")
+
+    def test_dj_constant(self):
+        assert deutsch_jozsa_is_constant(phase_oracle([], 3))
+
+    def test_dj_balanced(self):
+        balanced = phase_oracle(["00", "11"], 2)
+        assert not deutsch_jozsa_is_constant(balanced)
+
+    def test_phase_oracle_matrix(self):
+        m = phase_oracle(["01", "10"], 2).matrix
+        np.testing.assert_allclose(m, np.diag([1, -1, -1, 1]), atol=1e-12)
+
+    def test_phase_oracle_rejects_duplicates(self):
+        with pytest.raises(CircuitError):
+            phase_oracle(["01", "01"], 2)
+
+    def test_phase_oracle_rejects_length_mismatch(self):
+        with pytest.raises(CircuitError):
+            phase_oracle(["011"], 2)
+
+
+class TestAmplitudeEstimation:
+    def test_exact_half(self):
+        from repro.algorithms import estimate_amplitude
+        from repro.circuit import QCircuit
+        from repro.gates import Hadamard
+
+        a = QCircuit(1)
+        a.push_back(Hadamard(0))
+        est = estimate_amplitude(a, ["1"], nb_counting=3)
+        assert est.amplitude == pytest.approx(0.5, abs=1e-9)
+        assert est.exact == pytest.approx(0.5)
+
+    def test_quarter_within_resolution(self):
+        from repro.algorithms import estimate_amplitude
+        from repro.circuit import QCircuit
+        from repro.gates import Hadamard
+
+        a = QCircuit(2)
+        a.push_back(Hadamard(0))
+        a.push_back(Hadamard(1))
+        est = estimate_amplitude(a, ["11"], nb_counting=6)
+        assert abs(est.amplitude - 0.25) < 0.02
+        assert est.exact == pytest.approx(0.25)
+
+    def test_resolution_improves_with_counting_qubits(self):
+        from repro.algorithms import estimate_amplitude
+        from repro.circuit import QCircuit
+        from repro.gates import RotationY
+
+        theta = 0.8
+        a = QCircuit(1)
+        a.push_back(RotationY(0, theta))
+        exact = np.sin(theta / 2) ** 2
+        err_small = abs(
+            estimate_amplitude(a, ["1"], nb_counting=4).amplitude - exact
+        )
+        err_large = abs(
+            estimate_amplitude(a, ["1"], nb_counting=8).amplitude - exact
+        )
+        assert err_large <= err_small + 1e-9
+        assert err_large < 0.01
+
+    def test_zero_and_one_amplitudes(self):
+        from repro.algorithms import estimate_amplitude
+        from repro.circuit import QCircuit
+        from repro.gates import Identity, PauliX
+
+        a0 = QCircuit(1)
+        a0.push_back(Identity(0))
+        est = estimate_amplitude(a0, ["1"], nb_counting=4)
+        assert est.amplitude == pytest.approx(0.0, abs=1e-9)
+
+        a1 = QCircuit(1)
+        a1.push_back(PauliX(0))
+        est = estimate_amplitude(a1, ["1"], nb_counting=4)
+        assert est.amplitude == pytest.approx(1.0, abs=1e-9)
+
+    def test_grover_operator_rotation_angle(self):
+        from repro.algorithms import grover_operator_matrix
+        from repro.circuit import QCircuit
+        from repro.gates import Hadamard
+
+        a = QCircuit(2)
+        a.push_back(Hadamard(0))
+        a.push_back(Hadamard(1))
+        q = grover_operator_matrix(a, ["11"])
+        phases = np.angle(np.linalg.eigvals(q))
+        theta = np.arcsin(np.sqrt(0.25))
+        # the invariant 2D subspace rotates by +-2 theta (the rest of
+        # the spectrum sits at the -1 eigenvalue)
+        assert np.min(np.abs(phases - 2 * theta)) < 1e-9
+        assert np.min(np.abs(phases + 2 * theta)) < 1e-9
+
+    def test_rejects_measured_preparation(self):
+        from repro.algorithms import grover_operator_matrix
+        from repro.circuit import Measurement, QCircuit
+        from repro.exceptions import CircuitError
+
+        a = QCircuit(1)
+        a.push_back(Measurement(0))
+        with pytest.raises(CircuitError):
+            grover_operator_matrix(a, ["1"])

@@ -1,0 +1,129 @@
+"""Tests for the tomography example (paper E3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    measurement_circuit,
+    pauli_tomography,
+    single_qubit_tomography,
+    tomography_coefficients,
+)
+from repro.exceptions import MeasurementError, StateError
+from repro.simulation.density import trace_distance
+
+
+V_PAPER = np.array([1 / np.sqrt(2), 1j / np.sqrt(2)])
+
+
+class TestMeasurementCircuits:
+    def test_single_basis(self):
+        c = measurement_circuit("x")
+        assert c.nbQubits == 1
+        assert c[0].basis == "x"
+
+    def test_letter_broadcast(self):
+        c = measurement_circuit("y", nb_qubits=3)
+        assert all(m.basis == "y" for m in c)
+
+    def test_per_qubit_bases(self):
+        c = measurement_circuit("xyz", nb_qubits=3)
+        assert [m.basis for m in c] == ["x", "y", "z"]
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(MeasurementError):
+            measurement_circuit("xy", nb_qubits=3)
+
+
+class TestCoefficients:
+    def test_perfect_counts(self):
+        """Ideal counts for |+i>: X 50/50, Y 100/0, Z 50/50."""
+        s = tomography_coefficients(
+            np.array([500, 500]),
+            np.array([1000, 0]),
+            np.array([500, 500]),
+        )
+        np.testing.assert_allclose(s, [1.0, 0.0, 1.0, 0.0])
+
+    def test_paper_counts(self):
+        """The paper's measured values: S = [1, -0.058, 1, -0.012]."""
+        s = tomography_coefficients(
+            np.array([471, 529]),
+            np.array([1000, 0]),
+            np.array([494, 506]),
+        )
+        np.testing.assert_allclose(
+            s, [1.0, -0.058, 1.0, -0.012], atol=1e-12
+        )
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(MeasurementError):
+            tomography_coefficients(
+                np.zeros(2), np.ones(2), np.ones(2)
+            )
+
+
+class TestSingleQubitTomography:
+    def test_paper_state_structure(self):
+        r = single_qubit_tomography(V_PAPER, shots=1000, seed=1)
+        assert r.s[0] == pytest.approx(1.0)
+        assert r.s[2] == pytest.approx(1.0)  # Y is deterministic for |+i>
+        assert abs(r.s[1]) < 0.15  # shot noise around 0
+        assert abs(r.s[3]) < 0.15
+        assert r.distance < 0.1
+
+    def test_reproducible_with_seed(self):
+        a = single_qubit_tomography(V_PAPER, shots=500, seed=7)
+        b = single_qubit_tomography(V_PAPER, shots=500, seed=7)
+        np.testing.assert_array_equal(a.s, b.s)
+        for basis in "xyz":
+            np.testing.assert_array_equal(a.counts[basis], b.counts[basis])
+
+    def test_rho_est_hermitian_unit_trace(self):
+        r = single_qubit_tomography(V_PAPER, shots=1000, seed=3)
+        np.testing.assert_allclose(r.rho_est, r.rho_est.conj().T)
+        assert np.trace(r.rho_est).real == pytest.approx(1.0)
+
+    def test_converges_with_shots(self):
+        small = single_qubit_tomography(V_PAPER, shots=100, seed=11)
+        large = single_qubit_tomography(V_PAPER, shots=100_000, seed=11)
+        assert large.distance < max(small.distance, 0.02)
+        assert large.distance < 0.01
+
+    def test_basis_states(self):
+        r0 = single_qubit_tomography(
+            np.array([1.0, 0.0]), shots=20_000, seed=2
+        )
+        # |0><0| has S3 = +1
+        assert r0.s[3] == pytest.approx(1.0, abs=0.05)
+        assert r0.distance < 0.02
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(StateError):
+            single_qubit_tomography(np.ones(4))
+
+
+class TestPauliTomography:
+    def test_one_qubit_matches_specialized(self):
+        r = pauli_tomography(V_PAPER, shots=50_000, seed=5)
+        assert r.distance < 0.02
+
+    def test_bell_state(self):
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        r = pauli_tomography(bell, shots=20_000, seed=9)
+        assert r.distance < 0.05
+        # the reconstruction must see the off-diagonal coherence
+        assert abs(r.rho_est[0, 3]) > 0.4
+
+    def test_product_state(self):
+        state = np.kron([1, 0], [1, 1] / np.sqrt(2)).astype(complex)
+        r = pauli_tomography(state, shots=20_000, seed=13)
+        assert r.distance < 0.05
+
+    def test_rejects_large_register(self):
+        with pytest.raises(StateError):
+            pauli_tomography(np.zeros(1 << 7))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(StateError):
+            pauli_tomography(np.ones(3))

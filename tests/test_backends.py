@@ -1,0 +1,309 @@
+"""Cross-validation of the three simulation backends.
+
+The kernel backend (QCLAB++-style), the sparse-Kronecker backend (the
+paper's reference algorithm) and the einsum backend must agree with
+each other — and with a dense brute-force operator embedding — on every
+gate class, qubit placement and control configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCX,
+    MCZ,
+    MatrixGate,
+    PauliX,
+    PauliZ,
+    RotationX,
+    RotationZ,
+    RotationZZ,
+    SWAP,
+    T,
+    iSWAP,
+)
+from repro.gates.base import controlled_matrix
+from repro.simulation.backends import (
+    EinsumBackend,
+    KernelBackend,
+    SparseKronBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+)
+from repro.simulation.simulate import apply_operation
+from repro.simulation.state import random_state
+
+BACKENDS = [KernelBackend(), SparseKronBackend(), EinsumBackend()]
+
+
+def dense_reference(state, gate, nb_qubits):
+    """Brute-force: embed the gate's full matrix with explicit kron."""
+    full = np.eye(1, dtype=complex)
+    qubits = list(gate.qubits)
+    k = len(qubits)
+    # build the operator on (sorted qubits) then permute axes into place
+    op = gate.matrix
+    # operator on the full register via tensor embedding
+    big = np.eye(1 << nb_qubits, dtype=complex).reshape(
+        (2,) * (2 * nb_qubits)
+    )
+    t = op.reshape((2,) * (2 * k))
+    psi = state.reshape((2,) * nb_qubits)
+    out = np.tensordot(t, psi, axes=(list(range(k, 2 * k)), qubits))
+    out = np.moveaxis(out, list(range(k)), qubits)
+    del big, full
+    return out.reshape(-1)
+
+
+GATES_3Q = [
+    Hadamard(0),
+    Hadamard(2),
+    PauliX(1),
+    PauliZ(2),
+    T(0),
+    RotationX(1, 0.7),
+    RotationZ(2, -1.2),
+    CNOT(0, 1),
+    CNOT(2, 0),
+    CNOT(0, 2, control_state=0),
+    CZ(0, 2),
+    CPhase(1, 2, 0.9),
+    SWAP(0, 2),
+    iSWAP(1, 2),
+    RotationZZ(0, 2, 0.8),
+    MCX([0, 1], 2),
+    MCX([0, 2], 1, [1, 0]),
+    MCZ([1, 2], 0, [0, 0]),
+]
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("gate", GATES_3Q, ids=repr)
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_gate_vs_dense_reference(self, gate, backend):
+        n = 3
+        state = random_state(n, rng=42)
+        want = dense_reference(state.copy(), gate, n)
+        got = apply_operation(backend, state.copy(), gate, 0, n)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_offset_shifts_qubits(self, backend):
+        n = 4
+        state = random_state(n, rng=1)
+        shifted = apply_operation(
+            backend, state.copy(), Hadamard(0), 2, n
+        )
+        direct = apply_operation(
+            backend, state.copy(), Hadamard(2), 0, n
+        )
+        np.testing.assert_allclose(shifted, direct, atol=1e-14)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuits_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        state0 = random_state(n, rng=rng)
+        gates = []
+        for _ in range(8):
+            kind = rng.integers(0, 5)
+            qs = rng.permutation(n)
+            if kind == 0:
+                gates.append(Hadamard(int(qs[0])))
+            elif kind == 1:
+                gates.append(RotationX(int(qs[0]), float(rng.normal())))
+            elif kind == 2:
+                gates.append(CNOT(int(qs[0]), int(qs[1])))
+            elif kind == 3:
+                gates.append(CPhase(int(qs[0]), int(qs[1]),
+                                    float(rng.normal())))
+            else:
+                gates.append(SWAP(int(qs[0]), int(qs[1])))
+        results = []
+        for backend in BACKENDS:
+            state = state0.copy()
+            for g in gates:
+                state = apply_operation(backend, state, g, 0, n)
+            results.append(state)
+        np.testing.assert_allclose(results[0], results[1], atol=1e-11)
+        np.testing.assert_allclose(results[0], results[2], atol=1e-11)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_norm_preserved(self, backend):
+        n = 5
+        state = random_state(n, rng=3)
+        for g in (Hadamard(2), CNOT(1, 4), MCX([0, 2], 3), SWAP(0, 4)):
+            state = apply_operation(backend, state, g, 0, n)
+        assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestBatchStates:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_batch_matches_column_by_column(self, backend):
+        n = 3
+        rng = np.random.default_rng(9)
+        batch = rng.normal(size=(8, 4)) + 1j * rng.normal(size=(8, 4))
+        gate = CNOT(0, 2)
+        got = apply_operation(backend, batch.copy(), gate, 0, n)
+        for j in range(4):
+            col = apply_operation(
+                backend, batch[:, j].copy(), gate, 0, n
+            )
+            np.testing.assert_allclose(got[:, j], col, atol=1e-12)
+
+
+class TestDiagonalFastPath:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    @pytest.mark.parametrize(
+        "gate",
+        [PauliZ(1), T(2), RotationZ(0, 0.4), CZ(0, 2),
+         CPhase(2, 0, 1.1), MCZ([0, 1], 2), RotationZZ(1, 2, 0.6)],
+        ids=repr,
+    )
+    def test_diagonal_gates(self, backend, gate):
+        n = 3
+        state = random_state(n, rng=11)
+        want = dense_reference(state.copy(), gate, n)
+        got = apply_operation(backend, state.copy(), gate, 0, n)
+        np.testing.assert_allclose(got, want, atol=1e-13)
+
+
+class TestSparseOperator:
+    def test_extended_operator_equals_dense(self):
+        n = 4
+        gate = MCX([0, 3], 2, [1, 0])
+        op = SparseKronBackend.extended_operator(
+            gate.target_matrix(),
+            list(gate.target_qubits()),
+            n,
+            controls=list(gate.controls()),
+            control_states=list(gate.control_states()),
+        )
+        dense = np.zeros((16, 16), dtype=complex)
+        eye = np.eye(16, dtype=complex)
+        for j in range(16):
+            dense[:, j] = dense_reference(eye[:, j].copy(), gate, n)
+        np.testing.assert_allclose(op.toarray(), dense, atol=1e-14)
+
+    def test_adjacent_gate_is_literal_kron(self):
+        """For adjacent target qubits the operator is I (x) U (x) I —
+        exactly the paper's Section 3.2 formula."""
+        n = 4
+        gate = SWAP(1, 2)
+        op = SparseKronBackend.extended_operator(
+            gate.matrix, [1, 2], n
+        ).toarray()
+        want = np.kron(np.kron(np.eye(2), gate.matrix), np.eye(2))
+        np.testing.assert_allclose(op, want)
+
+    def test_sparsity(self):
+        op = SparseKronBackend.extended_operator(
+            Hadamard(0).matrix, [5], 10
+        )
+        assert op.nnz == 2 * (1 << 10)  # 2 nonzeros per column
+
+
+class TestControlledKernelHelper:
+    def test_cz_from_parts(self):
+        got = controlled_matrix(
+            PauliZ(1).matrix, [0, 1], [0], [1], [1]
+        )
+        np.testing.assert_allclose(got, CZ(0, 1).matrix)
+
+    def test_requires_sorted(self):
+        from repro.exceptions import GateError
+
+        with pytest.raises(GateError):
+            controlled_matrix(np.eye(2), [1, 0], [1], [1], [0])
+
+
+class TestValidationAndRegistry:
+    def test_get_backend_by_name(self):
+        assert get_backend("kernel").name == "kernel"
+        assert get_backend("SPARSE").name == "sparse"
+        assert get_backend("einsum").name == "einsum"
+
+    def test_get_backend_passthrough(self):
+        b = KernelBackend()
+        assert get_backend(b) is b
+
+    def test_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            get_backend("gpu")
+
+    def test_registry_contents(self):
+        assert set(available_backends()) == {"kernel", "sparse", "einsum"}
+
+    def test_default_backend(self):
+        assert default_backend().name == "kernel"
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_rejects_bad_kernel_shape(self, backend):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        with pytest.raises(SimulationError):
+            backend.apply(state, np.eye(4), [0], 2)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_rejects_duplicate_qubits(self, backend):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        with pytest.raises(SimulationError):
+            backend.apply(state, np.eye(2), [0], 2, controls=[0],
+                          control_states=[1])
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_rejects_unsorted_targets(self, backend):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        with pytest.raises(SimulationError):
+            backend.apply(state, np.eye(4), [1, 0], 2)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_rejects_out_of_range(self, backend):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        with pytest.raises(SimulationError):
+            backend.apply(state, np.eye(2), [2], 2)
+
+
+class TestNonContiguousInputs:
+    """Regression: the 1q diagonal fast path must not silently no-op on
+    non-contiguous arrays (e.g. transposed density matrices)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_diagonal_gate_on_transposed_batch(self, backend):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        noncontig = batch.conj().T  # a view, not C-contiguous
+        assert not noncontig.flags["C_CONTIGUOUS"]
+        gate = T(1)
+        got = apply_operation(backend, noncontig, gate, 0, 3)
+        want = apply_operation(
+            backend, np.ascontiguousarray(batch.conj().T), gate, 0, 3
+        )
+        np.testing.assert_allclose(got, want, atol=1e-14)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    @pytest.mark.parametrize(
+        "gate", [PauliZ(0), CZ(0, 2), MCZ([0, 1], 2), Hadamard(1)],
+        ids=repr,
+    )
+    def test_various_gates_on_views(self, backend, gate):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        view = base.conj().T
+        got = apply_operation(backend, view.copy(order="K"), gate, 0, 3)
+        want = apply_operation(
+            backend, np.ascontiguousarray(view), gate, 0, 3
+        )
+        np.testing.assert_allclose(got, want, atol=1e-13)

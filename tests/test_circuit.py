@@ -1,0 +1,314 @@
+"""Unit tests for the QCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Barrier, Measurement, QCircuit, Reset
+from repro.exceptions import CircuitError
+from repro.gates import CNOT, CZ, Hadamard, PauliX, RotationZ
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = QCircuit(3)
+        assert c.nbQubits == 3
+        assert c.offset == 0
+        assert c.qubits == (0, 1, 2)
+        assert len(c) == 0
+
+    def test_offset(self):
+        c = QCircuit(2, offset=3)
+        assert c.qubits == (3, 4)
+        c.offset = 1
+        assert c.qubits == (1, 2)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+    def test_rejects_bad_width(self, bad):
+        with pytest.raises(CircuitError):
+            QCircuit(bad)
+
+
+class TestContainer:
+    def test_push_iter_index(self):
+        c = QCircuit(2)
+        h, cx = Hadamard(0), CNOT(0, 1)
+        c.push_back(h)
+        c.push_back(cx)
+        assert len(c) == 2
+        assert list(c) == [h, cx]
+        assert c[0] is h
+        assert c[-1] is cx
+
+    def test_push_back_chains(self):
+        c = QCircuit(1)
+        assert c.push_back(Hadamard(0)) is c
+
+    def test_pop_back(self):
+        c = QCircuit(1)
+        h = Hadamard(0)
+        c.push_back(h)
+        assert c.pop_back() is h
+        with pytest.raises(CircuitError):
+            c.pop_back()
+
+    def test_insert_erase(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(PauliX(0))
+        z = RotationZ(0, 0.5)
+        c.insert(1, z)
+        assert c[1] is z
+        assert c.erase(1) is z
+        assert len(c) == 2
+        with pytest.raises(CircuitError):
+            c.insert(5, Hadamard(0))
+        with pytest.raises(CircuitError):
+            c.erase(2)
+
+    def test_clear(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.clear()
+        assert len(c) == 0
+
+    def test_rejects_out_of_range_gate(self):
+        c = QCircuit(2)
+        with pytest.raises(CircuitError):
+            c.push_back(Hadamard(2))
+        with pytest.raises(CircuitError):
+            c.push_back(CNOT(0, 3))
+
+    def test_rejects_non_qobject(self):
+        with pytest.raises(CircuitError):
+            QCircuit(1).push_back("h")
+
+    def test_rejects_self_insertion(self):
+        c = QCircuit(2)
+        with pytest.raises(CircuitError):
+            c.push_back(c)
+
+    def test_nb_gates_counts_recursively(self):
+        inner = QCircuit(2)
+        inner.push_back(Hadamard(0))
+        inner.push_back(CNOT(0, 1))
+        outer = QCircuit(2)
+        outer.push_back(inner)
+        outer.push_back(PauliX(1))
+        outer.push_back(Measurement(0))
+        assert outer.nbGates == 3  # measurement not a gate
+
+
+class TestNesting:
+    def test_operations_flattens_with_offsets(self):
+        sub = QCircuit(2, offset=1)
+        sub.push_back(Hadamard(0))
+        sub.push_back(CNOT(0, 1))
+        outer = QCircuit(3)
+        outer.push_back(PauliX(0))
+        outer.push_back(sub)
+        flat = list(outer.operations())
+        assert [(type(op).__name__, off) for op, off in flat] == [
+            ("PauliX", 0),
+            ("Hadamard", 1),
+            ("CNOT", 1),
+        ]
+
+    def test_nested_offset_accumulates(self):
+        inner = QCircuit(1, offset=1)
+        inner.push_back(Hadamard(0))
+        mid = QCircuit(2, offset=1)
+        mid.push_back(inner)
+        outer = QCircuit(3)
+        outer.push_back(mid)
+        [(op, off)] = list(outer.operations())
+        assert off == 2  # 1 (mid) + 1 (inner)
+
+    def test_subcircuit_must_fit(self):
+        sub = QCircuit(2, offset=2)
+        outer = QCircuit(3)
+        with pytest.raises(CircuitError):
+            outer.push_back(sub)  # occupies qubits 2,3
+
+    def test_nested_simulation_matches_inline(self):
+        sub = QCircuit(2, offset=1)
+        sub.push_back(Hadamard(0))
+        sub.push_back(CNOT(0, 1))
+        outer = QCircuit(3)
+        outer.push_back(sub)
+
+        inline = QCircuit(3)
+        inline.push_back(Hadamard(1))
+        inline.push_back(CNOT(1, 2))
+        np.testing.assert_allclose(outer.matrix, inline.matrix)
+
+
+class TestMatrix:
+    def test_identity_for_empty(self):
+        np.testing.assert_allclose(QCircuit(2).matrix, np.eye(4))
+
+    def test_order_is_circuit_order(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(PauliX(0))
+        want = PauliX(0).matrix @ Hadamard(0).matrix
+        np.testing.assert_allclose(c.matrix, want)
+
+    def test_bell_circuit_matrix(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        state = c.matrix @ np.array([1, 0, 0, 0])
+        want = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        np.testing.assert_allclose(state, want)
+
+    def test_barrier_is_identity(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Barrier([0, 1]))
+        d = QCircuit(2)
+        d.push_back(Hadamard(0))
+        np.testing.assert_allclose(c.matrix, d.matrix)
+
+    def test_rejects_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0))
+        with pytest.raises(CircuitError):
+            c.matrix
+
+    def test_rejects_reset(self):
+        c = QCircuit(1)
+        c.push_back(Reset(0))
+        with pytest.raises(CircuitError):
+            c.matrix
+
+
+class TestCtranspose:
+    def test_inverts(self):
+        c = QCircuit(3)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(RotationZ(2, 0.3))
+        c.push_back(CZ(1, 2))
+        inv = c.ctranspose()
+        np.testing.assert_allclose(
+            inv.matrix @ c.matrix, np.eye(8), atol=1e-12
+        )
+
+    def test_keeps_barriers(self):
+        c = QCircuit(2)
+        c.push_back(Barrier([0, 1]))
+        inv = c.ctranspose()
+        assert isinstance(inv[0], Barrier)
+
+    def test_nested(self):
+        sub = QCircuit(2)
+        sub.push_back(Hadamard(0))
+        sub.push_back(CNOT(0, 1))
+        c = QCircuit(2)
+        c.push_back(sub)
+        c.push_back(RotationZ(0, 1.0))
+        inv = c.ctranspose()
+        np.testing.assert_allclose(
+            inv.matrix @ c.matrix, np.eye(4), atol=1e-12
+        )
+
+    def test_rejects_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0))
+        with pytest.raises(CircuitError):
+            c.ctranspose()
+
+
+class TestBlocks:
+    def test_as_block_round_trip(self):
+        c = QCircuit(2)
+        assert not c.is_block
+        c.asBlock("oracle")
+        assert c.is_block
+        assert c.block_label == "oracle"
+        c.unBlock()
+        assert not c.is_block
+
+    def test_as_block_chains(self):
+        c = QCircuit(2)
+        assert c.asBlock("x") is c
+
+    def test_block_does_not_change_simulation(self):
+        sub = QCircuit(2)
+        sub.push_back(CNOT(0, 1))
+        outer_plain = QCircuit(2)
+        outer_plain.push_back(sub)
+        m_plain = outer_plain.matrix
+        sub.asBlock("b")
+        outer_block = QCircuit(2)
+        outer_block.push_back(sub)
+        np.testing.assert_allclose(outer_block.matrix, m_plain)
+
+
+class TestMisc:
+    def test_has_measurement(self):
+        c = QCircuit(1)
+        assert not c.has_measurement
+        c.push_back(Measurement(0))
+        assert c.has_measurement
+
+    def test_has_measurement_nested(self):
+        sub = QCircuit(1)
+        sub.push_back(Reset(0))
+        c = QCircuit(1)
+        c.push_back(sub)
+        assert c.has_measurement
+
+    def test_counts_shortcut(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(Measurement(0))
+        counts = c.counts(100, start="0", seed=0)
+        assert counts.sum() == 100
+
+    def test_repr(self):
+        assert "QCircuit" in repr(QCircuit(2))
+
+
+class TestDepth:
+    def test_empty(self):
+        assert QCircuit(3).depth == 0
+
+    def test_parallel_gates_share_layer(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Hadamard(1))
+        assert c.depth == 1
+
+    def test_sequential_gates_stack(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(PauliX(0))
+        assert c.depth == 2
+
+    def test_spanning_gate_blocks_layers(self):
+        c = QCircuit(3)
+        c.push_back(CNOT(0, 2))
+        c.push_back(Hadamard(1))  # blocked by the control span
+        assert c.depth == 2
+
+    def test_barriers_do_not_count(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Barrier([0, 1]))
+        assert c.depth == 1
+
+    def test_nested_circuits_counted(self):
+        sub = QCircuit(1, offset=1)
+        sub.push_back(Hadamard(0))
+        sub.push_back(Hadamard(0))
+        c = QCircuit(2)
+        c.push_back(sub)
+        c.push_back(Hadamard(0))
+        assert c.depth == 2
+
+    def test_measurement_counts(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(Measurement(0))
+        assert c.depth == 2

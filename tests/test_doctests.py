@@ -1,0 +1,25 @@
+"""Run the package's docstring examples as tests."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _finder, name, _is_pkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _tests = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, None
+    assert failures == 0, f"doctest failures in {module_name}"

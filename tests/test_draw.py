@@ -1,0 +1,255 @@
+"""Tests for the command-window circuit drawer."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Barrier, Measurement, QCircuit, Reset
+from repro.gates import (
+    CNOT,
+    CZ,
+    Hadamard,
+    MCX,
+    PauliX,
+    RotationX,
+    RotationXX,
+    SWAP,
+)
+
+
+def draw(circuit):
+    return circuit.draw()
+
+
+class TestBasicDrawing:
+    def test_three_lines_per_qubit(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        text = draw(c)
+        assert len(text.split("\n")) == 6
+
+    def test_qubit_labels(self):
+        c = QCircuit(3)
+        c.push_back(Hadamard(0))
+        text = draw(c)
+        assert "q0:" in text
+        assert "q1:" in text
+        assert "q2:" in text
+
+    def test_box_with_label(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        text = draw(c)
+        assert "┤ H ├" in text
+        assert "┌───┐" in text
+        assert "└───┘" in text
+
+    def test_parametric_label(self):
+        c = QCircuit(1)
+        c.push_back(RotationX(0, 0.5))
+        assert "RX(0.5)" in draw(c)
+
+    def test_empty_circuit(self):
+        text = draw(QCircuit(2))
+        assert "q0:" in text
+
+
+class TestControlledDrawing:
+    def test_cnot_symbols(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(0, 1))
+        text = draw(c)
+        assert "●" in text
+        assert "⊕" in text
+        assert "│" in text  # vertical connector
+
+    def test_cz_draws_z_box(self):
+        c = QCircuit(2)
+        c.push_back(CZ(0, 1))
+        text = draw(c)
+        assert "●" in text
+        assert "┤ Z ├" in text
+
+    def test_open_control(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(0, 1, control_state=0))
+        assert "○" in draw(c)
+
+    def test_control_span_passthrough(self):
+        """A CNOT(0, 2) must thread a ┼ through q1's wire."""
+        c = QCircuit(3)
+        c.push_back(CNOT(0, 2))
+        text = draw(c)
+        assert "┼" in text
+
+    def test_mcx_with_states(self):
+        c = QCircuit(5)
+        c.push_back(MCX([3, 4], 2, [0, 1]))
+        text = draw(c)
+        assert "○" in text and "●" in text and "⊕" in text
+
+    def test_swap(self):
+        c = QCircuit(2)
+        c.push_back(SWAP(0, 1))
+        assert draw(c).count("×") == 2
+
+
+class TestMeasurementDrawing:
+    def test_z_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0))
+        assert "┤ M ├" in draw(c)
+
+    def test_x_measurement_label(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0, "x"))
+        assert "Mx" in draw(c)
+
+    def test_reset(self):
+        c = QCircuit(1)
+        c.push_back(Reset(0))
+        assert "|0⟩" in draw(c)
+
+    def test_barrier(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Barrier([0, 1]))
+        c.push_back(Hadamard(0))
+        assert "║" in draw(c)
+
+
+class TestColumnPacking:
+    def test_disjoint_gates_share_column(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Hadamard(1))
+        lines = draw(c).splitlines()
+        # both H boxes appear at the same horizontal position
+        pos0 = lines[1].index("H")
+        pos1 = lines[4].index("H")
+        assert pos0 == pos1
+
+    def test_overlapping_gates_stack(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(PauliX(0))
+        lines = draw(c).splitlines()
+        assert lines[1].index("H") < lines[1].index("X")
+
+    def test_span_blocks_column_sharing(self):
+        """A gate on q1 after CNOT(0, 2) cannot slide under its wire."""
+        c = QCircuit(3)
+        c.push_back(CNOT(0, 2))
+        c.push_back(Hadamard(1))
+        lines = draw(c).splitlines()
+        h_pos = lines[4].index("H")
+        dot_pos = lines[1].index("●")
+        assert h_pos > dot_pos
+
+    def test_barrier_separates_columns(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(Barrier([0]))
+        c.push_back(Hadamard(0))
+        mid = draw(c).splitlines()[1]
+        first = mid.index("H")
+        bar = mid.index("║")
+        second = mid.rindex("H")
+        assert first < bar < second
+
+
+class TestBlockDrawing:
+    def test_block_label_and_span(self):
+        sub = QCircuit(2)
+        sub.push_back(CZ(0, 1))
+        sub.asBlock("oracle")
+        c = QCircuit(2)
+        c.push_back(sub)
+        text = draw(c)
+        assert "oracle" in text
+        assert "Z" not in text  # contents hidden
+
+    def test_unblocked_draws_inline(self):
+        sub = QCircuit(2)
+        sub.push_back(CZ(0, 1))
+        c = QCircuit(2)
+        c.push_back(sub)
+        text = draw(c)
+        assert "┤ Z ├" in text
+
+    def test_offset_subcircuit_draws_shifted(self):
+        sub = QCircuit(1, offset=2)
+        sub.push_back(Hadamard(0))
+        c = QCircuit(3)
+        c.push_back(sub)
+        lines = draw(c).splitlines()
+        assert "H" in lines[7]  # q2's middle line
+
+    def test_paper_grover_figure(self):
+        """Circuit (3): H's then oracle and diffuser blocks."""
+        from repro.algorithms import paper_grover_circuit
+
+        text = draw(paper_grover_circuit())
+        assert "oracle" in text
+        assert "diffuser" in text
+        assert "┤ H ├" in text
+        assert "┤ M ├" in text
+
+
+class TestDiagramIsRectangular:
+    @pytest.mark.parametrize("builder", [
+        lambda: _bell(), lambda: _teleport(), lambda: _qec(),
+    ])
+    def test_consistent_row_count(self, builder):
+        c = builder()
+        lines = draw(c).split("\n")
+        assert len(lines) == 3 * c.nbQubits
+
+
+def _bell():
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    c.push_back(Measurement(0))
+    c.push_back(Measurement(1))
+    return c
+
+
+def _teleport():
+    from repro.algorithms import teleportation_circuit
+
+    return teleportation_circuit()
+
+
+def _qec():
+    from repro.algorithms import bit_flip_code_circuit
+
+    return bit_flip_code_circuit()
+
+
+class TestGoldenDiagrams:
+    """Exact renderings of the paper's circuit (1) — locks the layout."""
+
+    def test_bell_circuit_golden(self):
+        c = _bell()
+        expected = "\n".join([
+            "    ┌───┐   ┌───┐",
+            "q0: ┤ H ├─●─┤ M ├─",
+            "    └───┘ │ └───┘",
+            "          │ ┌───┐",
+            "q1: ──────⊕─┤ M ├─",
+            "            └───┘",
+        ])
+        assert c.draw() == expected
+
+    def test_oracle_golden(self):
+        from repro.algorithms import paper_oracle
+
+        expected = "\n".join([
+            "",
+            "q0: ──●───",
+            "      │",
+            "    ┌─┴─┐",
+            "q1: ┤ Z ├─",
+            "    └───┘",
+        ])
+        assert paper_oracle().draw() == expected

@@ -1,0 +1,215 @@
+"""Tests for the FABLE block-encoding compiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compilers import (
+    block_encoding_block,
+    fable,
+    gray_code,
+    gray_permutation_angles,
+)
+from repro.exceptions import CircuitError
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [
+            0, 1, 3, 2, 6, 7, 5, 4,
+        ]
+
+    def test_adjacent_codes_differ_by_one_bit(self):
+        for i in range(63):
+            diff = gray_code(i) ^ gray_code(i + 1)
+            assert diff != 0 and (diff & (diff - 1)) == 0
+
+
+class TestAngleTransform:
+    def test_constant_vector_concentrates(self):
+        angles = gray_permutation_angles(np.full(8, 0.7))
+        assert angles[0] == pytest.approx(0.7)
+        np.testing.assert_allclose(angles[1:], 0.0, atol=1e-15)
+
+    def test_involution_scaling(self):
+        """The scaled WHT satisfies W(W(x)) = x / len(x) * len(x)...
+        i.e. applying the unscaled inverse recovers the input."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=16)
+        y = gray_permutation_angles(x)
+        # reconstruct: theta_j = sum_i (-1)^{b_j . g_i} angle_i
+        k = 4
+        recon = np.zeros(16)
+        for j in range(16):
+            for i in range(16):
+                sign = (-1) ** bin(j & gray_code(i)).count("1")
+                recon[j] += sign * y[i]
+        np.testing.assert_allclose(recon, x, atol=1e-12)
+
+
+class TestExactEncoding:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_random_real_matrices(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.uniform(-1, 1, size=(1 << n, 1 << n))
+        result = fable(a)
+        assert result.alpha == float(1 << n)
+        block = block_encoding_block(result)
+        np.testing.assert_allclose(block, a, atol=1e-12)
+
+    def test_identity_matrix(self):
+        result = fable(np.eye(4))
+        np.testing.assert_allclose(
+            block_encoding_block(result), np.eye(4), atol=1e-12
+        )
+
+    def test_circuit_width(self):
+        result = fable(np.eye(4))  # n = 2
+        assert result.circuit.nbQubits == 5  # 2n + 1
+
+    def test_circuit_is_unitary(self):
+        from repro.utils.linalg import is_unitary
+
+        rng = np.random.default_rng(7)
+        a = rng.uniform(-1, 1, size=(4, 4))
+        assert is_unitary(fable(a).circuit.matrix)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_2x2(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, size=(2, 2))
+        np.testing.assert_allclose(
+            block_encoding_block(fable(a)), a, atol=1e-11
+        )
+
+
+class TestCompression:
+    def test_constant_matrix_single_rotation(self):
+        result = fable(np.full((8, 8), 0.4), threshold=1e-9)
+        assert result.rotations_kept == 1
+        assert result.rotations_total == 64
+        np.testing.assert_allclose(
+            block_encoding_block(result), np.full((8, 8), 0.4),
+            atol=1e-12,
+        )
+
+    def test_zero_matrix_keeps_pi_rotation(self):
+        """arccos(0) = pi/2 everywhere -> one global rotation."""
+        result = fable(np.zeros((4, 4)), threshold=1e-9)
+        assert result.rotations_kept == 1
+        np.testing.assert_allclose(
+            block_encoding_block(result), np.zeros((4, 4)), atol=1e-12
+        )
+
+    def test_threshold_error_is_bounded(self):
+        rng = np.random.default_rng(5)
+        a = rng.uniform(-1, 1, size=(4, 4))
+        exact = fable(a)
+        approx = fable(a, threshold=0.05)
+        assert approx.rotations_kept <= exact.rotations_kept
+        err = np.abs(block_encoding_block(approx) - a).max()
+        assert err < 0.5  # heavily thresholded but still bounded
+
+    def test_compression_monotone(self):
+        rng = np.random.default_rng(9)
+        a = rng.uniform(-1, 1, size=(8, 8))
+        kept = [
+            fable(a, threshold=t).rotations_kept
+            for t in (0.0, 0.01, 0.1, 1.0)
+        ]
+        assert kept == sorted(kept, reverse=True)
+
+
+class TestValidation:
+    def test_rejects_complex(self):
+        with pytest.raises(CircuitError):
+            fable(np.eye(2) * 1j)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(CircuitError):
+            fable(np.ones((2, 4)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CircuitError):
+            fable(np.eye(3))
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(CircuitError):
+            fable(np.full((2, 2), 2.0))
+
+
+class TestTwoQubitDecomposition:
+    """Quantum Shannon decomposition of arbitrary 4x4 unitaries."""
+
+    @staticmethod
+    def _random_unitary(rng):
+        m = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        q, r = np.linalg.qr(m)
+        return q * (np.diag(r) / np.abs(np.diag(r)))
+
+    @given(st.integers(0, 20_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_including_phase(self, seed):
+        from repro.compilers import decompose_two_qubit
+
+        rng = np.random.default_rng(seed)
+        u = self._random_unitary(rng)
+        circuit = decompose_two_qubit(u)
+        np.testing.assert_allclose(circuit.matrix, u, atol=1e-12)
+
+    def test_named_gates(self):
+        from repro.compilers import decompose_two_qubit
+        from repro.gates import CNOT, SWAP, iSWAP
+
+        for g in (SWAP(0, 1), CNOT(0, 1), CNOT(1, 0), iSWAP(0, 1)):
+            circuit = decompose_two_qubit(g.matrix)
+            np.testing.assert_allclose(
+                circuit.matrix, g.matrix, atol=1e-12
+            )
+
+    def test_arbitrary_qubit_placement(self):
+        from repro.circuit import QCircuit
+        from repro.compilers import decompose_two_qubit
+        from repro.gates import MatrixGate
+
+        rng = np.random.default_rng(11)
+        u = self._random_unitary(rng)
+        circuit = decompose_two_qubit(u, 3, 1)
+        ref = QCircuit(4)
+        ref.push_back(MatrixGate([3, 1], u))
+        np.testing.assert_allclose(circuit.matrix, ref.matrix, atol=1e-12)
+
+    def test_identity_produces_trivial_circuit(self):
+        from repro.compilers import decompose_two_qubit
+
+        circuit = decompose_two_qubit(np.eye(4))
+        np.testing.assert_allclose(circuit.matrix, np.eye(4), atol=1e-12)
+
+    def test_validation(self):
+        from repro.compilers import decompose_two_qubit
+
+        with pytest.raises(CircuitError):
+            decompose_two_qubit(np.eye(2))
+        with pytest.raises(CircuitError):
+            decompose_two_qubit(np.eye(4), 1, 1)
+        from repro.exceptions import GateError
+
+        with pytest.raises(GateError):
+            decompose_two_qubit(np.ones((4, 4)))
+
+    def test_two_qubit_matrix_gate_qasm_roundtrip(self):
+        from repro.circuit import QCircuit
+        from repro.gates import MatrixGate
+        from repro.io.qasm_import import fromQASM
+
+        rng = np.random.default_rng(3)
+        u = self._random_unitary(rng)
+        c = QCircuit(2)
+        c.push_back(MatrixGate([0, 1], u))
+        back = fromQASM(c.toQASM())
+        a, b = c.matrix, back.matrix
+        k = np.argmax(np.abs(a))
+        phase = b.flat[k] / a.flat[k]
+        np.testing.assert_allclose(a * phase, b, atol=1e-8)

@@ -1,0 +1,156 @@
+"""Unit tests for the fixed one-qubit gates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QubitError
+from repro.gates import (
+    Hadamard,
+    Identity,
+    PauliX,
+    PauliY,
+    PauliZ,
+    Phase45,
+    Phase90,
+    S,
+    Sdg,
+    SqrtX,
+    T,
+    Tdg,
+)
+from repro.utils.linalg import is_unitary
+
+ALL_FIXED = [Identity, Hadamard, PauliX, PauliY, PauliZ, S, Sdg, T, Tdg, SqrtX]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("cls", ALL_FIXED)
+    def test_unitary(self, cls):
+        assert is_unitary(cls(0).matrix)
+
+    def test_hadamard(self):
+        h = Hadamard(0).matrix
+        np.testing.assert_allclose(
+            h, np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        )
+
+    def test_paulis_anticommute(self):
+        x, y, z = PauliX(0).matrix, PauliY(0).matrix, PauliZ(0).matrix
+        np.testing.assert_allclose(x @ y + y @ x, 0, atol=1e-15)
+        np.testing.assert_allclose(x @ y, 1j * z, atol=1e-15)
+
+    def test_s_squared_is_z(self):
+        s = S(0).matrix
+        np.testing.assert_allclose(s @ s, PauliZ(0).matrix)
+
+    def test_t_squared_is_s(self):
+        t = T(0).matrix
+        np.testing.assert_allclose(t @ t, S(0).matrix, atol=1e-15)
+
+    def test_sqrtx_squared_is_x(self):
+        sx = SqrtX(0).matrix
+        np.testing.assert_allclose(sx @ sx, PauliX(0).matrix, atol=1e-15)
+
+    def test_qclab_aliases(self):
+        assert Phase90 is S
+        assert Phase45 is T
+
+
+class TestInverses:
+    @pytest.mark.parametrize("cls", ALL_FIXED)
+    def test_ctranspose_inverts(self, cls):
+        g = cls(3)
+        inv = g.ctranspose()
+        np.testing.assert_allclose(
+            inv.matrix @ g.matrix, np.eye(2), atol=1e-15
+        )
+        assert inv.qubit == 3
+
+    def test_s_dagger_pairs(self):
+        assert isinstance(S(0).ctranspose(), Sdg)
+        assert isinstance(Sdg(0).ctranspose(), S)
+        assert isinstance(T(0).ctranspose(), Tdg)
+        assert isinstance(Tdg(0).ctranspose(), T)
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "cls,diag",
+        [
+            (Identity, True),
+            (PauliZ, True),
+            (S, True),
+            (T, True),
+            (Hadamard, False),
+            (PauliX, False),
+            (PauliY, False),
+            (SqrtX, False),
+        ],
+    )
+    def test_is_diagonal(self, cls, diag):
+        assert cls(0).is_diagonal is diag
+
+    @pytest.mark.parametrize("cls", ALL_FIXED)
+    def test_fixed_flag(self, cls):
+        assert cls(0).is_fixed
+
+    @pytest.mark.parametrize("cls", ALL_FIXED)
+    def test_no_controls(self, cls):
+        g = cls(1)
+        assert g.controls() == ()
+        assert g.target_qubits() == (1,)
+        np.testing.assert_array_equal(g.target_matrix(), g.matrix)
+
+
+class TestQubitHandling:
+    def test_qubit_accessors(self):
+        g = Hadamard(2)
+        assert g.qubit == 2
+        assert g.qubits == (2,)
+        assert g.nbQubits == 1
+        g.qubit = 5
+        assert g.qubits == (5,)
+        g.setQubit(1)
+        assert g.qubit == 1
+
+    def test_rejects_bad_qubits(self):
+        with pytest.raises(QubitError):
+            Hadamard(-1)
+        with pytest.raises(QubitError):
+            Hadamard("a")
+
+
+class TestProtocol:
+    def test_equality(self):
+        assert Hadamard(0) == Hadamard(0)
+        assert Hadamard(0) != Hadamard(1)
+        assert Hadamard(0) != PauliX(0)
+
+    def test_repr(self):
+        assert repr(Hadamard(3)) == "Hadamard(3)"
+
+    @pytest.mark.parametrize(
+        "cls,qasm",
+        [
+            (Identity, "id q[0];"),
+            (Hadamard, "h q[0];"),
+            (PauliX, "x q[0];"),
+            (S, "s q[0];"),
+            (Sdg, "sdg q[0];"),
+            (T, "t q[0];"),
+            (Tdg, "tdg q[0];"),
+            (SqrtX, "sx q[0];"),
+        ],
+    )
+    def test_qasm(self, cls, qasm):
+        assert cls(0).toQASM() == qasm
+
+    def test_qasm_offset(self):
+        assert Hadamard(1).toQASM(offset=2) == "h q[3];"
+
+    def test_draw_spec(self):
+        spec = Hadamard(4).draw_spec()
+        assert 4 in spec.elements
+        assert spec.elements[4].kind == "box"
+        assert spec.elements[4].label == "H"
+        assert not spec.connect

@@ -1,0 +1,204 @@
+"""Unit tests for multi-controlled gates, including the paper's
+control-state syntax MCX([3,4], 2, [0,1])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCGate,
+    MCPhase,
+    MCRotationX,
+    MCRotationY,
+    MCRotationZ,
+    MCX,
+    MCY,
+    MCZ,
+    MatrixGate,
+    PauliX,
+)
+from repro.utils.linalg import is_unitary
+
+
+def dense_mc_matrix(nb, controls, states, target, base):
+    """Reference: dense multi-controlled matrix over `nb` qubits."""
+    dim = 1 << nb
+    out = np.eye(dim, dtype=complex)
+    for col in range(dim):
+        bits = [(col >> (nb - 1 - q)) & 1 for q in range(nb)]
+        if all(bits[c] == s for c, s in zip(controls, states)):
+            tbit = bits[target]
+            out[:, col] = 0
+            for newt in (0, 1):
+                amp = base[newt, tbit]
+                if amp != 0:
+                    newbits = list(bits)
+                    newbits[target] = newt
+                    row = sum(
+                        b << (nb - 1 - q) for q, b in enumerate(newbits)
+                    )
+                    out[row, col] = amp
+    return out
+
+
+class TestToffoli:
+    def test_matrix(self):
+        got = MCX([0, 1], 2).matrix
+        want = dense_mc_matrix(3, [0, 1], [1, 1], 2, PauliX(0).matrix)
+        np.testing.assert_allclose(got, want)
+
+    def test_reduces_to_cnot_with_one_control(self):
+        np.testing.assert_allclose(MCX([0], 1).matrix, CNOT(0, 1).matrix)
+
+    def test_self_inverse(self):
+        g = MCX([0, 1], 2)
+        np.testing.assert_allclose(
+            g.ctranspose().matrix @ g.matrix, np.eye(8)
+        )
+
+
+class TestPaperMCX:
+    """The QEC example's gates: MCX([3,4], q, states)."""
+
+    def test_control_states_example(self):
+        g = MCX([3, 4], 2, [0, 1])
+        assert g.controls() == (3, 4)
+        assert g.control_states() == (0, 1)
+        assert g.target == 2
+        assert g.qubits == (2, 3, 4)
+
+    def test_fires_only_on_matching_states(self):
+        # over qubits (2,3,4): control bits of q3,q4 must be 0,1
+        got = MCX([3, 4], 2, [0, 1]).matrix
+        want = dense_mc_matrix(
+            3, [1, 2], [0, 1], 0, PauliX(0).matrix
+        )  # local: q2->0, q3->1, q4->2
+        np.testing.assert_allclose(got, want)
+
+    def test_unsorted_controls_keep_state_pairing(self):
+        a = MCX([4, 3], 2, [1, 0])  # q4 wants 1, q3 wants 0
+        b = MCX([3, 4], 2, [0, 1])
+        np.testing.assert_allclose(a.matrix, b.matrix)
+        assert a.controls() == (3, 4)
+        assert a.control_states() == (0, 1)
+
+    def test_default_states_all_ones(self):
+        g = MCX([0, 1, 2], 3)
+        assert g.control_states() == (1, 1, 1)
+
+
+class TestMCVariants:
+    @pytest.mark.parametrize("cls,base_fn", [
+        (MCY, lambda: np.array([[0, -1j], [1j, 0]])),
+        (MCZ, lambda: np.diag([1.0, -1.0])),
+    ])
+    def test_matrix(self, cls, base_fn):
+        got = cls([0, 2], 1, [1, 0]).matrix
+        want = dense_mc_matrix(3, [0, 2], [1, 0], 1, base_fn())
+        np.testing.assert_allclose(got, want)
+
+    def test_mcz_diagonal(self):
+        assert MCZ([0, 1], 2).is_diagonal
+        assert not MCX([0, 1], 2).is_diagonal
+
+    def test_mcz_reduces_to_cz(self):
+        np.testing.assert_allclose(MCZ([0], 1).matrix, CZ(0, 1).matrix)
+
+    def test_mcphase(self):
+        g = MCPhase([0, 1], 2, math.pi)
+        assert g.is_diagonal
+        assert g.theta == pytest.approx(math.pi)
+        want = np.diag([1.0] * 7 + [-1.0])
+        np.testing.assert_allclose(g.matrix, want, atol=1e-15)
+
+    def test_mcphase_reduces_to_cphase(self):
+        np.testing.assert_allclose(
+            MCPhase([0], 1, 0.4).matrix, CPhase(0, 1, 0.4).matrix
+        )
+
+    @pytest.mark.parametrize(
+        "cls", [MCRotationX, MCRotationY, MCRotationZ]
+    )
+    def test_mcrotations(self, cls):
+        g = cls([0], 1, 0.8)
+        assert is_unitary(g.matrix)
+        assert g.theta == pytest.approx(0.8)
+        inv = g.ctranspose()
+        assert inv.theta == pytest.approx(-0.8)
+        np.testing.assert_allclose(
+            inv.matrix @ g.matrix, np.eye(4), atol=1e-14
+        )
+
+    def test_mcrz_diagonal(self):
+        assert MCRotationZ([0, 1], 2, 0.5).is_diagonal
+
+
+class TestGenericMCGate:
+    def test_wraps_hadamard(self):
+        g = MCGate(Hadamard(2), [0, 1])
+        want = dense_mc_matrix(
+            3, [0, 1], [1, 1], 2, Hadamard(0).matrix
+        )
+        np.testing.assert_allclose(g.matrix, want)
+
+    def test_wraps_one_qubit_matrix_gate(self):
+        u = np.array([[0, 1j], [1j, 0]])
+        g = MCGate(MatrixGate(1, u), [0])
+        want = dense_mc_matrix(2, [0], [1], 1, u)
+        np.testing.assert_allclose(g.matrix, want)
+
+    def test_rejects_no_controls(self):
+        with pytest.raises(GateError):
+            MCGate(Hadamard(0), [])
+
+    def test_rejects_target_in_controls(self):
+        with pytest.raises(GateError):
+            MCX([0, 1], 1)
+
+    def test_rejects_bad_states(self):
+        with pytest.raises(GateError):
+            MCX([0, 1], 2, [1])
+        with pytest.raises(GateError):
+            MCX([0, 1], 2, [1, 2])
+
+    def test_rejects_multi_qubit_target(self):
+        from repro.gates import SWAP
+
+        with pytest.raises(GateError):
+            MCGate(SWAP(1, 2), [0])
+
+    def test_equality(self):
+        assert MCX([0, 1], 2) == MCX([1, 0], 2)
+        assert MCX([0, 1], 2) != MCX([0, 1], 2, [1, 0])
+
+    def test_draw_spec(self):
+        spec = MCX([3, 4], 2, [0, 1]).draw_spec()
+        assert spec.elements[3].kind == "ctrl0"
+        assert spec.elements[4].kind == "ctrl1"
+        assert spec.elements[2].kind == "oplus"
+        assert spec.connect
+
+    def test_repr(self):
+        r = repr(MCX([3, 4], 2, [0, 1]))
+        assert "controls=[3, 4]" in r and "target=2" in r
+
+
+class TestMCMatrixProperties:
+    @pytest.mark.parametrize("nb_controls", [1, 2, 3, 4])
+    def test_unitarity_scaling(self, nb_controls):
+        controls = list(range(nb_controls))
+        g = MCX(controls, nb_controls)
+        assert is_unitary(g.matrix)
+        # acts as identity unless all controls are 1
+        dim = 1 << (nb_controls + 1)
+        m = g.matrix
+        # the only off-diagonal entries swap the last two basis states
+        want = np.eye(dim)
+        want[dim - 2 :, dim - 2 :] = [[0, 1], [1, 0]]
+        np.testing.assert_allclose(m.real, want)

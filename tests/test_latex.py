@@ -1,0 +1,137 @@
+"""Tests for the quantikz LaTeX exporter (the paper's toTex)."""
+
+import pytest
+
+from repro.circuit import Measurement, QCircuit, Reset
+from repro.gates import CNOT, CZ, Hadamard, MCX, RotationXX, SWAP, Sdg
+
+
+def tex(circuit):
+    return circuit.toTex()
+
+
+class TestDocumentStructure:
+    def test_standalone_document(self):
+        t = tex(QCircuit(1))
+        assert t.startswith("\\documentclass{standalone}")
+        assert "\\begin{quantikz}" in t
+        assert t.rstrip().endswith("\\end{document}")
+
+    def test_one_row_per_qubit(self):
+        t = tex(QCircuit(3))
+        body = t.split("\\begin{quantikz}")[1].split("\\end{quantikz}")[0]
+        assert body.count("\\lstick") == 3
+
+    def test_row_separators(self):
+        t = tex(QCircuit(2))
+        assert "\\\\" in t
+
+    def test_writes_file(self, tmp_path):
+        target = tmp_path / "circ.tex"
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        out = c.toTex(str(target))
+        assert target.read_text() == out
+
+
+class TestGateCells:
+    def test_gate_box(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        assert "\\gate{H}" in tex(c)
+
+    def test_dagger_label_escaped(self):
+        c = QCircuit(1)
+        c.push_back(Sdg(0))
+        assert "S^{\\dagger}" in tex(c)
+
+    def test_cnot(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(0, 1))
+        t = tex(c)
+        assert "\\ctrl{1}" in t
+        assert "\\targ{}" in t
+
+    def test_cnot_reversed_offsets(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(1, 0))
+        assert "\\ctrl{-1}" in tex(c)
+
+    def test_open_control(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(0, 1, control_state=0))
+        assert "\\octrl{1}" in tex(c)
+
+    def test_mcx_multi_arrows(self):
+        c = QCircuit(5)
+        c.push_back(MCX([3, 4], 2, [0, 1]))
+        t = tex(c)
+        assert "\\octrl{-1}" in t  # q3 -> q2
+        assert "\\ctrl{-2}" in t  # q4 -> q2
+        assert "\\targ{}" in t
+
+    def test_cz_control_to_box(self):
+        c = QCircuit(2)
+        c.push_back(CZ(0, 1))
+        t = tex(c)
+        assert "\\ctrl{1}" in t
+        assert "\\gate{Z}" in t
+
+    def test_swap(self):
+        c = QCircuit(3)
+        c.push_back(SWAP(0, 2))
+        t = tex(c)
+        assert "\\swap{2}" in t
+        assert "\\targX{}" in t
+
+    def test_meter(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0))
+        assert "\\meter{}" in tex(c)
+
+    def test_meter_basis_annotated(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0, "x"))
+        assert "\\meter{x}" in tex(c)
+
+    def test_reset(self):
+        c = QCircuit(1)
+        c.push_back(Reset(0))
+        assert "\\ket{0}" in tex(c)
+
+    def test_two_qubit_rotation_multiwire(self):
+        c = QCircuit(2)
+        c.push_back(RotationXX(0, 1, 0.5))
+        assert "\\gate[wires=2]{RXX(0.5)}" in tex(c)
+
+
+class TestBlocks:
+    def test_block_gate_wires(self):
+        sub = QCircuit(2)
+        sub.push_back(CZ(0, 1))
+        sub.asBlock("oracle")
+        c = QCircuit(2)
+        c.push_back(sub)
+        assert "\\gate[wires=2]{oracle}" in tex(c)
+
+    def test_paper_circuits_export(self):
+        """All of the paper's circuit figures must export without error."""
+        from repro.algorithms import (
+            bit_flip_code_circuit,
+            paper_diffuser,
+            paper_grover_circuit,
+            paper_oracle,
+            teleportation_circuit,
+        )
+
+        for circuit in (
+            teleportation_circuit(),
+            paper_oracle(),
+            paper_diffuser(),
+            paper_grover_circuit(),
+            bit_flip_code_circuit(),
+        ):
+            t = tex(circuit)
+            assert "\\begin{quantikz}" in t
+            # balanced environments
+            assert t.count("\\begin{") == t.count("\\end{")

@@ -1,0 +1,172 @@
+"""Tests for the layout engine, exception hierarchy, equivalence
+checker and package-level exports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.circuit import Barrier, Measurement, QCircuit
+from repro.exceptions import (
+    CircuitError,
+    DrawError,
+    GateError,
+    MeasurementError,
+    QASMError,
+    QCLabError,
+    QubitError,
+    SimulationError,
+    StateError,
+)
+from repro.gates import CNOT, CZ, Hadamard, RotationX, SWAP
+from repro.io.layout import layout_circuit
+from repro.transforms import circuits_equivalent
+
+
+class TestLayout:
+    def test_empty_circuit(self):
+        items, nb_columns = layout_circuit(QCircuit(2))
+        assert items == []
+        assert nb_columns == 0
+
+    def test_columns_never_overlap(self):
+        """Invariant: two items in one column must have disjoint spans."""
+        rng = np.random.default_rng(7)
+        c = QCircuit(5)
+        for _ in range(30):
+            q = int(rng.integers(0, 5))
+            t = int((q + 1 + rng.integers(0, 4)) % 5)
+            if rng.random() < 0.5:
+                c.push_back(Hadamard(q))
+            else:
+                c.push_back(CNOT(q, t))
+        items, _ = layout_circuit(c)
+        by_col: dict = {}
+        for item in items:
+            spans = by_col.setdefault(item.column, [])
+            for lo, hi in spans:
+                assert item.qubit_max < lo or item.qubit_min > hi
+            spans.append((item.qubit_min, item.qubit_max))
+
+    def test_order_preserved_per_qubit(self):
+        c = QCircuit(1)
+        a, b = Hadamard(0), RotationX(0, 0.5)
+        c.push_back(a)
+        c.push_back(b)
+        items, _ = layout_circuit(c)
+        cols = {item.obj: item.column for item in items}
+        assert cols[a] < cols[b]
+
+    def test_blocks_stay_whole(self):
+        sub = QCircuit(2)
+        sub.push_back(CZ(0, 1))
+        sub.asBlock("b")
+        c = QCircuit(2)
+        c.push_back(sub)
+        items, _ = layout_circuit(c)
+        assert len(items) == 1
+        assert items[0].obj is sub
+
+    def test_unblocked_subcircuits_inline(self):
+        sub = QCircuit(2)
+        sub.push_back(CZ(0, 1))
+        c = QCircuit(2)
+        c.push_back(sub)
+        items, _ = layout_circuit(c)
+        assert len(items) == 1
+        assert type(items[0].obj).__name__ == "CZ"
+
+    def test_barrier_occupies_column(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Barrier([0, 1]))
+        c.push_back(Hadamard(1))
+        items, nb_columns = layout_circuit(c)
+        assert nb_columns == 3
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            QubitError, GateError, CircuitError, SimulationError,
+            StateError, MeasurementError, QASMError, DrawError,
+        ],
+    )
+    def test_all_derive_from_qclab_error(self, exc):
+        assert issubclass(exc, QCLabError)
+
+    def test_value_errors_where_expected(self):
+        assert issubclass(QubitError, ValueError)
+        assert issubclass(GateError, ValueError)
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_catchable_at_package_level(self):
+        with pytest.raises(QCLabError):
+            QCircuit(0)
+        with pytest.raises(QCLabError):
+            Hadamard(-1)
+
+
+class TestCircuitsEquivalent:
+    def test_identical(self):
+        a = QCircuit(2)
+        a.push_back(Hadamard(0))
+        b = QCircuit(2)
+        b.push_back(Hadamard(0))
+        assert circuits_equivalent(a, b)
+
+    def test_swap_decomposition(self):
+        a = QCircuit(2)
+        a.push_back(SWAP(0, 1))
+        b = QCircuit(2)
+        b.push_back(CNOT(0, 1))
+        b.push_back(CNOT(1, 0))
+        b.push_back(CNOT(0, 1))
+        assert circuits_equivalent(a, b)
+
+    def test_global_phase_toggle(self):
+        from repro.gates import PauliZ, Phase, RotationZ
+
+        a = QCircuit(1)
+        a.push_back(RotationZ(0, np.pi))  # = -i Z
+        b = QCircuit(1)
+        b.push_back(PauliZ(0))
+        assert circuits_equivalent(a, b)
+        assert not circuits_equivalent(a, b, up_to_global_phase=False)
+
+    def test_different_width(self):
+        assert not circuits_equivalent(QCircuit(1), QCircuit(2))
+
+    def test_different_unitaries(self):
+        a = QCircuit(1)
+        a.push_back(Hadamard(0))
+        assert not circuits_equivalent(a, QCircuit(1))
+
+
+class TestPackageSurface:
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_qgates_names_importable(self):
+        import repro.qgates as qgates
+
+        for name in qgates.__all__:
+            assert hasattr(qgates, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_paper_snippet_via_alias(self):
+        """The docstring example: ``import repro as qclab``."""
+        import repro as qclab
+
+        circuit = qclab.QCircuit(2)
+        circuit.push_back(qclab.qgates.Hadamard(0))
+        circuit.push_back(qclab.qgates.CNOT(0, 1))
+        circuit.push_back(qclab.Measurement(0))
+        circuit.push_back(qclab.Measurement(1))
+        sim = circuit.simulate("00")
+        assert sim.results == ["00", "11"]

@@ -1,0 +1,128 @@
+"""Unit tests for MatrixGate (custom unitaries) and matrix reordering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.gates import CNOT, MatrixGate, SWAP
+from repro.gates.base import reorder_matrix
+
+
+class TestConstruction:
+    def test_single_qubit_int(self):
+        g = MatrixGate(2, np.eye(2))
+        assert g.qubits == (2,)
+        assert g.nbQubits == 1
+
+    def test_multi_qubit(self):
+        g = MatrixGate([0, 1], np.eye(4))
+        assert g.qubits == (0, 1)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(GateError):
+            MatrixGate(0, np.array([[1, 0], [0, 2]]))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(GateError):
+            MatrixGate([0, 1], np.eye(2))
+
+    def test_rejects_duplicate_qubits(self):
+        from repro.exceptions import QubitError
+
+        with pytest.raises(QubitError):
+            MatrixGate([0, 0], np.eye(4))
+
+    def test_label(self):
+        assert MatrixGate(0, np.eye(2)).label == "U"
+        assert MatrixGate(0, np.eye(2), label="G").label == "G"
+
+
+class TestQubitOrderNormalization:
+    def test_reversed_order_permutes_matrix(self):
+        cnot_rev = MatrixGate([1, 0], CNOT(0, 1).matrix)
+        # kernel given with q1 as MSB; normalized to (0, 1) it must match
+        # CNOT with control q1
+        np.testing.assert_allclose(cnot_rev.matrix, CNOT(1, 0).matrix)
+
+    def test_swap_invariant_under_order(self):
+        a = MatrixGate([0, 1], SWAP(0, 1).matrix)
+        b = MatrixGate([1, 0], SWAP(0, 1).matrix)
+        np.testing.assert_allclose(a.matrix, b.matrix)
+
+    def test_three_qubit_permutation_consistency(self):
+        rng = np.random.default_rng(5)
+        # random unitary via QR
+        m = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        q, _ = np.linalg.qr(m)
+        orders = [[0, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]]
+        base = MatrixGate([0, 1, 2], q).matrix
+        for order in orders:
+            permuted = reorder_matrix(q, [0, 1, 2], order)
+            g = MatrixGate(order, permuted)
+            np.testing.assert_allclose(g.matrix, base, atol=1e-12)
+
+
+class TestReorderMatrix:
+    def test_identity_orders(self):
+        m = np.arange(16).reshape(4, 4)
+        np.testing.assert_array_equal(
+            reorder_matrix(m, [0, 1], [0, 1]), m
+        )
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(8, 8))
+        fwd = reorder_matrix(m, [0, 1, 2], [2, 0, 1])
+        back = reorder_matrix(fwd, [2, 0, 1], [0, 1, 2])
+        np.testing.assert_array_equal(back, m)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GateError):
+            reorder_matrix(np.eye(4), [0, 1], [0, 2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GateError):
+            reorder_matrix(np.eye(3), [0, 1], [1, 0])
+
+
+class TestBehaviour:
+    def test_diagonal_detection(self):
+        assert MatrixGate(0, np.diag([1, 1j])).is_diagonal
+        assert not MatrixGate(0, np.array([[0, 1], [1, 0]])).is_diagonal
+
+    def test_ctranspose(self):
+        u = np.array([[0, 1j], [1j, 0]])
+        g = MatrixGate(0, u)
+        inv = g.ctranspose()
+        np.testing.assert_allclose(inv.matrix @ g.matrix, np.eye(2))
+        assert inv.label.endswith("†")
+
+    def test_not_fixed(self):
+        assert not MatrixGate(0, np.eye(2)).is_fixed
+
+    def test_draw_spec_multi(self):
+        g = MatrixGate([0, 2], np.eye(4), label="G")
+        spec = g.draw_spec()
+        assert spec.connect
+        assert spec.elements[0].label == "G"
+        assert spec.elements[2].label == "G"
+
+    def test_qasm_single_qubit(self):
+        from repro.io.qasm_import import fromQASM
+
+        u = np.array([[0, 1j], [1j, 0]])  # iX, global phase drops
+        g = MatrixGate(1, u, label="iX")
+        line = g.toQASM()
+        assert line.startswith("u3(")
+
+    def test_qasm_two_qubit_decomposes(self):
+        """Two-qubit custom unitaries now export via the Shannon
+        decomposition instead of raising."""
+        text = MatrixGate([0, 1], SWAP(0, 1).matrix).toQASM()
+        assert "q[0]" in text and "q[1]" in text
+
+    def test_qasm_three_qubit_raises(self):
+        from repro.exceptions import QASMError
+
+        with pytest.raises(QASMError):
+            MatrixGate([0, 1, 2], np.eye(8)).toQASM()

@@ -1,0 +1,141 @@
+"""Unit tests for Measurement, Reset and Barrier objects."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Barrier, Measurement, Reset
+from repro.exceptions import MeasurementError
+from repro.utils.linalg import is_unitary
+
+
+class TestMeasurementBases:
+    def test_default_z(self):
+        m = Measurement(0)
+        assert m.basis == "z"
+        np.testing.assert_array_equal(m.basis_change, np.eye(2))
+
+    def test_x_basis_is_hadamard(self):
+        m = Measurement(0, "x")
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        np.testing.assert_allclose(m.basis_change, h)
+
+    def test_y_basis_maps_eigenvectors(self):
+        m = Measurement(0, "y")
+        b = m.basis_change
+        assert is_unitary(b)
+        plus_i = np.array([1, 1j]) / np.sqrt(2)
+        minus_i = np.array([1, -1j]) / np.sqrt(2)
+        # B|+i> = |0> and B|-i> = |1> up to phase
+        out0 = b @ plus_i
+        out1 = b @ minus_i
+        assert abs(out0[0]) == pytest.approx(1.0)
+        assert abs(out1[1]) == pytest.approx(1.0)
+
+    def test_case_insensitive(self):
+        assert Measurement(0, "X").basis == "x"
+
+    def test_custom_basis(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        m = Measurement(0, h, label="Mh")
+        assert m.basis == "custom"
+        assert m.label == "Mh"
+        np.testing.assert_allclose(
+            m.basis_change_dagger @ m.basis_change, np.eye(2), atol=1e-15
+        )
+
+    def test_rejects_unknown_basis(self):
+        with pytest.raises(MeasurementError):
+            Measurement(0, "w")
+
+    def test_rejects_non_unitary_custom(self):
+        from repro.exceptions import GateError
+
+        with pytest.raises(GateError):
+            Measurement(0, np.array([[1, 0], [0, 2]]))
+
+    def test_rejects_wrong_size_custom(self):
+        with pytest.raises(MeasurementError):
+            Measurement(0, np.eye(4))
+
+
+class TestMeasurementProtocol:
+    def test_qubit_accessors(self):
+        m = Measurement(3)
+        assert m.qubit == 3
+        assert m.qubits == (3,)
+        m.qubit = 1
+        assert m.qubit == 1
+
+    def test_labels(self):
+        assert Measurement(0).label == "M"
+        assert Measurement(0, "x").label == "Mx"
+        assert Measurement(0, "y").label == "My"
+
+    def test_equality(self):
+        assert Measurement(0) == Measurement(0)
+        assert Measurement(0) != Measurement(1)
+        assert Measurement(0) != Measurement(0, "x")
+
+    def test_qasm_z(self):
+        assert Measurement(0).toQASM() == "measure q[0] -> c[0];"
+
+    def test_qasm_x_prepends_h(self):
+        lines = Measurement(1, "x").toQASM().splitlines()
+        assert lines == ["h q[1];", "measure q[1] -> c[1];"]
+
+    def test_qasm_y_prepends_sdg_h(self):
+        lines = Measurement(0, "y").toQASM(offset=2).splitlines()
+        assert lines == ["sdg q[2];", "h q[2];", "measure q[2] -> c[2];"]
+
+    def test_draw_spec(self):
+        spec = Measurement(2, "x").draw_spec()
+        assert spec.elements[2].kind == "meas"
+        assert spec.elements[2].label == "Mx"
+
+    def test_repr(self):
+        assert repr(Measurement(0, "x")) == "Measurement(0, 'x')"
+
+
+class TestReset:
+    def test_accessors(self):
+        r = Reset(2)
+        assert r.qubit == 2
+        assert r.qubits == (2,)
+        assert not r.record
+        r.qubit = 0
+        assert r.qubit == 0
+
+    def test_record_flag(self):
+        assert Reset(0, record=True).record
+
+    def test_qasm(self):
+        assert Reset(1).toQASM(offset=1) == "reset q[2];"
+
+    def test_equality(self):
+        assert Reset(0) == Reset(0)
+        assert Reset(0) != Reset(1)
+        assert Reset(0) != Reset(0, record=True)
+
+    def test_draw_spec(self):
+        assert Reset(0).draw_spec().elements[0].kind == "reset"
+
+
+class TestBarrier:
+    def test_qubits_sorted(self):
+        assert Barrier([2, 0]).qubits == (0, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(Exception):
+            Barrier([])
+
+    def test_qasm(self):
+        assert Barrier([0, 1]).toQASM() == "barrier q[0],q[1];"
+
+    def test_equality(self):
+        assert Barrier([0, 1]) == Barrier([1, 0])
+        assert Barrier([0]) != Barrier([1])
+
+    def test_draw_spec(self):
+        spec = Barrier([0, 1]).draw_spec()
+        assert all(el.kind == "barrier" for el in spec.elements.values())
+        assert spec.connect

@@ -1,0 +1,193 @@
+"""Tests for the MPS backend, cross-validated against the state-vector
+engine and exercised at large qubit counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Measurement, QCircuit, Reset
+from repro.exceptions import SimulationError
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCX,
+    PauliX,
+    RotationY,
+    RotationZZ,
+    SWAP,
+    T,
+    iSWAP,
+)
+from repro.simulation.mps import MPSState, mps_counts, simulate_mps
+
+
+def random_2local_circuit(n, nb_gates, rng, adjacent_only=False):
+    c = QCircuit(n)
+    for _ in range(nb_gates):
+        roll = int(rng.integers(0, 6))
+        q = int(rng.integers(0, n))
+        if adjacent_only:
+            t = q + 1 if q < n - 1 else q - 1
+        else:
+            t = int((q + 1 + rng.integers(0, n - 1)) % n)
+        if roll == 0:
+            c.push_back(Hadamard(q))
+        elif roll == 1:
+            c.push_back(RotationY(q, float(rng.normal())))
+        elif roll == 2:
+            c.push_back(T(q))
+        elif roll == 3:
+            c.push_back(CNOT(q, t))
+        elif roll == 4:
+            c.push_back(CPhase(q, t, float(rng.normal())))
+        else:
+            c.push_back(iSWAP(*sorted((q, t))))
+    return c
+
+
+class TestExactness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_statevector(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        c = random_2local_circuit(n, 20, rng)
+        _, state = simulate_mps(c, rng=seed)
+        sv = c.simulate("0" * n).states[0]
+        np.testing.assert_allclose(
+            state.to_statevector(), sv, atol=1e-10
+        )
+
+    def test_non_adjacent_gate_routing(self):
+        c = QCircuit(5)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 4))
+        c.push_back(CZ(4, 1))
+        c.push_back(iSWAP(0, 3))
+        _, state = simulate_mps(c)
+        sv = c.simulate("00000").states[0]
+        np.testing.assert_allclose(
+            state.to_statevector(), sv, atol=1e-10
+        )
+
+    def test_reversed_qubit_order_gate(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(1))
+        c.push_back(CNOT(1, 0))  # control below target
+        _, state = simulate_mps(c)
+        sv = c.simulate("00").states[0]
+        np.testing.assert_allclose(
+            state.to_statevector(), sv, atol=1e-12
+        )
+
+    def test_deep_entangling_circuit(self):
+        rng = np.random.default_rng(9)
+        c = random_2local_circuit(5, 60, rng)
+        _, state = simulate_mps(c, rng=0)
+        sv = c.simulate("0" * 5).states[0]
+        np.testing.assert_allclose(
+            state.to_statevector(), sv, atol=1e-9
+        )
+        assert state.max_bond_seen > 2  # actually built entanglement
+
+
+class TestBondDimension:
+    def test_product_state_bond_one(self):
+        c = QCircuit(6)
+        for q in range(6):
+            c.push_back(Hadamard(q))
+        _, state = simulate_mps(c)
+        assert state.max_bond_seen == 1
+
+    def test_ghz_bond_two(self):
+        c = QCircuit(12)
+        c.push_back(Hadamard(0))
+        for q in range(11):
+            c.push_back(CNOT(q, q + 1))
+        _, state = simulate_mps(c)
+        assert state.max_bond_seen == 2
+        assert abs(state.amplitude("0" * 12)) ** 2 == pytest.approx(0.5)
+        assert abs(state.amplitude("1" * 12)) ** 2 == pytest.approx(0.5)
+        assert state.amplitude("1" + "0" * 11) == pytest.approx(0.0)
+
+    def test_chi_cap_truncates(self):
+        rng = np.random.default_rng(3)
+        c = random_2local_circuit(6, 40, rng, adjacent_only=True)
+        _, exact = simulate_mps(c)
+        _, capped = simulate_mps(c, chi_max=2)
+        assert capped.max_bond_seen <= 2
+        # truncated state stays normalized
+        assert capped.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_norm_is_one_without_truncation(self):
+        rng = np.random.default_rng(4)
+        c = random_2local_circuit(5, 30, rng)
+        _, state = simulate_mps(c)
+        assert state.norm() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestMeasurementsAndResets:
+    def test_bell_sampling(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+        counts = mps_counts(c, shots=2000, seed=5)
+        assert set(counts) <= {"00", "11"}
+        assert abs(counts.get("00", 0) / 2000 - 0.5) < 0.05
+
+    def test_x_basis_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))  # |+>
+        c.push_back(Measurement(0, "x"))
+        for seed in range(5):
+            result, _ = simulate_mps(c, rng=seed)
+            assert result == "0"
+
+    def test_reset(self):
+        c = QCircuit(1)
+        c.push_back(PauliX(0))
+        c.push_back(Reset(0))
+        c.push_back(Measurement(0))
+        result, _ = simulate_mps(c, rng=0)
+        assert result == "0"
+
+    def test_large_register_sampling(self):
+        """A 40-qubit GHZ samples perfectly correlated outcomes."""
+        n = 40
+        c = QCircuit(n)
+        c.push_back(Hadamard(0))
+        for q in range(n - 1):
+            c.push_back(CNOT(q, q + 1))
+        for q in range(n):
+            c.push_back(Measurement(q))
+        for seed in range(3):
+            result, _ = simulate_mps(c, rng=seed)
+            assert result in ("0" * n, "1" * n)
+
+
+class TestValidation:
+    def test_rejects_three_qubit_gates(self):
+        c = QCircuit(3)
+        c.push_back(MCX([0, 1], 2))
+        with pytest.raises(SimulationError):
+            simulate_mps(c)
+
+    def test_rejects_dense_conversion_large(self):
+        state = MPSState(25)
+        with pytest.raises(SimulationError):
+            state.to_statevector()
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(SimulationError):
+            MPSState(0)
+        with pytest.raises(SimulationError):
+            MPSState(2, chi_max=0)
+
+    def test_amplitude_length_check(self):
+        with pytest.raises(SimulationError):
+            MPSState(3).amplitude("01")

@@ -1,0 +1,127 @@
+"""Tests for Pauli observables and expectation values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StateError
+from repro.simulation.observables import (
+    PauliSum,
+    expectation,
+    pauli_matrix,
+    variance,
+)
+from repro.simulation.state import basis_state, random_state
+
+
+class TestPauliMatrix:
+    def test_single_letters(self):
+        np.testing.assert_array_equal(pauli_matrix("i"), np.eye(2))
+        np.testing.assert_array_equal(
+            pauli_matrix("x"), [[0, 1], [1, 0]]
+        )
+        np.testing.assert_array_equal(
+            pauli_matrix("z"), np.diag([1, -1])
+        )
+
+    def test_kron_order(self):
+        # first letter acts on q0 (most significant)
+        zx = pauli_matrix("zx")
+        np.testing.assert_array_equal(
+            zx, np.kron(np.diag([1, -1]), [[0, 1], [1, 0]])
+        )
+
+    def test_case_insensitive(self):
+        np.testing.assert_array_equal(
+            pauli_matrix("XZ"), pauli_matrix("xz")
+        )
+
+    def test_rejects_bad_letters(self):
+        with pytest.raises(StateError):
+            pauli_matrix("a")
+        with pytest.raises(StateError):
+            pauli_matrix("")
+
+
+class TestExpectation:
+    def test_z_on_basis_states(self):
+        assert expectation([1, 0], "z") == pytest.approx(1.0)
+        assert expectation([0, 1], "z") == pytest.approx(-1.0)
+
+    def test_x_on_plus(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        assert expectation(plus, "x") == pytest.approx(1.0)
+        assert expectation(plus, "z") == pytest.approx(0.0)
+
+    def test_y_on_plus_i(self):
+        plus_i = np.array([1, 1j]) / np.sqrt(2)
+        assert expectation(plus_i, "y") == pytest.approx(1.0)
+
+    def test_bell_correlations(self):
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert expectation(bell, "zz") == pytest.approx(1.0)
+        assert expectation(bell, "xx") == pytest.approx(1.0)
+        assert expectation(bell, "yy") == pytest.approx(-1.0)
+        assert expectation(bell, "zi") == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(StateError):
+            expectation(basis_state("00"), "z")
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 4))
+        state = random_state(n, rng=rng)
+        letters = "".join(rng.choice(list("ixyz"), size=n))
+        dense = np.real(
+            np.vdot(state, pauli_matrix(letters) @ state)
+        )
+        assert expectation(state, letters) == pytest.approx(
+            dense, abs=1e-10
+        )
+
+    def test_variance(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        assert variance(plus, "z") == pytest.approx(1.0)
+        assert variance(plus, "x") == pytest.approx(0.0)
+
+
+class TestPauliSum:
+    def test_expectation_sums_terms(self):
+        h = PauliSum([(0.5, "zz"), (-1.0, "xi")])
+        assert h.expectation(basis_state("00")) == pytest.approx(0.5)
+
+    def test_matrix(self):
+        h = PauliSum([(2.0, "z"), (1.0, "x")])
+        np.testing.assert_allclose(
+            h.matrix(), [[2, 1], [1, -2]], atol=1e-15
+        )
+
+    def test_matches_dense_eigenvalue(self):
+        """TFIM-style 3-qubit Hamiltonian: expectation bounded by the
+        spectrum and exact against the dense operator."""
+        terms = [(-1.0, "zzi"), (-1.0, "izz"), (-0.5, "xii"),
+                 (-0.5, "ixi"), (-0.5, "iix")]
+        h = PauliSum(terms)
+        state = random_state(3, rng=0)
+        dense = np.real(np.vdot(state, h.matrix() @ state))
+        assert h.expectation(state) == pytest.approx(dense, abs=1e-10)
+        eigs = np.linalg.eigvalsh(h.matrix())
+        assert eigs[0] - 1e-9 <= h.expectation(state) <= eigs[-1] + 1e-9
+
+    def test_properties(self):
+        h = PauliSum([(1.0, "xy")])
+        assert h.nbQubits == 2
+        assert h.terms == [(1.0, "xy")]
+        assert "PauliSum" in repr(h)
+
+    def test_validation(self):
+        with pytest.raises(StateError):
+            PauliSum([])
+        with pytest.raises(StateError):
+            PauliSum([(1.0, "x"), (1.0, "xx")])
+        with pytest.raises(StateError):
+            PauliSum([(1.0, "w")])

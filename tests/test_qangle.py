@@ -1,0 +1,119 @@
+"""Unit and property tests for the QAngle value object."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.angle import QAngle
+from repro.exceptions import GateError
+
+angles = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        a = QAngle()
+        assert a.cos == 1.0 and a.sin == 0.0 and a.theta == 0.0
+
+    def test_from_theta(self):
+        a = QAngle(math.pi / 2)
+        assert a.cos == pytest.approx(0.0, abs=1e-15)
+        assert a.sin == pytest.approx(1.0)
+
+    def test_from_cos_sin(self):
+        a = QAngle(0.6, 0.8)
+        assert a.cos == pytest.approx(0.6)
+        assert a.sin == pytest.approx(0.8)
+
+    def test_rejects_off_circle(self):
+        with pytest.raises(GateError):
+            QAngle(1.0, 1.0)
+
+    def test_rejects_three_args(self):
+        with pytest.raises(GateError):
+            QAngle(1.0, 0.0, 0.0)
+
+    def test_immutable(self):
+        a = QAngle(1.0)
+        with pytest.raises(AttributeError):
+            a.cos = 0.5
+
+
+class TestArithmetic:
+    @given(angles, angles)
+    @settings(max_examples=200)
+    def test_addition_matches_trig(self, t1, t2):
+        got = QAngle(t1) + QAngle(t2)
+        assert got.cos == pytest.approx(math.cos(t1 + t2), abs=1e-12)
+        assert got.sin == pytest.approx(math.sin(t1 + t2), abs=1e-12)
+
+    @given(angles, angles)
+    @settings(max_examples=200)
+    def test_subtraction_matches_trig(self, t1, t2):
+        got = QAngle(t1) - QAngle(t2)
+        assert got.cos == pytest.approx(math.cos(t1 - t2), abs=1e-12)
+        assert got.sin == pytest.approx(math.sin(t1 - t2), abs=1e-12)
+
+    @given(angles)
+    def test_negation(self, t):
+        a = -QAngle(t)
+        assert a.cos == pytest.approx(math.cos(-t))
+        assert a.sin == pytest.approx(math.sin(-t))
+
+    @given(angles, st.integers(-8, 8))
+    @settings(max_examples=200)
+    def test_integer_multiple(self, t, k):
+        got = QAngle(t) * k
+        assert got.cos == pytest.approx(math.cos(k * t), abs=1e-10)
+        assert got.sin == pytest.approx(math.sin(k * t), abs=1e-10)
+
+    def test_rmul(self):
+        assert (3 * QAngle(0.1)).isclose(QAngle(0.3), atol=1e-12)
+
+    @given(angles)
+    def test_doubled(self, t):
+        got = QAngle(t).doubled()
+        assert got.cos == pytest.approx(math.cos(2 * t), abs=1e-12)
+        assert got.sin == pytest.approx(math.sin(2 * t), abs=1e-12)
+
+    def test_add_non_angle_not_implemented(self):
+        with pytest.raises(TypeError):
+            QAngle(1.0) + 2.0
+
+
+class TestStability:
+    def test_theta_recovery_near_pi(self):
+        """atan2-based recovery has no acos-style blowup near cos = -1."""
+        eps = 1e-9
+        a = QAngle(math.pi - eps)
+        assert a.theta == pytest.approx(math.pi - eps, abs=1e-15)
+
+    def test_sum_stays_on_unit_circle_after_many_ops(self):
+        a = QAngle(0.1)
+        acc = QAngle()
+        for _ in range(10_000):
+            acc = acc + a
+        assert math.hypot(acc.cos, acc.sin) == pytest.approx(1.0, abs=1e-9)
+
+    def test_tiny_angle_sin_preserved(self):
+        """(cos, sin) storage keeps tiny angles exactly where theta-storage
+        through cos would round them to zero."""
+        t = 1e-18
+        a = QAngle(math.cos(t), math.sin(t))
+        assert a.sin == math.sin(t)  # exact: no trip through acos
+
+
+class TestComparison:
+    def test_eq_and_hash(self):
+        assert QAngle(0.5) == QAngle(0.5)
+        assert hash(QAngle(0.5)) == hash(QAngle(0.5))
+        assert QAngle(0.5) != QAngle(0.6)
+
+    def test_isclose(self):
+        assert QAngle(0.5).isclose(QAngle(0.5 + 1e-14))
+        assert not QAngle(0.5).isclose(QAngle(0.6))
+
+    def test_repr(self):
+        assert "QAngle" in repr(QAngle(0.5))

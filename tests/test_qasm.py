@@ -1,0 +1,378 @@
+"""Tests for OpenQASM 2.0 export and import (round-trip included)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Barrier, Measurement, QCircuit, Reset
+from repro.exceptions import QASMError
+from repro.gates import (
+    CNOT,
+    CPhase,
+    CZ,
+    Hadamard,
+    MCPhase,
+    MCX,
+    MCZ,
+    PauliX,
+    RotationX,
+    RotationZZ,
+    SWAP,
+    T,
+    U3,
+    iSWAP,
+)
+from repro.io.qasm_export import u3_params, unitary_to_u3_qasm
+from repro.io.qasm_import import fromQASM, parse_qasm
+
+
+def phase_equal(a, b, atol=1e-9):
+    """Equality of two matrices up to a global phase."""
+    k = np.argmax(np.abs(a))
+    if abs(a.flat[k]) < 1e-12:
+        return np.allclose(a, b, atol=atol)
+    phase = b.flat[k] / a.flat[k]
+    return abs(abs(phase) - 1) < atol and np.allclose(
+        a * phase, b, atol=atol
+    )
+
+
+def bell_circuit():
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    c.push_back(Measurement(0))
+    c.push_back(Measurement(1))
+    return c
+
+
+class TestPaperListing:
+    def test_circuit1_qasm_matches_paper(self):
+        """Section 4 shows the QASM of circuit (1)."""
+        lines = bell_circuit().toQASM().splitlines()
+        assert lines[0] == "OPENQASM 2.0;"
+        assert lines[1] == 'include "qelib1.inc";'
+        assert "qreg q[2];" in lines
+        assert "creg c[2];" in lines
+        assert "h q[0];" in lines
+        assert "cx q[0],q[1];" in lines
+        assert "measure q[0] -> c[0];" in lines
+        assert "measure q[1] -> c[1];" in lines
+
+    def test_body_only_export(self):
+        body = bell_circuit().toQASM(include_header=False)
+        assert body.startswith("h q[0];")
+        assert "OPENQASM" not in body
+
+
+class TestU3Params:
+    CASES = [
+        np.eye(2),
+        np.array([[0, 1], [1, 0]]),
+        np.array([[1, 1], [1, -1]]) / np.sqrt(2),
+        np.diag([1, 1j]),
+        np.diag([np.exp(0.3j), np.exp(-0.8j)]),
+        np.array([[0, -1j], [1j, 0]]),
+    ]
+
+    @pytest.mark.parametrize("u", CASES, ids=range(len(CASES)))
+    def test_exact_reconstruction(self, u):
+        theta, phi, lam, alpha = u3_params(np.asarray(u, dtype=complex))
+        rebuilt = np.exp(1j * alpha) * U3(0, theta, phi, lam).matrix
+        np.testing.assert_allclose(rebuilt, u, atol=1e-12)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_random_unitaries(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        q, _ = np.linalg.qr(m)
+        theta, phi, lam, alpha = u3_params(q)
+        rebuilt = np.exp(1j * alpha) * U3(0, theta, phi, lam).matrix
+        np.testing.assert_allclose(rebuilt, q, atol=1e-10)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(QASMError):
+            u3_params(np.eye(4))
+
+    def test_unitary_to_u3_line(self):
+        line = unitary_to_u3_qasm(np.eye(2), 3)
+        assert line.startswith("u3(") and line.endswith("q[3];")
+
+
+class TestRoundTrip:
+    def test_unitary_circuit_round_trip(self):
+        c = QCircuit(3)
+        c.push_back(Hadamard(0))
+        c.push_back(T(1))
+        c.push_back(CNOT(0, 2))
+        c.push_back(CPhase(1, 2, 0.7))
+        c.push_back(SWAP(0, 1))
+        c.push_back(RotationX(2, -0.4))
+        c.push_back(RotationZZ(0, 1, 1.2))
+        c.push_back(iSWAP(1, 2))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix)
+
+    def test_mcx_two_controls_round_trip(self):
+        c = QCircuit(3)
+        c.push_back(MCX([0, 1], 2))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix)
+
+    @pytest.mark.parametrize("nb_controls", [3, 4])
+    def test_mcx_many_controls_round_trip(self, nb_controls):
+        n = nb_controls + 1
+        c = QCircuit(n)
+        c.push_back(MCX(list(range(nb_controls)), nb_controls))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix, atol=1e-7)
+
+    def test_mcx_control_states_round_trip(self):
+        c = QCircuit(3)
+        c.push_back(MCX([0, 1], 2, [0, 1]))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix)
+
+    def test_mcz_and_mcphase_round_trip(self):
+        c = QCircuit(3)
+        c.push_back(MCZ([0, 1], 2))
+        c.push_back(MCPhase([0, 2], 1, 0.9))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix, atol=1e-8)
+
+    def test_measured_circuit_round_trip_probabilities(self):
+        c = bell_circuit()
+        c2 = fromQASM(c.toQASM())
+        s1 = c.simulate("00")
+        s2 = c2.simulate("00")
+        assert s1.results == s2.results
+        np.testing.assert_allclose(s1.probabilities, s2.probabilities)
+
+    def test_x_basis_measurement_probabilities_survive(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0, "x"))
+        c2 = fromQASM(c.toQASM())
+        v = np.array([1, 1j]) / np.sqrt(2)
+        np.testing.assert_allclose(
+            sorted(c.simulate(v).probabilities),
+            sorted(c2.simulate(v).probabilities),
+            atol=1e-12,
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        c = QCircuit(n)
+        for _ in range(10):
+            q = int(rng.integers(0, n))
+            t = int((q + 1 + rng.integers(0, n - 1)) % n)
+            roll = rng.integers(0, 6)
+            if roll == 0:
+                c.push_back(Hadamard(q))
+            elif roll == 1:
+                c.push_back(RotationX(q, float(rng.normal())))
+            elif roll == 2:
+                c.push_back(T(q))
+            elif roll == 3:
+                c.push_back(CNOT(q, t))
+            elif roll == 4:
+                c.push_back(CPhase(q, t, float(rng.normal())))
+            else:
+                c.push_back(SWAP(q, t))
+        c2 = fromQASM(c.toQASM())
+        assert phase_equal(c.matrix, c2.matrix)
+
+
+class TestImporterFeatures:
+    def test_minimal_program(self):
+        c = parse_qasm("OPENQASM 2.0; qreg q[1]; h q[0];")
+        assert c.nbQubits == 1
+        assert len(c) == 1
+
+    def test_pi_expressions(self):
+        c = parse_qasm(
+            "qreg q[1]; rz(pi/2) q[0]; rz(-pi) q[0]; rz(2*pi/4+0.5) q[0];"
+        )
+        assert c[0].theta == pytest.approx(math.pi / 2)
+        assert c[1].theta == pytest.approx(-math.pi)
+        assert c[2].theta == pytest.approx(math.pi / 2 + 0.5)
+
+    def test_power_and_functions(self):
+        c = parse_qasm("qreg q[1]; rz(2^3) q[0]; rz(sin(0)) q[0];")
+        # rotation angles are canonicalized into (-2 pi, 2 pi]
+        assert c[0].theta == pytest.approx(8 - 4 * math.pi)
+        assert c[1].theta == pytest.approx(0.0)
+
+    def test_broadcast_whole_register(self):
+        c = parse_qasm("qreg q[3]; h q;")
+        assert len(c) == 3
+        assert all(type(g).__name__ == "Hadamard" for g in c)
+
+    def test_gate_definition_expansion(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[2];
+        gate entangle(theta) a,b { h a; cx a,b; rz(theta) b; }
+        entangle(pi/4) q[0],q[1];
+        """
+        c = parse_qasm(src)
+        want = QCircuit(2)
+        want.push_back(Hadamard(0))
+        want.push_back(CNOT(0, 1))
+        from repro.gates import RotationZ
+
+        want.push_back(RotationZ(1, math.pi / 4))
+        assert phase_equal(c.matrix, want.matrix)
+
+    def test_nested_gate_definitions(self):
+        src = """
+        qreg q[2];
+        gate mybell a,b { h a; cx a,b; }
+        gate doubled a,b { mybell a,b; mybell a,b; }
+        doubled q[0],q[1];
+        """
+        c = parse_qasm(src)
+        assert c.nbGates == 4
+
+    def test_multiple_qregs_concatenate(self):
+        c = parse_qasm("qreg a[1]; qreg b[2]; h a[0]; x b[1];")
+        assert c.nbQubits == 3
+        assert c[1].qubits == (2,)
+
+    def test_measure_reset_barrier(self):
+        src = """
+        qreg q[2]; creg c[2];
+        h q[0];
+        barrier q[0],q[1];
+        measure q[0] -> c[0];
+        reset q[1];
+        """
+        c = parse_qasm(src)
+        kinds = [type(op).__name__ for op in c]
+        assert kinds == ["Hadamard", "Barrier", "Measurement", "Reset"]
+
+    def test_measure_whole_register(self):
+        c = parse_qasm("qreg q[2]; creg c[2]; measure q -> c;")
+        assert sum(isinstance(op, Measurement) for op in c) == 2
+
+    def test_comments_ignored(self):
+        c = parse_qasm("// a comment\nqreg q[1]; h q[0]; // trailing\n")
+        assert len(c) == 1
+
+    def test_ccx_becomes_mcx(self):
+        c = parse_qasm("qreg q[3]; ccx q[0],q[1],q[2];")
+        assert isinstance(c[0], MCX)
+
+    def test_file_object(self, tmp_path):
+        p = tmp_path / "c.qasm"
+        p.write_text("qreg q[1]; h q[0];")
+        with open(p) as fh:
+            c = fromQASM(fh)
+        assert len(c) == 1
+        # also by path
+        assert len(fromQASM(str(p))) == 1
+
+
+class TestImporterErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; foo q[0];")
+
+    def test_missing_qreg(self):
+        with pytest.raises(QASMError):
+            parse_qasm("OPENQASM 2.0; h q[0];")
+
+    def test_out_of_range_index(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; h q[3];")
+
+    def test_opaque_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; opaque magic a;")
+
+    def test_if_rejected(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; creg c[1]; if (c==1) x q[0];")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; rz q[0];")
+
+    def test_wrong_qubit_count(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[2]; cx q[0];")
+
+    def test_unknown_creg(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; measure q[0] -> c[0];")
+
+    def test_bad_character(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg q[1]; h q[0]; @")
+
+    def test_mismatched_broadcast(self):
+        with pytest.raises(QASMError):
+            parse_qasm("qreg a[2]; qreg b[3]; cx a,b;")
+
+
+class TestGateDefEmission:
+    def test_rzz_def_included_when_used(self):
+        c = QCircuit(2)
+        c.push_back(RotationZZ(0, 1, 0.5))
+        text = c.toQASM()
+        assert "gate rzz(theta) a,b" in text
+
+    def test_defs_not_included_when_unused(self):
+        text = bell_circuit().toQASM()
+        assert "gate rzz" not in text
+        assert "gate iswap" not in text
+
+    def test_iswap_def_is_correct(self):
+        """Expand the emitted iswap definition through the importer's
+        generic gate-def machinery and compare matrices."""
+        src = """
+        qreg q[2];
+        gate iswap2 a,b { s a; s b; h a; cx a,b; cx b,a; h b; }
+        iswap2 q[0],q[1];
+        """
+        c = parse_qasm(src)
+        assert phase_equal(c.matrix, iSWAP(0, 1).matrix)
+
+    def test_rzz_def_is_correct(self):
+        src = """
+        qreg q[2];
+        gate myrzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+        myrzz(0.7) q[0],q[1];
+        """
+        c = parse_qasm(src)
+        assert phase_equal(c.matrix, RotationZZ(0, 1, 0.7).matrix)
+
+    def test_rxx_def_is_correct(self):
+        src = """
+        qreg q[2];
+        gate myrxx(theta) a,b { h a; h b; cx a,b; u1(theta) b; cx a,b; h a; h b; }
+        myrxx(0.7) q[0],q[1];
+        """
+        c = parse_qasm(src)
+        from repro.gates import RotationXX
+
+        assert phase_equal(c.matrix, RotationXX(0, 1, 0.7).matrix)
+
+    def test_ryy_def_is_correct(self):
+        src = """
+        qreg q[2];
+        gate myryy(theta) a,b { rx(pi/2) a; rx(pi/2) b; cx a,b;
+                                u1(theta) b; cx a,b;
+                                rx(-pi/2) a; rx(-pi/2) b; }
+        myryy(0.7) q[0],q[1];
+        """
+        c = parse_qasm(src)
+        from repro.gates import RotationYY
+
+        assert phase_equal(c.matrix, RotationYY(0, 1, 0.7).matrix)

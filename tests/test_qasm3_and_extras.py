@@ -1,0 +1,125 @@
+"""Tests for the OpenQASM 3 exporter, Simulation ensemble helpers and
+multi-target Grover."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import grover_search, grover_circuit
+from repro.circuit import Measurement, QCircuit
+from repro.exceptions import CircuitError
+from repro.gates import CNOT, CPhase, Hadamard, Phase, RotationZZ, iSWAP
+
+
+class TestQASM3Export:
+    def test_header_and_declarations(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        text = c.toQASM3()
+        lines = text.splitlines()
+        assert lines[0] == "OPENQASM 3.0;"
+        assert 'include "stdgates.inc";' in lines
+        assert "qubit[2] q;" in lines
+        assert "bit[2] c;" in lines
+
+    def test_measure_assignment_syntax(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0))
+        assert "c[0] = measure q[0];" in c.toQASM3()
+
+    def test_u1_renamed_to_p(self):
+        c = QCircuit(1)
+        c.push_back(Phase(0, 0.5))
+        text = c.toQASM3()
+        assert "p(0.5) q[0];" in text
+        assert "u1(" not in text
+
+    def test_cu1_renamed_to_cp(self):
+        c = QCircuit(2)
+        c.push_back(CPhase(0, 1, 0.25))
+        assert "cp(0.25) q[0],q[1];" in c.toQASM3()
+
+    def test_iswap_dagger_inverse_modifier(self):
+        c = QCircuit(2)
+        c.push_back(iSWAP(0, 1).ctranspose())
+        assert "inv @ iswap q[0],q[1];" in c.toQASM3()
+
+    def test_nonstandard_defs_included(self):
+        c = QCircuit(2)
+        c.push_back(RotationZZ(0, 1, 0.4))
+        text = c.toQASM3()
+        assert "gate rzz(theta) a,b" in text
+
+    def test_body_only(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        body = c.toQASM3(include_header=False)
+        assert body == "h q[0];\n"
+
+
+class TestSimulationEnsembleHelpers:
+    def test_expectation_bell_post_measurement(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(Measurement(0))
+        sim = c.simulate("00")
+        # ZZ correlation survives the measurement; X coherence does not
+        assert sim.expectation("zz") == pytest.approx(1.0)
+        assert sim.expectation("zi") == pytest.approx(0.0)
+        assert sim.expectation("xx") == pytest.approx(0.0)
+
+    def test_expectation_no_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        sim = c.simulate("0")
+        assert sim.expectation("x") == pytest.approx(1.0)
+
+    def test_reduced_density_mixture(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(Measurement(0))
+        sim = c.simulate("00")
+        rho1 = sim.reduced_density([1])
+        np.testing.assert_allclose(rho1, np.eye(2) / 2, atol=1e-12)
+
+    def test_reduced_density_matches_density_sim(self):
+        from repro.simulation import simulate_density
+        from repro.simulation.reduced import partial_trace
+
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(Measurement(0))
+        sv = c.simulate("00").reduced_density([1])
+        ds = simulate_density(c)
+        np.testing.assert_allclose(
+            sv, partial_trace(ds.rho, [1]), atol=1e-12
+        )
+
+
+class TestMultiTargetGrover:
+    def test_two_marked_states(self):
+        r = grover_search(["101", "010"])
+        assert r.found in ("101", "010")
+        total = r.distribution.get("101", 0) + r.distribution.get(
+            "010", 0
+        )
+        assert total > 0.9
+
+    def test_quarter_marked_single_iteration_exact(self):
+        """N = 16, M = 4: one Grover iteration is exact."""
+        marked = ["0000", "0101", "1010", "1111"]
+        c = grover_circuit(marked)
+        sim = c.simulate("0000")
+        dist = dict(zip(sim.results, sim.probabilities))
+        hit = sum(dist.get(m, 0.0) for m in marked)
+        assert hit == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            grover_circuit([])
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(CircuitError):
+            grover_circuit(["01", "001"])

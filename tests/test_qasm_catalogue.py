@@ -1,0 +1,134 @@
+"""Per-gate OpenQASM round-trip coverage for the full catalogue.
+
+Every gate class that claims a QASM encoding must survive
+export -> parse -> matrix comparison (up to global phase), one gate at
+a time on a 4-qubit register.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QCircuit
+from repro.gates import (
+    CH,
+    CNOT,
+    CPhase,
+    CRotationX,
+    CRotationY,
+    CRotationZ,
+    CSwap,
+    CY,
+    CZ,
+    ControlledGate1,
+    Hadamard,
+    Identity,
+    MCPhase,
+    MCRotationX,
+    MCRotationY,
+    MCRotationZ,
+    MCX,
+    MCY,
+    MCZ,
+    MatrixGate,
+    PauliX,
+    PauliY,
+    PauliZ,
+    Phase,
+    RotationX,
+    RotationXX,
+    RotationY,
+    RotationYY,
+    RotationZ,
+    RotationZZ,
+    S,
+    Sdg,
+    SqrtX,
+    SWAP,
+    T,
+    Tdg,
+    U2,
+    U3,
+    iSWAP,
+)
+from repro.io.qasm_import import fromQASM
+
+N = 4
+
+CATALOGUE = [
+    Identity(0),
+    Hadamard(1),
+    PauliX(2),
+    PauliY(3),
+    PauliZ(0),
+    S(1),
+    Sdg(2),
+    T(3),
+    Tdg(0),
+    SqrtX(1),
+    SqrtX(1).ctranspose(),
+    Phase(2, 0.37),
+    RotationX(3, -0.9),
+    RotationY(0, 1.4),
+    RotationZ(1, 2.2),
+    U2(2, 0.3, -0.8),
+    U3(3, 0.5, 1.1, -0.2),
+    RotationXX(0, 2, 0.6),
+    RotationYY(1, 3, -0.4),
+    RotationZZ(0, 3, 1.7),
+    CNOT(0, 1),
+    CNOT(2, 1),
+    CNOT(0, 3, control_state=0),
+    CY(1, 2),
+    CZ(3, 0),
+    CH(0, 2),
+    CPhase(1, 3, 0.7),
+    CPhase(3, 1, -0.7, control_state=0),
+    CRotationX(0, 1, 0.3),
+    CRotationY(2, 3, -1.1),
+    CRotationZ(1, 0, 0.9),
+    SWAP(0, 3),
+    iSWAP(1, 2),
+    iSWAP(1, 2).ctranspose(),
+    CSwap(0, 1, 2),
+    CSwap(3, 0, 1, control_state=0),
+    MCX([0, 1], 2),
+    MCX([0, 2], 3, [0, 1]),
+    MCX([0, 1, 3], 2),
+    MCY([1, 2], 0),
+    MCZ([0, 3], 1, [0, 0]),
+    MCPhase([1, 2], 3, 0.45),
+    MCRotationX([0], 2, 0.8),
+    MCRotationY([1, 3], 0, -0.6),
+    MCRotationZ([0, 2], 1, 1.3),
+    ControlledGate1(SqrtX(2), 0),
+    ControlledGate1(U3(1, 0.2, 0.4, 0.6), 3),
+    MatrixGate(
+        2,
+        np.array([[0.6, 0.8j], [0.8j, 0.6]]),
+        label="G",
+    ),
+]
+
+
+def phase_equal(a, b, atol=1e-8):
+    k = int(np.argmax(np.abs(a)))
+    phase = b.flat[k] / a.flat[k]
+    return abs(abs(phase) - 1) < atol and np.allclose(
+        a * phase, b, atol=atol
+    )
+
+
+@pytest.mark.parametrize("gate", CATALOGUE, ids=lambda g: repr(g))
+def test_gate_round_trips_through_qasm(gate):
+    c = QCircuit(N)
+    c.push_back(gate)
+    back = fromQASM(c.toQASM())
+    assert phase_equal(c.matrix, back.matrix), gate
+
+
+def test_catalogue_in_one_circuit(benchmark=None):
+    c = QCircuit(N)
+    for gate in CATALOGUE:
+        c.push_back(gate)
+    back = fromQASM(c.toQASM())
+    assert phase_equal(c.matrix, back.matrix, atol=1e-7)

@@ -1,0 +1,134 @@
+"""Unit and property tests for QRotation, fusion and turnover."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.angle import QAngle, QRotation, turnover
+from repro.exceptions import GateError
+
+angles = st.floats(-6.0, 6.0, allow_nan=False, allow_infinity=False)
+
+_PAULI = {
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def rot_matrix(axis: str, rot: QRotation) -> np.ndarray:
+    """R_axis(theta) = cos(theta/2) I - i sin(theta/2) sigma_axis."""
+    return rot.cos * np.eye(2) - 1j * rot.sin * _PAULI[axis]
+
+
+class TestConstruction:
+    def test_identity_default(self):
+        r = QRotation()
+        assert r.theta == 0.0 and r.cos == 1.0 and r.sin == 0.0
+
+    def test_from_theta(self):
+        r = QRotation(math.pi)
+        assert r.cos == pytest.approx(0.0, abs=1e-15)
+        assert r.sin == pytest.approx(1.0)
+
+    def test_from_cos_sin_is_half_angle(self):
+        r = QRotation(math.cos(0.3), math.sin(0.3))
+        assert r.theta == pytest.approx(0.6)
+
+    def test_from_half_angle(self):
+        r = QRotation.from_half_angle(QAngle(0.25))
+        assert r.theta == pytest.approx(0.5)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            QRotation(1.0).theta = 2.0
+
+
+class TestFusion:
+    @given(angles, angles)
+    @settings(max_examples=100)
+    def test_fusion_matches_matrix_product(self, t1, t2):
+        r = QRotation(t1) * QRotation(t2)
+        for axis in "xyz":
+            want = rot_matrix(axis, QRotation(t1)) @ rot_matrix(
+                axis, QRotation(t2)
+            )
+            np.testing.assert_allclose(
+                rot_matrix(axis, r), want, atol=1e-12
+            )
+
+    @given(angles)
+    def test_inverse(self, t):
+        r = QRotation(t)
+        prod = r * r.inv()
+        np.testing.assert_allclose(
+            rot_matrix("x", prod), np.eye(2), atol=1e-12
+        )
+
+    def test_eq_hash_repr(self):
+        assert QRotation(0.5) == QRotation(0.5)
+        assert hash(QRotation(0.5)) == hash(QRotation(0.5))
+        assert "QRotation" in repr(QRotation(0.5))
+        assert QRotation(0.5) != QRotation(0.6)
+
+
+AXIS_PAIRS = [
+    ("x", "y"), ("x", "z"),
+    ("y", "x"), ("y", "z"),
+    ("z", "x"), ("z", "y"),
+]
+
+
+class TestTurnover:
+    @pytest.mark.parametrize("outer,inner", AXIS_PAIRS)
+    def test_all_axis_pairs(self, outer, inner):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            t1, t2, t3 = rng.uniform(-math.pi, math.pi, size=3)
+            r1, r2, r3 = QRotation(t1), QRotation(t2), QRotation(t3)
+            p1, p2, p3 = turnover(r1, r2, r3, outer, inner)
+            lhs = (
+                rot_matrix(outer, r1)
+                @ rot_matrix(inner, r2)
+                @ rot_matrix(outer, r3)
+            )
+            rhs = (
+                rot_matrix(inner, p1)
+                @ rot_matrix(outer, p2)
+                @ rot_matrix(inner, p3)
+            )
+            np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_degenerate_middle_rotation(self):
+        """t2 = 0 collapses to a single outer rotation; must stay exact."""
+        r1, r2, r3 = QRotation(0.7), QRotation(0.0), QRotation(-0.2)
+        p1, p2, p3 = turnover(r1, r2, r3, "z", "y")
+        lhs = rot_matrix("z", r1) @ rot_matrix("z", r3)
+        rhs = (
+            rot_matrix("y", p1)
+            @ rot_matrix("z", p2)
+            @ rot_matrix("y", p3)
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_rejects_equal_axes(self):
+        r = QRotation(0.1)
+        with pytest.raises(GateError):
+            turnover(r, r, r, "z", "z")
+
+    def test_rejects_unknown_axis(self):
+        r = QRotation(0.1)
+        with pytest.raises(GateError):
+            turnover(r, r, r, "z", "w")
+
+    @given(angles, angles, angles)
+    @settings(max_examples=60, deadline=None)
+    def test_property_zy(self, t1, t2, t3):
+        r1, r2, r3 = QRotation(t1), QRotation(t2), QRotation(t3)
+        p1, p2, p3 = turnover(r1, r2, r3, "z", "y")
+        lhs = rot_matrix("z", r1) @ rot_matrix("y", r2) @ rot_matrix("z", r3)
+        rhs = rot_matrix("y", p1) @ rot_matrix("z", p2) @ rot_matrix("y", p3)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)

@@ -1,0 +1,174 @@
+"""Tests for reducedStatevector, partial_trace and density utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StateError
+from repro.simulation.density import (
+    density_matrix,
+    fidelity,
+    purity,
+    trace_distance,
+)
+from repro.simulation.reduced import partial_trace, reducedStatevector
+from repro.simulation.state import basis_state, random_state
+
+
+class TestReducedStatevector:
+    def test_paper_usage(self):
+        """The teleportation verification pattern."""
+        v = np.array([1 / np.sqrt(2), 1j / np.sqrt(2)])
+        state = np.kron(basis_state("00"), v)
+        out = reducedStatevector(state, [0, 1], "00")
+        np.testing.assert_allclose(out, v)
+
+    def test_bits_as_list(self):
+        state = np.kron(basis_state("10"), np.array([0.6, 0.8]))
+        out = reducedStatevector(state, [0, 1], [1, 0])
+        np.testing.assert_allclose(out, [0.6, 0.8])
+
+    def test_non_contiguous_qubits(self):
+        a = np.array([0.6, 0.8j])
+        # q0 = |1>, q1 = a, q2 = |0>
+        state = np.kron(np.kron([0, 1], a), [1, 0]).astype(complex)
+        out = reducedStatevector(state, [0, 2], "10")
+        np.testing.assert_allclose(out, a)
+
+    def test_renormalizes(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 0.5  # norm 0.5 within subspace
+        state[3] = np.sqrt(1 - 0.25)
+        with pytest.raises(StateError):
+            # support outside the asserted subspace -> invalid
+            reducedStatevector(state, [0], "0")
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(StateError):
+            reducedStatevector(basis_state("11"), [0], "0")
+
+    def test_rejects_all_qubits(self):
+        with pytest.raises(StateError):
+            reducedStatevector(basis_state("11"), [0, 1], "11")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(StateError):
+            reducedStatevector(basis_state("11"), [0], "11")
+
+    def test_rejects_bad_bitstring(self):
+        with pytest.raises(StateError):
+            reducedStatevector(basis_state("11"), [0], "2")
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        a = np.array([0.6, 0.8])
+        b = np.array([1, 1j]) / np.sqrt(2)
+        state = np.kron(a, b)
+        np.testing.assert_allclose(
+            partial_trace(state, [0]), np.outer(a, a.conj()), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            partial_trace(state, [1]), np.outer(b, b.conj()), atol=1e-12
+        )
+
+    def test_bell_state_is_maximally_mixed(self):
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        rho = partial_trace(bell, [0])
+        np.testing.assert_allclose(rho, np.eye(2) / 2, atol=1e-12)
+
+    def test_density_matrix_input(self):
+        bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        rho_full = density_matrix(bell)
+        np.testing.assert_allclose(
+            partial_trace(rho_full, [1]), np.eye(2) / 2, atol=1e-12
+        )
+
+    def test_keep_multiple(self):
+        s = random_state(3, rng=0)
+        rho01 = partial_trace(s, [0, 1])
+        assert rho01.shape == (4, 4)
+        assert np.trace(rho01) == pytest.approx(1.0)
+        # tracing the result again matches tracing directly
+        rho0_direct = partial_trace(s, [0])
+        rho0_two_step = partial_trace(rho01, [0])
+        np.testing.assert_allclose(rho0_two_step, rho0_direct, atol=1e-12)
+
+    def test_trace_preserved(self):
+        s = random_state(4, rng=1)
+        for keep in ([0], [1, 3], [0, 2, 3]):
+            rho = partial_trace(s, keep)
+            assert np.trace(rho).real == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(StateError):
+            partial_trace(np.ones((2, 3)), [0])
+        with pytest.raises(StateError):
+            partial_trace(basis_state("00"), [])
+        with pytest.raises(StateError):
+            partial_trace(basis_state("00"), [5])
+        with pytest.raises(StateError):
+            partial_trace(basis_state("00"), [0], nb_qubits=3)
+
+
+class TestDensity:
+    def test_density_matrix(self):
+        v = np.array([1, 1j]) / np.sqrt(2)
+        rho = density_matrix(v)
+        want = np.array([[0.5, -0.5j], [0.5j, 0.5]])
+        np.testing.assert_allclose(rho, want)
+
+    def test_density_rejects_bad_length(self):
+        with pytest.raises(StateError):
+            density_matrix(np.ones(3))
+
+    def test_trace_distance_identical(self):
+        rho = density_matrix(basis_state("0"))
+        assert trace_distance(rho, rho) == pytest.approx(0.0)
+
+    def test_trace_distance_orthogonal(self):
+        r0 = density_matrix(np.array([1.0, 0]))
+        r1 = density_matrix(np.array([0, 1.0]))
+        assert trace_distance(r0, r1) == pytest.approx(1.0)
+
+    def test_trace_distance_paper_scale(self):
+        """The paper's example distance 0.006 between rho and rho_est."""
+        rho = np.array([[0.5, -0.5j], [0.5j, 0.5]])
+        rho_est = np.array(
+            [[0.494, 0.029 - 0.5j], [0.029 + 0.5j, 0.506]]
+        )
+        d = trace_distance(rho, rho_est)
+        assert 0.0 < d < 0.05
+
+    def test_trace_distance_shape_mismatch(self):
+        with pytest.raises(StateError):
+            trace_distance(np.eye(2), np.eye(4))
+
+    def test_fidelity_pure_states(self):
+        a = density_matrix(np.array([1.0, 0]))
+        b = density_matrix(np.array([1, 1]) / np.sqrt(2))
+        assert fidelity(a, a) == pytest.approx(1.0)
+        assert fidelity(a, b) == pytest.approx(0.5)
+
+    def test_fidelity_with_mixed(self):
+        pure = density_matrix(np.array([1.0, 0]))
+        mixed = np.eye(2) / 2
+        assert fidelity(pure, mixed) == pytest.approx(0.5)
+
+    def test_purity(self):
+        assert purity(density_matrix(basis_state("0"))) == pytest.approx(1.0)
+        assert purity(np.eye(4) / 4) == pytest.approx(0.25)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_fuchs_van_de_graaf(self, seed):
+        """1 - sqrt(F) <= T <= sqrt(1 - F) for pure-ish states."""
+        rng = np.random.default_rng(seed)
+        a = random_state(2, rng=rng)
+        b = random_state(2, rng=rng)
+        ra, rb = density_matrix(a), density_matrix(b)
+        t = trace_distance(ra, rb)
+        f = fidelity(ra, rb)
+        assert 1 - np.sqrt(f) <= t + 1e-7
+        assert t <= np.sqrt(max(0.0, 1 - f)) + 1e-7

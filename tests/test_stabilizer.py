@@ -1,0 +1,212 @@
+"""Tests for the CHP stabilizer simulator, cross-validated against the
+state-vector engine on Clifford circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Measurement, QCircuit, Reset
+from repro.exceptions import SimulationError
+from repro.gates import (
+    CNOT,
+    CZ,
+    Hadamard,
+    Identity,
+    PauliX,
+    PauliY,
+    PauliZ,
+    RotationX,
+    S,
+    Sdg,
+    SWAP,
+    T,
+)
+from repro.simulation.stabilizer import (
+    StabilizerState,
+    simulate_stabilizer,
+    stabilizer_counts,
+)
+
+
+def random_clifford_circuit(n, nb_gates, rng, measure_all=True):
+    c = QCircuit(n)
+    for _ in range(nb_gates):
+        roll = int(rng.integers(0, 8))
+        q = int(rng.integers(0, n))
+        t = int((q + 1 + rng.integers(0, max(1, n - 1))) % n)
+        if roll == 0:
+            c.push_back(Hadamard(q))
+        elif roll == 1:
+            c.push_back(S(q))
+        elif roll == 2:
+            c.push_back(Sdg(q))
+        elif roll == 3:
+            c.push_back(PauliX(q))
+        elif roll == 4:
+            c.push_back(PauliZ(q))
+        elif roll == 5 and n > 1:
+            c.push_back(CNOT(q, t))
+        elif roll == 6 and n > 1:
+            c.push_back(CZ(q, t))
+        elif n > 1:
+            c.push_back(SWAP(q, t))
+        else:
+            c.push_back(Hadamard(q))
+    if measure_all:
+        for q in range(n):
+            c.push_back(Measurement(q))
+    return c
+
+
+class TestDeterministicStates:
+    def test_all_zero_start(self):
+        c = QCircuit(3)
+        for q in range(3):
+            c.push_back(Measurement(q))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert result == "000"
+
+    def test_x_flips(self):
+        c = QCircuit(2)
+        c.push_back(PauliX(1))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert result == "01"
+
+    def test_bell_correlation(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(CNOT(0, 1))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+        counts = stabilizer_counts(c, shots=500, seed=3)
+        assert set(counts) <= {"00", "11"}
+
+    def test_ghz_correlation(self):
+        n = 6
+        c = QCircuit(n)
+        c.push_back(Hadamard(0))
+        for q in range(n - 1):
+            c.push_back(CNOT(q, q + 1))
+        for q in range(n):
+            c.push_back(Measurement(q))
+        counts = stabilizer_counts(c, shots=400, seed=4)
+        assert set(counts) <= {"0" * n, "1" * n}
+
+    def test_repeated_measurement_consistent(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(0))
+        for seed in range(10):
+            result, _ = simulate_stabilizer(c, rng=seed)
+            assert result in ("00", "11")
+
+    def test_paulis_and_identity(self):
+        c = QCircuit(1)
+        c.push_back(Identity(0))
+        c.push_back(PauliY(0))
+        c.push_back(Measurement(0))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert result == "1"
+
+    def test_s_gates_cancel(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(S(0))
+        c.push_back(Sdg(0))
+        c.push_back(Hadamard(0))
+        c.push_back(Measurement(0))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert result == "0"
+
+    def test_swap(self):
+        c = QCircuit(2)
+        c.push_back(PauliX(0))
+        c.push_back(SWAP(0, 1))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert result == "01"
+
+    def test_reset(self):
+        c = QCircuit(1)
+        c.push_back(Hadamard(0))
+        c.push_back(Reset(0))
+        c.push_back(Measurement(0))
+        for seed in range(5):
+            result, _ = simulate_stabilizer(c, rng=seed)
+            assert result == "0"
+
+
+class TestCrossValidation:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_distribution_support(self, seed):
+        """Every stabilizer outcome must be possible under the exact
+        state-vector simulation (support containment)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        c = random_clifford_circuit(n, 12, rng)
+        exact = set(c.simulate("0" * n).results)
+        sampled = stabilizer_counts(c, shots=200, seed=seed)
+        assert set(sampled) <= exact
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_distribution_statistics(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        c = random_clifford_circuit(n, 15, rng)
+        sv = c.simulate("0" * n)
+        exact = dict(zip(sv.results, sv.probabilities))
+        shots = 6000
+        sampled = stabilizer_counts(c, shots=shots, seed=seed + 100)
+        for outcome, p in exact.items():
+            freq = sampled.get(outcome, 0) / shots
+            sigma = 3 * np.sqrt(max(p * (1 - p), 1e-4) / shots)
+            assert abs(freq - p) < sigma + 5e-3
+
+
+class TestScaling:
+    def test_hundred_qubit_ghz(self):
+        n = 100
+        c = QCircuit(n)
+        c.push_back(Hadamard(0))
+        for q in range(n - 1):
+            c.push_back(CNOT(q, q + 1))
+        for q in range(n):
+            c.push_back(Measurement(q))
+        result, _ = simulate_stabilizer(c, rng=7)
+        assert result in ("0" * n, "1" * n)
+
+
+class TestValidation:
+    def test_rejects_non_clifford(self):
+        c = QCircuit(1)
+        c.push_back(T(0))
+        with pytest.raises(SimulationError):
+            simulate_stabilizer(c)
+
+    def test_rejects_rotation(self):
+        c = QCircuit(1)
+        c.push_back(RotationX(0, 0.3))
+        with pytest.raises(SimulationError):
+            simulate_stabilizer(c)
+
+    def test_rejects_non_z_measurement(self):
+        c = QCircuit(1)
+        c.push_back(Measurement(0, "x"))
+        with pytest.raises(SimulationError):
+            simulate_stabilizer(c)
+
+    def test_rejects_open_control(self):
+        c = QCircuit(2)
+        c.push_back(CNOT(0, 1, control_state=0))
+        with pytest.raises(SimulationError):
+            simulate_stabilizer(c)
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(SimulationError):
+            StabilizerState(0)

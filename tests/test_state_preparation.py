@@ -1,0 +1,125 @@
+"""Tests for Möttönen state preparation and the shared multiplexor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import prepare_state
+from repro.circuit import QCircuit
+from repro.compilers.multiplexor import (
+    append_multiplexed_rotation,
+    gray_permutation_angles,
+)
+from repro.exceptions import CircuitError, StateError
+from repro.simulation.state import basis_state, random_state
+
+
+def prepared(vector):
+    circuit = prepare_state(vector)
+    n = circuit.nbQubits
+    return circuit.matrix @ basis_state("0" * n)
+
+
+def phase_equal_states(a, b, atol=1e-10):
+    k = int(np.argmax(np.abs(a)))
+    if abs(a[k]) < 1e-12:
+        return np.allclose(a, b, atol=atol)
+    phase = b[k] / a[k]
+    return abs(abs(phase) - 1) < atol and np.allclose(
+        a * phase, b, atol=atol
+    )
+
+
+class TestMultiplexor:
+    def test_zero_controls_single_rotation(self):
+        c = QCircuit(1)
+        kept = append_multiplexed_rotation(c, [0.7], [], 0, axis="y")
+        assert kept == 1
+        assert len(c) == 1
+
+    def test_selects_angle_by_control_state(self):
+        """R(angles[j]) must act on the target when controls read j."""
+        angles = [0.3, -0.8, 1.1, 0.4]
+        c = QCircuit(3)
+        append_multiplexed_rotation(c, angles, [0, 1], 2, axis="y")
+        u = c.matrix
+        for j, theta in enumerate(angles):
+            # input |j>|0>: target rotates by theta
+            idx = j << 1
+            col = u[:, idx]
+            expect0 = np.cos(theta / 2)
+            expect1 = np.sin(theta / 2)
+            assert col[idx] == pytest.approx(expect0, abs=1e-12)
+            assert col[idx + 1] == pytest.approx(expect1, abs=1e-12)
+
+    def test_z_axis(self):
+        angles = [0.5, -0.5]
+        c = QCircuit(2)
+        append_multiplexed_rotation(c, angles, [0], 1, axis="z")
+        u = c.matrix
+        assert u[0, 0] == pytest.approx(np.exp(-0.25j), abs=1e-12)
+        assert u[2, 2] == pytest.approx(np.exp(0.25j), abs=1e-12)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(CircuitError):
+            append_multiplexed_rotation(QCircuit(2), [0.1, 0.2], [0], 1,
+                                        axis="x")
+
+    def test_rejects_angle_count(self):
+        with pytest.raises(CircuitError):
+            append_multiplexed_rotation(QCircuit(2), [0.1], [0], 1)
+
+    def test_angle_transform_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=8)
+        y = gray_permutation_angles(x)
+        assert y.shape == x.shape
+
+
+class TestPrepareState:
+    def test_bell_state(self):
+        v = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert phase_equal_states(v, prepared(v))
+
+    def test_paper_state(self):
+        v = np.array([1 / np.sqrt(2), 1j / np.sqrt(2)])
+        assert phase_equal_states(v, prepared(v))
+
+    def test_basis_states(self):
+        for bits in ("0", "1", "01", "10", "110", "0101"):
+            v = basis_state(bits)
+            assert phase_equal_states(v, prepared(v))
+
+    def test_w_state(self):
+        w = np.zeros(8)
+        w[[1, 2, 4]] = 1 / np.sqrt(3)
+        assert phase_equal_states(w.astype(complex), prepared(w))
+
+    def test_state_with_zeros_and_phases(self):
+        v = np.array([0, 1j, 0, -1]) / np.sqrt(2)
+        assert phase_equal_states(v, prepared(v))
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5))
+        v = random_state(n, rng=rng)
+        assert phase_equal_states(v, prepared(v))
+
+    def test_real_state_uses_no_rz(self):
+        v = np.array([0.6, 0.8])
+        circuit = prepare_state(v)
+        names = {type(op).__name__ for op in circuit}
+        assert "RotationZ" not in names
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(StateError):
+            prepare_state([1.0, 1.0])
+
+    def test_rejects_bad_length(self):
+        from repro.exceptions import QubitError
+
+        with pytest.raises((StateError, QubitError)):
+            prepare_state([1.0, 0.0, 0.0])

@@ -1,0 +1,108 @@
+"""Tests for the named entangled-state builders."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ghz_circuit,
+    ghz_state,
+    graph_state_circuit,
+    w_circuit,
+    w_state,
+)
+from repro.exceptions import CircuitError
+from repro.simulation.observables import expectation, pauli_matrix
+from repro.simulation.state import basis_state
+
+
+def output(circuit):
+    n = circuit.nbQubits
+    return circuit.matrix @ basis_state("0" * n)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_prepares_ghz(self, n):
+        np.testing.assert_allclose(
+            output(ghz_circuit(n)), ghz_state(n), atol=1e-12
+        )
+
+    def test_parity_correlations(self):
+        psi = output(ghz_circuit(4))
+        assert expectation(psi, "zzzz") == pytest.approx(1.0)
+        assert expectation(psi, "xxxx") == pytest.approx(1.0)
+        assert expectation(psi, "ziii") == pytest.approx(0.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(0)
+
+
+class TestW:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_prepares_w(self, n):
+        np.testing.assert_allclose(
+            output(w_circuit(n)), w_state(n), atol=1e-12
+        )
+
+    def test_single_excitation(self):
+        psi = output(w_circuit(4))
+        # total Z expectation = n - 2 (one excitation among n qubits)
+        total = sum(
+            expectation(psi, "i" * q + "z" + "i" * (3 - q))
+            for q in range(4)
+        )
+        assert total == pytest.approx(4 - 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(CircuitError):
+            w_circuit(0)
+
+
+class TestGraphStates:
+    def test_path_graph_stabilizers(self):
+        psi = output(graph_state_circuit(3, [(0, 1), (1, 2)]))
+        for stab in ("xzi", "zxz", "izx"):
+            np.testing.assert_allclose(
+                pauli_matrix(stab) @ psi, psi, atol=1e-12
+            )
+
+    def test_triangle_graph(self):
+        psi = output(graph_state_circuit(3, [(0, 1), (1, 2), (0, 2)]))
+        for stab in ("xzz", "zxz", "zzx"):
+            np.testing.assert_allclose(
+                pauli_matrix(stab) @ psi, psi, atol=1e-12
+            )
+
+    def test_empty_graph_is_plus_state(self):
+        psi = output(graph_state_circuit(2, []))
+        np.testing.assert_allclose(psi, np.full(4, 0.5), atol=1e-12)
+
+    def test_edge_order_irrelevant(self):
+        a = output(graph_state_circuit(3, [(0, 1), (1, 2)]))
+        b = output(graph_state_circuit(3, [(1, 2), (0, 1)]))
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(CircuitError):
+            graph_state_circuit(2, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        from repro.exceptions import QubitError
+
+        with pytest.raises(QubitError):
+            graph_state_circuit(2, [(0, 2)])
+
+    def test_clifford_simulable(self):
+        """Graph-state circuits are Clifford: the stabilizer engine
+        must handle them (on a large register)."""
+        from repro.circuit import Measurement
+        from repro.simulation.stabilizer import simulate_stabilizer
+
+        n = 40
+        edges = [(q, q + 1) for q in range(n - 1)]
+        c = graph_state_circuit(n, edges)
+        for q in range(n):
+            c.push_back(Measurement(q))
+        result, _ = simulate_stabilizer(c, rng=0)
+        assert len(result) == n

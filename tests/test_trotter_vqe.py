@@ -1,0 +1,137 @@
+"""Tests for Trotter evolution and the VQE workflow."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.algorithms import (
+    h2_hamiltonian,
+    hardware_efficient_ansatz,
+    pauli_evolution_circuit,
+    trotter_circuit,
+    vqe_minimize,
+)
+from repro.exceptions import CircuitError
+from repro.simulation.observables import PauliSum, pauli_matrix
+
+
+def exact_evolution(pauli, angle):
+    return scipy.linalg.expm(-0.5j * angle * pauli_matrix(pauli))
+
+
+class TestPauliEvolution:
+    @pytest.mark.parametrize(
+        "pauli", ["z", "x", "y", "zz", "xx", "yy", "xy", "zxy", "iyx",
+                  "xiz"]
+    )
+    @pytest.mark.parametrize("angle", [0.0, 0.73, -1.9, np.pi])
+    def test_exact_including_phase(self, pauli, angle):
+        got = pauli_evolution_circuit(pauli, angle).matrix
+        want = exact_evolution(pauli, angle)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_identity_string_is_empty_circuit(self):
+        c = pauli_evolution_circuit("ii", 0.5)
+        assert len(c) == 0
+
+    def test_z_uses_native_rz(self):
+        c = pauli_evolution_circuit("iz", 0.5)
+        assert len(c) == 1
+        assert type(c[0]).__name__ == "RotationZ"
+
+    def test_zz_uses_native_rzz(self):
+        c = pauli_evolution_circuit("zz", 0.5)
+        assert len(c) == 1
+        assert type(c[0]).__name__ == "RotationZZ"
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(CircuitError):
+            pauli_evolution_circuit("abc", 0.5)
+
+    def test_register_padding(self):
+        c = pauli_evolution_circuit("z", 0.5, nb_qubits=1)
+        assert c.nbQubits == 1
+        with pytest.raises(CircuitError):
+            pauli_evolution_circuit("z", 0.5, nb_qubits=3)
+
+
+TFIM = PauliSum(
+    [(-1.0, "zzi"), (-1.0, "izz"), (-0.7, "xii"), (-0.7, "ixi"),
+     (-0.7, "iix")]
+)
+
+
+class TestTrotter:
+    def test_single_step_error_scale(self):
+        u_exact = scipy.linalg.expm(-1j * TFIM.matrix() * 0.5)
+        u1 = trotter_circuit(TFIM, 0.5, steps=1, order=1).matrix
+        assert np.abs(u1 - u_exact).max() < 0.5
+
+    @pytest.mark.parametrize("order,rate", [(1, 1.6), (2, 3.0)])
+    def test_convergence_rate(self, order, rate):
+        """Error must shrink at least ~2^rate when doubling steps."""
+        t = 0.8
+        u_exact = scipy.linalg.expm(-1j * TFIM.matrix() * t)
+        errs = []
+        for steps in (2, 4, 8):
+            u = trotter_circuit(TFIM, t, steps, order).matrix
+            errs.append(np.abs(u - u_exact).max())
+        assert errs[0] / errs[1] > rate
+        assert errs[1] / errs[2] > rate
+
+    def test_second_order_beats_first(self):
+        t = 0.8
+        u_exact = scipy.linalg.expm(-1j * TFIM.matrix() * t)
+        e1 = np.abs(
+            trotter_circuit(TFIM, t, 4, 1).matrix - u_exact
+        ).max()
+        e2 = np.abs(
+            trotter_circuit(TFIM, t, 4, 2).matrix - u_exact
+        ).max()
+        assert e2 < e1
+
+    def test_commuting_terms_exact(self):
+        h = PauliSum([(0.3, "zi"), (0.4, "iz"), (0.2, "zz")])
+        u = trotter_circuit(h, 1.3, steps=1, order=1).matrix
+        want = scipy.linalg.expm(-1.3j * h.matrix())
+        np.testing.assert_allclose(u, want, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            trotter_circuit(TFIM, 1.0, steps=0)
+        with pytest.raises(CircuitError):
+            trotter_circuit(TFIM, 1.0, order=3)
+
+
+class TestAnsatz:
+    def test_parameter_count_enforced(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient_ansatz(2, 1, np.zeros(3))
+
+    def test_structure(self):
+        c = hardware_efficient_ansatz(3, 2, np.zeros(9))
+        names = [type(op).__name__ for op in c]
+        assert names.count("RotationY") == 9
+        assert names.count("CZ") == 4
+
+    def test_zero_params_is_identity(self):
+        c = hardware_efficient_ansatz(2, 0, np.zeros(2))
+        np.testing.assert_allclose(c.matrix, np.eye(4), atol=1e-14)
+
+
+class TestVQE:
+    def test_h2_ground_energy(self):
+        result = vqe_minimize(h2_hamiltonian(), layers=1, seed=0)
+        assert result.energy == pytest.approx(result.exact, abs=1e-4)
+        assert result.evaluations > 0
+
+    def test_energy_never_below_exact(self):
+        result = vqe_minimize(h2_hamiltonian(), layers=1, seed=1)
+        assert result.energy >= result.exact - 1e-9
+
+    def test_single_qubit_hamiltonian(self):
+        h = PauliSum([(1.0, "z"), (0.5, "x")])
+        result = vqe_minimize(h, layers=0, restarts=4, seed=2)
+        exact = -np.sqrt(1.25)
+        assert result.exact == pytest.approx(exact)
+        assert result.energy == pytest.approx(exact, abs=1e-3)

@@ -1,0 +1,220 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QubitError
+from repro.utils.bits import (
+    bit_length_for,
+    bitstring_to_index,
+    gather_indices,
+    index_to_bitstring,
+    insert_bit,
+    insert_bits,
+    qubit_bit,
+    qubit_mask,
+    subindex_map,
+)
+
+
+class TestBitLengthFor:
+    def test_powers_of_two(self):
+        for n in range(0, 20):
+            assert bit_length_for(1 << n) == n
+
+    @pytest.mark.parametrize("bad", [0, -1, 3, 5, 6, 7, 12, 1000])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(QubitError):
+            bit_length_for(bad)
+
+
+class TestBitstringConversion:
+    def test_q0_is_most_significant(self):
+        assert bitstring_to_index("10") == 2
+        assert bitstring_to_index("01") == 1
+        assert index_to_bitstring(2, 2) == "10"
+
+    def test_roundtrip(self):
+        for n in (1, 3, 5):
+            for i in range(1 << n):
+                assert bitstring_to_index(index_to_bitstring(i, n)) == i
+
+    @pytest.mark.parametrize("bad", ["", "2", "0a1", "01 "])
+    def test_rejects_bad_strings(self, bad):
+        with pytest.raises(QubitError):
+            bitstring_to_index(bad)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(QubitError):
+            index_to_bitstring(4, 2)
+        with pytest.raises(QubitError):
+            index_to_bitstring(-1, 2)
+
+
+class TestQubitMaskAndBit:
+    def test_mask_positions(self):
+        assert qubit_mask(0, 3) == 0b100
+        assert qubit_mask(1, 3) == 0b010
+        assert qubit_mask(2, 3) == 0b001
+
+    def test_mask_rejects_out_of_range(self):
+        with pytest.raises(QubitError):
+            qubit_mask(3, 3)
+        with pytest.raises(QubitError):
+            qubit_mask(-1, 3)
+
+    def test_bit_extraction_scalar(self):
+        # index 0b101 on 3 qubits: q0=1, q1=0, q2=1
+        assert qubit_bit(0b101, 0, 3) == 1
+        assert qubit_bit(0b101, 1, 3) == 0
+        assert qubit_bit(0b101, 2, 3) == 1
+
+    def test_bit_extraction_vectorized(self):
+        idx = np.arange(8)
+        bits_q0 = qubit_bit(idx, 0, 3)
+        np.testing.assert_array_equal(bits_q0, [0, 0, 0, 0, 1, 1, 1, 1])
+        bits_q2 = qubit_bit(idx, 2, 3)
+        np.testing.assert_array_equal(bits_q2, [0, 1, 0, 1, 0, 1, 0, 1])
+
+    def test_consistency_with_bitstring(self):
+        n = 4
+        for i in range(1 << n):
+            s = index_to_bitstring(i, n)
+            for q in range(n):
+                assert qubit_bit(i, q, n) == int(s[q])
+
+
+class TestInsertBit:
+    def test_insert_at_lsb(self):
+        assert insert_bit(0b11, 0, 0) == 0b110
+        assert insert_bit(0b11, 0, 1) == 0b111
+
+    def test_insert_in_middle(self):
+        assert insert_bit(0b11, 1, 0) == 0b101
+        assert insert_bit(0b11, 1, 1) == 0b111
+
+    def test_insert_at_msb(self):
+        assert insert_bit(0b11, 2, 1) == 0b111
+        assert insert_bit(0b11, 2, 0) == 0b011
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 20), st.integers(0, 1))
+    def test_insert_then_extract(self, x, pos, bit):
+        y = insert_bit(x, pos, bit)
+        assert (y >> pos) & 1 == bit
+        # removing the inserted bit recovers x
+        low = y & ((1 << pos) - 1)
+        high = (y >> (pos + 1)) << pos
+        assert high | low == x
+
+
+class TestInsertBits:
+    def test_matches_sequential_single_inserts(self):
+        # inserting bits at positions 0 and 2 of a 2-bit rest index
+        for rest in range(4):
+            got = insert_bits(rest, [0, 2], [1, 0])
+            manual = insert_bit(insert_bit(rest, 0, 1), 2, 0)
+            assert got == manual
+
+    def test_order_of_positions_irrelevant(self):
+        rest = np.arange(4)
+        a = insert_bits(rest, [0, 2], [1, 0])
+        b = insert_bits(rest, [2, 0], [0, 1])
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(QubitError):
+            insert_bits(0, [0, 1], [1])
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(QubitError):
+            insert_bits(0, [1, 1], [0, 1])
+
+
+class TestGatherIndices:
+    def test_single_qubit_halves(self):
+        idx0 = gather_indices(3, [0], [0])
+        idx1 = gather_indices(3, [0], [1])
+        np.testing.assert_array_equal(idx0, [0, 1, 2, 3])
+        np.testing.assert_array_equal(idx1, [4, 5, 6, 7])
+
+    def test_all_qubits_single_index(self):
+        idx = gather_indices(3, [0, 1, 2], [1, 0, 1])
+        np.testing.assert_array_equal(idx, [0b101])
+
+    def test_partition(self):
+        # gather over both values of a qubit partitions the index set
+        n = 5
+        for q in range(n):
+            a = gather_indices(n, [q], [0])
+            b = gather_indices(n, [q], [1])
+            union = np.sort(np.concatenate([a, b]))
+            np.testing.assert_array_equal(union, np.arange(1 << n))
+
+    def test_gathered_indices_have_requested_bits(self):
+        n = 6
+        qubits, values = [1, 4, 5], [1, 0, 1]
+        idx = gather_indices(n, qubits, values)
+        for q, v in zip(qubits, values):
+            np.testing.assert_array_equal(qubit_bit(idx, q, n), v)
+
+    def test_sorted_output(self):
+        idx = gather_indices(6, [2, 3], [1, 0])
+        assert np.all(np.diff(idx) > 0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(QubitError):
+            gather_indices(3, [0], [2])
+        with pytest.raises(QubitError):
+            gather_indices(3, [0, 1], [0])
+
+
+class TestSubindexMap:
+    def test_shape(self):
+        m = subindex_map(5, [1, 3])
+        assert m.shape == (4, 8)
+
+    def test_covers_all_indices_once(self):
+        m = subindex_map(5, [0, 2, 4])
+        flat = np.sort(m.ravel())
+        np.testing.assert_array_equal(flat, np.arange(32))
+
+    def test_subindex_bits_match(self):
+        n, qubits = 5, [3, 1]  # note: order defines sub-index significance
+        m = subindex_map(n, qubits)
+        for a in range(m.shape[0]):
+            for j, q in enumerate(qubits):
+                want = (a >> (len(qubits) - 1 - j)) & 1
+                np.testing.assert_array_equal(qubit_bit(m[a], q, n), want)
+
+    def test_rest_enumeration_consistent_across_rows(self):
+        # each column must agree on all non-target bits
+        n, qubits = 4, [1, 2]
+        m = subindex_map(n, qubits)
+        others = [q for q in range(n) if q not in qubits]
+        for q in others:
+            col_bits = qubit_bit(m, q, n)
+            assert np.all(col_bits == col_bits[0:1, :])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(QubitError):
+            subindex_map(4, [1, 1])
+
+    @given(
+        st.integers(2, 8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.integers(0, n - 1), min_size=1, max_size=min(n, 3),
+                    unique=True,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bijection(self, n_and_qubits):
+        n, qubits = n_and_qubits
+        m = subindex_map(n, qubits)
+        flat = np.sort(m.ravel())
+        np.testing.assert_array_equal(flat, np.arange(1 << n))

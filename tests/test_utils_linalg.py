@@ -1,0 +1,94 @@
+"""Unit tests for repro.utils.linalg and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError, QubitError
+from repro.utils.linalg import (
+    closeto,
+    dagger,
+    is_hermitian,
+    is_normalized,
+    is_unitary,
+    kron_all,
+)
+from repro.utils.validation import (
+    check_control_states,
+    check_dtype,
+    check_qubit,
+    check_qubits,
+)
+
+
+class TestLinalg:
+    def test_dagger(self):
+        m = np.array([[1, 2j], [3, 4]])
+        np.testing.assert_array_equal(dagger(m), np.array([[1, 3], [-2j, 4]]))
+
+    def test_is_unitary_accepts_standard_gates(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert is_unitary(h)
+        assert is_unitary(np.eye(4))
+        assert is_unitary(np.diag([1, 1j]))
+
+    def test_is_unitary_rejects(self):
+        assert not is_unitary(np.array([[1, 0], [0, 2]]))
+        assert not is_unitary(np.ones((2, 3)))
+        assert not is_unitary(np.ones(4))
+
+    def test_is_hermitian(self):
+        assert is_hermitian(np.array([[1, 2j], [-2j, 3]]))
+        assert not is_hermitian(np.array([[1, 2j], [2j, 3]]))
+        assert not is_hermitian(np.ones((2, 3)))
+
+    def test_is_normalized(self):
+        assert is_normalized(np.array([1, 0, 0, 0]))
+        assert is_normalized(np.array([1, 1j]) / np.sqrt(2))
+        assert not is_normalized(np.array([1, 1]))
+
+    def test_kron_all_order(self):
+        v = np.array([1, 0])
+        w = np.array([0, 1])
+        got = kron_all([v, w])
+        np.testing.assert_array_equal(got, [0, 1, 0, 0])  # |01> -> index 1
+
+    def test_kron_all_empty(self):
+        with pytest.raises(ValueError):
+            kron_all([])
+
+    def test_closeto(self):
+        assert closeto(1.0, 1.0 + 1e-12)
+        assert not closeto(1.0, 1.1)
+
+
+class TestValidation:
+    def test_check_qubit_accepts_numpy_ints(self):
+        assert check_qubit(np.int64(3)) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "0", None, True])
+    def test_check_qubit_rejects(self, bad):
+        with pytest.raises(QubitError):
+            check_qubit(bad)
+
+    def test_check_qubit_range(self):
+        assert check_qubit(2, 3) == 2
+        with pytest.raises(QubitError):
+            check_qubit(3, 3)
+
+    def test_check_qubits_duplicates(self):
+        with pytest.raises(QubitError):
+            check_qubits([0, 1, 0])
+        assert check_qubits([0, 1, 0], distinct=False) == [0, 1, 0]
+
+    def test_check_dtype(self):
+        assert check_dtype(np.complex128) == np.dtype(np.complex128)
+        assert check_dtype("complex64") == np.dtype(np.complex64)
+        with pytest.raises(GateError):
+            check_dtype(np.float64)
+
+    def test_check_control_states(self):
+        assert check_control_states([1, 0], 2) == [1, 0]
+        with pytest.raises(GateError):
+            check_control_states([1], 2)
+        with pytest.raises(GateError):
+            check_control_states([1, 2], 2)
