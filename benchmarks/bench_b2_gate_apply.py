@@ -79,3 +79,72 @@ def test_b2_rows(benchmark):
         )
         print(f"B2 | {name} {agree}")
         assert agree
+
+
+def _layered_1q_circuit(n, layers):
+    """Deep 1q-heavy workload: alternating RY/RZ layers with a CZ
+    ladder every few layers to keep it non-trivial."""
+    from repro.circuit import QCircuit
+
+    c = QCircuit(n)
+    for layer in range(layers):
+        for q in range(n):
+            c.push_back(RotationX(q, 0.1 * (layer + 1) + 0.01 * q))
+        for q in range(n):
+            c.push_back(RotationZ(q, 0.2 * (layer + 1) - 0.01 * q))
+        if layer % 4 == 3:
+            for q in range(0, n - 1, 2):
+                c.push_back(CZ(q, q + 1))
+    return c
+
+
+def test_b2_plan_vs_unplanned(benchmark):
+    """Planned-vs-unplanned execution on a deep 1q-heavy circuit
+    (paper Section 3.2 workload shape); emits ``BENCH_plan.json``."""
+    import json
+    from pathlib import Path
+    from time import perf_counter
+
+    from repro.simulation import SimulationOptions, clear_plan_cache, simulate
+    from repro.simulation.plan import get_plan
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    n, layers, reps = 12, 12, 5
+    circuit = _layered_1q_circuit(n, layers)
+    start = "0" * n
+
+    def timed(options):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = perf_counter()
+            sim = simulate(circuit, start, options=options)
+            best = min(best, perf_counter() - t0)
+        return best, sim
+
+    clear_plan_cache()
+    unplanned, sim_u = timed(SimulationOptions(compile=False))
+    get_plan(circuit)  # pay compilation outside the timed region
+    planned, sim_p = timed(SimulationOptions())
+    assert np.allclose(sim_p.states[0], sim_u.states[0], atol=1e-12)
+
+    plan, stats = get_plan(circuit)
+    payload = {
+        "benchmark": "B2-plan",
+        "nb_qubits": n,
+        "nb_source_gates": stats.nb_source_ops,
+        "nb_plan_steps": stats.nb_steps,
+        "nb_fused_1q": stats.nb_fused_1q,
+        "nb_diag_merged": stats.nb_diag_merged,
+        "unplanned_seconds": unplanned,
+        "planned_seconds": planned,
+        "speedup": unplanned / planned,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(
+        f"B2-plan | {stats.nb_source_ops} gates -> {stats.nb_steps} "
+        f"steps | planned {planned * 1e3:.2f} ms vs unplanned "
+        f"{unplanned * 1e3:.2f} ms | speedup {payload['speedup']:.2f}x"
+    )
+    assert payload["speedup"] >= 1.5

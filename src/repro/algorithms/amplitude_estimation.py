@@ -121,7 +121,7 @@ def estimate_amplitude(
     good = list(good)
     n = preparation.nbQubits
     circuit = amplitude_estimation_circuit(preparation, good, nb_counting)
-    sim = circuit.simulate("0" * circuit.nbQubits, backend=backend)
+    sim = circuit.simulate("0" * circuit.nbQubits, {"backend": backend})
     # aggregate probabilities over the counting register (the system
     # register is unmeasured, so results are t-bit strings already)
     best = int(np.argmax(sim.probabilities))

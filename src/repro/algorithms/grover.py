@@ -198,7 +198,7 @@ def grover_search(
     )
     circuit = grover_circuit(marked_list if len(marked_list) > 1
                              else marked_list[0], iterations=iters)
-    sim = circuit.simulate("0" * n, backend=backend)
+    sim = circuit.simulate("0" * n, {"backend": backend})
     dist = dict(zip(sim.results, sim.probabilities))
     found = max(dist, key=dist.get)
     return GroverResult(

@@ -60,7 +60,7 @@ def deutsch_jozsa_is_constant(
     """Run Deutsch–Jozsa; ``True`` when the oracle encodes a constant
     function (all-zeros measured with probability 1)."""
     n = oracle.nbQubits
-    sim = deutsch_jozsa_circuit(oracle).simulate("0" * n, backend=backend)
+    sim = deutsch_jozsa_circuit(oracle).simulate("0" * n, {"backend": backend})
     dist = dict(zip(sim.results, sim.probabilities))
     return dist.get("0" * n, 0.0) > 1.0 - 1e-9
 
@@ -89,7 +89,7 @@ def bernstein_vazirani_circuit(secret: str) -> QCircuit:
 def bernstein_vazirani_secret(secret: str, backend: str = "kernel") -> str:
     """Recover ``secret`` in a single query (deterministically)."""
     sim = bernstein_vazirani_circuit(secret).simulate(
-        "0" * len(secret), backend=backend
+        "0" * len(secret), {"backend": backend}
     )
     best = int(max(range(sim.nbBranches), key=lambda i: sim.probabilities[i]))
     return sim.results[best]

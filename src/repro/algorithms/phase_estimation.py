@@ -85,7 +85,7 @@ def estimate_phase(
     counting0 = np.zeros(1 << nb_counting, dtype=np.complex128)
     counting0[0] = 1.0
     initial = np.kron(counting0, vec)
-    sim = circuit.simulate(initial, backend=backend)
+    sim = circuit.simulate(initial, {"backend": backend})
     best = int(np.argmax(sim.probabilities))
     bits = sim.results[best]
     return PhaseEstimate(

@@ -100,7 +100,7 @@ def run_bit_flip_demo(
     v = _check_state(v)
     circuit = bit_flip_code_circuit(error_qubit)
     initial = np.kron(v, _basis16())
-    sim = circuit.simulate(initial, backend=backend)
+    sim = circuit.simulate(initial, {"backend": backend})
     assert sim.nbBranches == 1  # deterministic syndrome
     syndrome = sim.results[0]
     state = sim.states[0]
@@ -167,7 +167,7 @@ def run_phase_flip_demo(
     v = _check_state(v)
     circuit = phase_flip_code_circuit(error_qubit)
     initial = np.kron(v, _basis16())
-    sim = circuit.simulate(initial, backend=backend)
+    sim = circuit.simulate(initial, {"backend": backend})
     assert sim.nbBranches == 1
     syndrome = sim.results[0]
     state = sim.states[0]
@@ -242,7 +242,7 @@ def run_shor_code_demo(
     rest = np.zeros(256, dtype=np.complex128)
     rest[0] = 1.0
     initial = np.kron(v, rest)
-    sim = circuit.simulate(initial, backend=backend)
+    sim = circuit.simulate(initial, {"backend": backend})
     state = sim.states[0]
     rho0 = partial_trace(state, keep=[0])
     fid = fidelity(density_matrix(v), rho0)

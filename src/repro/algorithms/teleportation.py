@@ -78,7 +78,7 @@ def teleport(v, backend: str = "kernel") -> TeleportationResult:
 
     qtc = teleportation_circuit()
     initial = np.kron(v, bell_state())
-    sim = qtc.simulate(initial, backend=backend)
+    sim = qtc.simulate(initial, {"backend": backend})
 
     received = [
         reducedStatevector(state, [0, 1], result)

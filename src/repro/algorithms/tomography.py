@@ -112,7 +112,7 @@ def single_qubit_tomography(
     counts = {}
     for basis in "xyz":
         circuit = measurement_circuit(basis)
-        sim = circuit.simulate(v, backend=backend)
+        sim = circuit.simulate(v, {"backend": backend})
         counts[basis] = sim.counts(shots, seed=rng)
     s = tomography_coefficients(counts["x"], counts["y"], counts["z"])
     rho_est = 0.5 * (
@@ -161,7 +161,7 @@ def pauli_tomography(
     setting_counts: Dict[str, np.ndarray] = {}
     for setting in product("xyz", repeat=n):
         key = "".join(setting)
-        sim = measurement_circuit(key, n).simulate(state, backend=backend)
+        sim = measurement_circuit(key, n).simulate(state, {"backend": backend})
         setting_counts[key] = sim.counts(shots, seed=rng)
 
     dim = 1 << n

@@ -101,7 +101,7 @@ def vqe_minimize(
         nonlocal evaluations
         evaluations += 1
         circuit = hardware_efficient_ansatz(n, layers, params)
-        state = circuit.simulate(zero, backend=backend).states[0]
+        state = circuit.simulate(zero, {"backend": backend}).states[0]
         return hamiltonian.expectation(state)
 
     rng = np.random.default_rng(seed)

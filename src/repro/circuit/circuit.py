@@ -62,6 +62,7 @@ class QCircuit(QObject):
         self._ops: List[QObject] = []
         self._block = False
         self._block_label = "circuit"
+        self._revision = 0
 
     # -- register geometry ---------------------------------------------------
 
@@ -78,6 +79,17 @@ class QCircuit(QObject):
     @offset.setter
     def offset(self, value: int) -> None:
         self._offset = check_qubit(value) if value else 0
+        self._revision += 1
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter: bumped by every structural edit
+        (:meth:`push_back`, :meth:`pop_back`, :meth:`insert`,
+        :meth:`erase`, :meth:`clear`, :attr:`offset`).  The compiled-plan
+        layer (:mod:`repro.simulation.plan`) uses it to invalidate its
+        per-circuit flattening cache; gate *parameter* updates are
+        tracked separately through gate signatures."""
+        return self._revision
 
     @property
     def qubits(self) -> tuple:
@@ -89,12 +101,14 @@ class QCircuit(QObject):
         """Append a gate, measurement, reset, barrier or sub-circuit."""
         self._check_fits(obj)
         self._ops.append(obj)
+        self._revision += 1
         return self
 
     def pop_back(self) -> QObject:
         """Remove and return the last element."""
         if not self._ops:
             raise CircuitError("pop_back on an empty circuit")
+        self._revision += 1
         return self._ops.pop()
 
     def insert(self, index: int, obj: QObject) -> "QCircuit":
@@ -105,6 +119,7 @@ class QCircuit(QObject):
                 f"insert index {index} out of range [0, {len(self._ops)}]"
             )
         self._ops.insert(index, obj)
+        self._revision += 1
         return self
 
     def erase(self, index: int) -> QObject:
@@ -113,11 +128,13 @@ class QCircuit(QObject):
             raise CircuitError(
                 f"erase index {index} out of range [0, {len(self._ops)})"
             )
+        self._revision += 1
         return self._ops.pop(index)
 
     def clear(self) -> None:
         """Remove every element."""
         self._ops.clear()
+        self._revision += 1
 
     def _check_fits(self, obj: QObject) -> None:
         if not isinstance(obj, QObject):
@@ -205,17 +222,14 @@ class QCircuit(QObject):
             raise CircuitError(
                 "matrix is undefined for circuits with measurements/resets"
             )
-        from repro.simulation.backends import default_backend
-        from repro.simulation.simulate import apply_operation
+        from repro.simulation.plan import get_plan
 
-        backend = default_backend()
+        plan, _stats = get_plan(self, "kernel", np.complex128)
         dim = 1 << self._nb_qubits
         state = np.eye(dim, dtype=np.complex128)
-        for op, off in self.operations():
-            if isinstance(op, Barrier):
-                continue
-            state = apply_operation(
-                backend, state, op, off, self._nb_qubits
+        for step in plan.steps:
+            state = plan.engine.apply_planned(
+                state, step, self._nb_qubits
             )
         return state
 
@@ -239,9 +253,14 @@ class QCircuit(QObject):
     def simulate(
         self,
         start="0",
-        backend: str = "kernel",
-        atol: float = 1e-12,
+        options=None,
+        *legacy_args,
+        backend=None,
+        atol=None,
         dtype=None,
+        seed=None,
+        compile=None,
+        fuse=None,
     ):
         """Simulate the circuit from an initial state.
 
@@ -250,38 +269,46 @@ class QCircuit(QObject):
         start:
             A bitstring such as ``'00'`` (q0 first) or a state vector of
             length ``2**nbQubits``.
-        backend:
-            ``'kernel'`` (optimized, default), ``'sparse'`` (the paper's
-            sparse-Kronecker reference) or ``'einsum'``.
-        atol:
-            Probability threshold below which measurement branches are
-            pruned.
-        dtype:
-            Working precision: ``complex128`` (default) or ``complex64``
-            (mirrors QCLAB++'s single-precision template instantiation).
+        options:
+            A :class:`~repro.simulation.SimulationOptions` (or plain
+            dict) holding backend, atol, dtype, seed and compilation
+            settings — the unified configuration object shared by every
+            simulation entry point.
+        backend, atol, dtype, seed, compile, fuse:
+            Per-field overrides of ``options``.  Passing them without
+            ``options`` is the historical keyword form and emits a
+            :class:`DeprecationWarning` (it keeps working).
 
         Returns
         -------
         Simulation
             Result object exposing ``results``, ``probabilities``,
-            ``states``, ``counts(shots)`` and ``reducedStates``.
+            ``states``, ``counts(shots)``, ``reducedStates`` and the
+            plan statistics ``stats``.
         """
-        import numpy as _np
-
         from repro.simulation.simulate import simulate as _simulate
 
         return _simulate(
             self,
             start,
+            options,
+            *legacy_args,
             backend=backend,
             atol=atol,
-            dtype=_np.complex128 if dtype is None else dtype,
+            dtype=dtype,
+            seed=seed,
+            compile=compile,
+            fuse=fuse,
         )
 
-    def counts(self, shots: int, start="0", seed=None, backend="kernel"):
+    def counts(
+        self, shots: int, start="0", seed=None, backend=None, options=None
+    ):
         """Shot-sample the circuit: convenience for
         ``simulate(start).counts(shots, seed)``."""
-        return self.simulate(start, backend=backend).counts(shots, seed=seed)
+        return self.simulate(start, options, backend=backend).counts(
+            shots, seed=seed
+        )
 
     # -- blocks (Grover-style modular drawing) ---------------------------------------
 

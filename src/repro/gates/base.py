@@ -150,6 +150,36 @@ class QGate(QObject):
         """``True`` when the gate carries no continuous parameter."""
         return True
 
+    # -- plan-compilation hooks ---------------------------------------------
+
+    def signature(self, offset: int = 0) -> tuple:
+        """Structural identity of this gate at absolute offset ``offset``.
+
+        Used by :mod:`repro.simulation.plan` to key the compiled-plan
+        cache: two gates with equal signatures apply identically, so a
+        parameter update (which changes the signature) invalidates any
+        cached plan.  Hashable and cheap to compute.
+        """
+        return (
+            type(self).__qualname__,
+            tuple(q + offset for q in self.qubits),
+            tuple(q + offset for q in self.controls()),
+            tuple(self.control_states()),
+            self._param_signature(),
+        )
+
+    def _param_signature(self):
+        """Fingerprint of the gate's continuous parameters.
+
+        Fixed gates are fully identified by their class; parametric
+        gates override this with a cheap tuple of parameter values.  The
+        fallback hashes the exact matrix bytes, which is always correct
+        but costs a matrix build.
+        """
+        if self.is_fixed:
+            return None
+        return np.asarray(self.matrix).tobytes()
+
     # -- generic behaviour ---------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -117,6 +117,10 @@ class ControlledGate1(QGate):
     def is_fixed(self) -> bool:
         return self._gate.is_fixed
 
+    def _param_signature(self):
+        # the generic wrapper's identity is its inner gate's identity
+        return self._gate.signature()
+
     # -- behaviour ----------------------------------------------------------
 
     def ctranspose(self) -> "ControlledGate1":
@@ -267,6 +271,9 @@ class ControlledGate(QGate):
     @property
     def is_fixed(self) -> bool:
         return self._gate.is_fixed
+
+    def _param_signature(self):
+        return self._gate.signature()
 
     def ctranspose(self) -> "ControlledGate":
         return ControlledGate(

@@ -120,6 +120,9 @@ class MCGate(QGate):
     def is_fixed(self) -> bool:
         return self._gate.is_fixed
 
+    def _param_signature(self):
+        return self._gate.signature()
+
     # -- behaviour ----------------------------------------------------------
 
     def ctranspose(self) -> "MCGate":

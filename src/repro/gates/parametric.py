@@ -93,6 +93,9 @@ class Phase(QGate1):
     def is_fixed(self) -> bool:
         return False
 
+    def _param_signature(self):
+        return (self._angle.cos, self._angle.sin)
+
     @property
     def label(self) -> str:
         return f"P({self.theta:.4g})"
@@ -170,6 +173,9 @@ class RotationGate1(QGate1):
     @property
     def is_fixed(self) -> bool:
         return False
+
+    def _param_signature(self):
+        return (self._rotation.cos, self._rotation.sin)
 
     @property
     def label(self) -> str:
@@ -266,6 +272,11 @@ class U2(QGate1):
     def is_fixed(self) -> bool:
         return False
 
+    def _param_signature(self):
+        return (
+            self._phi.cos, self._phi.sin, self._lam.cos, self._lam.sin,
+        )
+
     @property
     def label(self) -> str:
         return f"U2({self.phi:.3g},{self.lam:.3g})"
@@ -334,6 +345,13 @@ class U3(QGate1):
     @property
     def is_fixed(self) -> bool:
         return False
+
+    def _param_signature(self):
+        return (
+            self._rot.cos, self._rot.sin,
+            self._phi.cos, self._phi.sin,
+            self._lam.cos, self._lam.sin,
+        )
 
     @property
     def label(self) -> str:
@@ -418,6 +436,9 @@ class RotationGate2(QGate):
     @property
     def is_fixed(self) -> bool:
         return False
+
+    def _param_signature(self):
+        return (self._rotation.cos, self._rotation.sin)
 
     @property
     def matrix(self) -> np.ndarray:

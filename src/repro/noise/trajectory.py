@@ -15,14 +15,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.circuit.barrier import Barrier
 from repro.circuit.measurement import Measurement
-from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError
-from repro.gates.base import QGate
 from repro.noise.model import NoiseModel
-from repro.simulation.backends import get_backend
-from repro.simulation.simulate import apply_operation
+from repro.simulation.options import SimulationOptions
+from repro.simulation.plan import GATE, MEASURE, get_plan
 from repro.simulation.state import initial_state
 
 __all__ = ["TrajectoryResult", "run_trajectory", "noisy_counts"]
@@ -73,12 +70,25 @@ def _sample_measurement(engine, state, meas, qubit, nb_qubits, rng):
     return outcome, state
 
 
+def _resolve_options(options, backend):
+    if options is None:
+        opts = SimulationOptions()
+    elif isinstance(options, SimulationOptions):
+        opts = options
+    else:
+        opts = SimulationOptions(**options)
+    if backend is not None:
+        opts = opts.replace(backend=backend)
+    return opts
+
+
 def run_trajectory(
     circuit,
     noise: Optional[NoiseModel] = None,
     rng=None,
     start=None,
-    backend: str = "kernel",
+    backend=None,
+    options: Optional[SimulationOptions] = None,
 ) -> TrajectoryResult:
     """Sample a single noisy run of ``circuit``.
 
@@ -92,33 +102,47 @@ def run_trajectory(
         Seed or :class:`numpy.random.Generator`.
     start:
         Initial state (bitstring or vector).
+    backend:
+        Backend name or instance; overrides ``options``.
+    options:
+        A :class:`~repro.simulation.SimulationOptions`; the circuit is
+        executed through a compiled plan, so repeated trajectories of
+        the same circuit reuse one compilation.  Gate fusion is
+        disabled automatically while a non-trivial noise model is
+        active (channels attach per source gate).
     """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
     noise = noise or NoiseModel()
-    engine = get_backend(backend)
+    opts = _resolve_options(options, backend)
     nb_qubits = circuit.nbQubits
+    use_fuse = opts.fuse and noise.is_trivial
+    plan, _stats = get_plan(
+        circuit, opts.backend, opts.dtype, fuse=use_fuse
+    )
+    engine = plan.engine
     if start is None:
         start = "0" * nb_qubits
-    state = initial_state(start, nb_qubits)
+    state = initial_state(start, nb_qubits, dtype=opts.dtype)
     outcomes = []
 
-    for op, off in circuit.operations():
-        if isinstance(op, Barrier):
-            continue
-        if isinstance(op, QGate):
-            state = apply_operation(engine, state, op, off, nb_qubits)
-            channel = noise.channel_for(op)
+    for step in plan.steps:
+        if step.kind == GATE:
+            state = engine.apply_planned(state, step, nb_qubits)
+            channel = (
+                noise.channel_for(step.op)
+                if step.op is not None
+                else None
+            )
             if channel is not None and not channel.is_identity:
-                for q in op.qubits:
+                for q in step.noise_qubits:
                     state = _apply_kraus(
-                        engine, state, channel.kraus, q + off,
-                        nb_qubits, rng,
+                        engine, state, channel.kraus, q, nb_qubits, rng
                     )
             continue
-        if isinstance(op, Measurement):
+        if step.kind == MEASURE:
             outcome, state = _sample_measurement(
-                engine, state, op, op.qubit + off, nb_qubits, rng
+                engine, state, step.op, step.qubit, nb_qubits, rng
             )
             if noise.readout_error > 0.0 and (
                 rng.random() < noise.readout_error
@@ -126,23 +150,19 @@ def run_trajectory(
                 outcome = 1 - outcome
             outcomes.append(str(outcome))
             continue
-        if isinstance(op, Reset):
-            meas = Measurement(op.qubit)
-            outcome, state = _sample_measurement(
-                engine, state, meas, op.qubit + off, nb_qubits, rng
-            )
-            if outcome == 1:
-                from repro.gates import PauliX
-
-                state = apply_operation(
-                    engine, state, PauliX(op.qubit), off, nb_qubits
-                )
-            if op.record:
-                outcomes.append(str(outcome))
-            continue
-        raise SimulationError(
-            f"cannot simulate circuit element {type(op).__name__}"
+        # RESET
+        meas = Measurement(step.op.qubit)
+        outcome, state = _sample_measurement(
+            engine, state, meas, step.qubit, nb_qubits, rng
         )
+        if outcome == 1:
+            from repro.gates import PauliX
+
+            state = engine.apply(
+                state, PauliX(0).matrix, [step.qubit], nb_qubits
+            )
+        if step.op.record:
+            outcomes.append(str(outcome))
 
     return TrajectoryResult(result="".join(outcomes), state=state)
 
@@ -153,9 +173,13 @@ def noisy_counts(
     shots: int = 1000,
     seed=None,
     start=None,
-    backend: str = "kernel",
+    backend=None,
+    options: Optional[SimulationOptions] = None,
 ) -> Dict[str, int]:
-    """Outcome histogram over ``shots`` independent noisy trajectories."""
+    """Outcome histogram over ``shots`` independent noisy trajectories.
+
+    All shots replay one compiled plan — the plan is fetched once from
+    the cache, so the per-shot cost is pure execution."""
     rng = (
         seed
         if isinstance(seed, np.random.Generator)
@@ -164,7 +188,8 @@ def noisy_counts(
     counts: Dict[str, int] = {}
     for _ in range(int(shots)):
         result = run_trajectory(
-            circuit, noise, rng=rng, start=start, backend=backend
+            circuit, noise, rng=rng, start=start, backend=backend,
+            options=options,
         ).result
         counts[result] = counts.get(result, 0) + 1
     return counts

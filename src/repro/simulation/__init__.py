@@ -17,6 +17,23 @@ from repro.simulation.backends import (
     available_backends,
     default_backend,
     get_backend,
+    get_engine,
+    register_backend,
+    register_engine,
+)
+from repro.simulation.options import (
+    SimulationOptions,
+    resolve_simulation_options,
+)
+from repro.simulation.plan import (
+    CompiledPlan,
+    PlanStats,
+    PlanStep,
+    circuit_signature,
+    clear_plan_cache,
+    compile_circuit,
+    get_plan,
+    plan_cache_info,
 )
 from repro.simulation.density import (
     density_matrix,
@@ -52,6 +69,19 @@ __all__ = [
     "get_backend",
     "default_backend",
     "available_backends",
+    "register_backend",
+    "register_engine",
+    "get_engine",
+    "SimulationOptions",
+    "resolve_simulation_options",
+    "CompiledPlan",
+    "PlanStep",
+    "PlanStats",
+    "compile_circuit",
+    "circuit_signature",
+    "get_plan",
+    "plan_cache_info",
+    "clear_plan_cache",
     "simulate",
     "Simulation",
     "apply_operation",

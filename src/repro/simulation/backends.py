@@ -45,6 +45,9 @@ __all__ = [
     "get_backend",
     "default_backend",
     "available_backends",
+    "register_backend",
+    "register_engine",
+    "get_engine",
 ]
 
 
@@ -53,6 +56,9 @@ class Backend(ABC):
 
     #: Registry name; subclasses override.
     name = "abstract"
+
+    #: Engine-registry kind for gate-apply backends.
+    kind = "statevector"
 
     @abstractmethod
     def apply(
@@ -69,6 +75,37 @@ class Backend(ABC):
         restricted to the subspace where each control qubit holds its
         control state.  ``diagonal=True`` promises the kernel is
         diagonal, enabling in-place fast paths."""
+
+    # -- compiled-plan hooks ------------------------------------------------
+
+    def prepare_step(self, step, nb_qubits: int, tables: dict) -> None:
+        """Precompute backend-specific data for one plan step.
+
+        Called once at compile time by
+        :func:`repro.simulation.plan.compile_circuit`; ``tables`` is a
+        per-plan scratch cache so steps with identical index structure
+        share their tables.  The default prepares nothing —
+        :meth:`apply_planned` falls back to :meth:`apply`.
+        """
+
+    def apply_planned(self, state, step, nb_qubits: int):
+        """Apply one compiled gate step (see
+        :class:`repro.simulation.plan.PlanStep`).
+
+        The default delegates to :meth:`apply` with the step's
+        pre-resolved absolute qubits and dtype-cast kernel; optimized
+        backends override this to reuse the index tables attached by
+        :meth:`prepare_step`.
+        """
+        return self.apply(
+            state,
+            step.kernel,
+            step.targets,
+            nb_qubits,
+            controls=step.controls,
+            control_states=step.control_states,
+            diagonal=step.diagonal,
+        )
 
     # -- shared helpers -----------------------------------------------------
 
@@ -113,6 +150,55 @@ class KernelBackend(Backend):
     """QCLAB++-style vectorized index kernels (the optimized engine)."""
 
     name = "kernel"
+
+    def prepare_step(self, step, nb_qubits, tables):
+        if not step.controls:
+            if len(step.targets) == 1:
+                return  # strided-reshape fast path needs no tables
+            key = ("sub", step.targets)
+            rows = tables.get(key)
+            if rows is None:
+                rows = subindex_map(nb_qubits, list(step.targets))
+                tables[key] = rows
+        else:
+            key = (
+                "ctrl", step.targets, step.controls, step.control_states,
+            )
+            rows = tables.get(key)
+            if rows is None:
+                sub = gather_indices(
+                    nb_qubits, list(step.controls),
+                    list(step.control_states),
+                )
+                others = [
+                    q for q in range(nb_qubits)
+                    if q not in set(step.controls)
+                ]
+                local_targets = [others.index(q) for q in step.targets]
+                rows = sub[subindex_map(len(others), local_targets)]
+                tables[key] = rows
+        step.rows = rows
+        step.flat_rows = np.ascontiguousarray(rows).ravel()
+        if step.diagonal:
+            step.diag_rep = np.repeat(step.diag, rows.shape[1])[:, None]
+
+    def apply_planned(self, state, step, nb_qubits):
+        state2d, shape = self._as_2d(state)
+        rows = step.rows
+        if rows is None:
+            out = self._apply_1q(
+                state2d, step.kernel, step.targets[0], nb_qubits,
+                step.diagonal,
+            )
+            return out.reshape(shape)
+        flat = step.flat_rows
+        if step.diagonal:
+            state2d[flat] *= step.diag_rep
+            return state2d.reshape(shape)
+        m = state2d.shape[1]
+        gathered = state2d[flat].reshape(rows.shape[0], rows.shape[1] * m)
+        state2d[flat] = (step.kernel @ gathered).reshape(-1, m)
+        return state2d.reshape(shape)
 
     def apply(
         self,
@@ -201,6 +287,25 @@ class SparseKronBackend(Backend):
 
     name = "sparse"
 
+    def prepare_step(self, step, nb_qubits, tables):
+        key = (
+            "sparse", step.targets, step.controls, step.control_states,
+            step.kernel.tobytes(),
+        )
+        op = tables.get(key)
+        if op is None:
+            op = self.extended_operator(
+                step.kernel, step.targets, nb_qubits, step.controls,
+                step.control_states,
+            )
+            tables[key] = op
+        step.aux = op
+
+    def apply_planned(self, state, step, nb_qubits):
+        state2d, shape = self._as_2d(state)
+        out = np.asarray(step.aux @ state2d, dtype=state2d.dtype)
+        return out.reshape(shape)
+
     def apply(
         self,
         state,
@@ -274,6 +379,32 @@ class EinsumBackend(Backend):
 
     name = "einsum"
 
+    def prepare_step(self, step, nb_qubits, tables):
+        if step.controls:
+            qubits_all = sorted(step.targets + step.controls)
+            full_kernel = controlled_matrix(
+                step.kernel, qubits_all, list(step.controls),
+                list(step.control_states), list(step.targets),
+            )
+        else:
+            qubits_all = list(step.targets)
+            full_kernel = step.kernel
+        k = len(qubits_all)
+        step.aux = (
+            full_kernel.reshape((2,) * (2 * k)), tuple(qubits_all), k,
+        )
+
+    def apply_planned(self, state, step, nb_qubits):
+        state2d, shape = self._as_2d(state)
+        ut, qubits_all, k = step.aux
+        m = state2d.shape[1]
+        psi = state2d.reshape((2,) * nb_qubits + (m,))
+        contracted = np.tensordot(
+            ut, psi, axes=(list(range(k, 2 * k)), list(qubits_all))
+        )
+        out = np.moveaxis(contracted, list(range(k)), list(qubits_all))
+        return np.ascontiguousarray(out).reshape(shape)
+
     def apply(
         self,
         state,
@@ -311,30 +442,116 @@ class EinsumBackend(Backend):
         return np.ascontiguousarray(out).reshape(shape)
 
 
-_REGISTRY = {
-    KernelBackend.name: KernelBackend,
-    SparseKronBackend.name: SparseKronBackend,
-    EinsumBackend.name: EinsumBackend,
-}
+#: Gate-apply (statevector) backends, name -> Backend subclass.
+_REGISTRY: dict = {}
+
+#: All simulation engines in one namespace, name -> descriptor dict
+#: with keys ``kind`` (``'statevector'``, ``'density'``, ``'mps'``,
+#: ``'stabilizer'``, ...) and ``entry`` (class or entry-point callable).
+_ENGINES: dict = {}
+
+
+def register_backend(cls=None, *, name: str = None):
+    """Class decorator registering a gate-apply :class:`Backend`.
+
+    Usage::
+
+        @register_backend
+        class MyBackend(Backend):
+            name = "mine"
+            def apply(self, ...): ...
+
+    The backend becomes resolvable by name through
+    :func:`get_backend` and is listed by :func:`available_backends`.
+    Registering an existing name replaces it (latest wins), so users
+    can shadow the built-ins.
+    """
+
+    def _register(klass):
+        if not (isinstance(klass, type) and issubclass(klass, Backend)):
+            raise SimulationError(
+                "register_backend requires a Backend subclass, got "
+                f"{klass!r}"
+            )
+        key = (name or klass.name or "").lower()
+        if not key or key == "abstract":
+            raise SimulationError(
+                f"backend class {klass.__name__} needs a non-empty "
+                "'name' attribute"
+            )
+        _REGISTRY[key] = klass
+        _ENGINES[key] = {"kind": "statevector", "entry": klass}
+        return klass
+
+    if cls is None:
+        return _register
+    return _register(cls)
+
+
+def register_engine(name: str, kind: str, entry) -> None:
+    """Register a non-gate-apply simulation engine (density, MPS,
+    stabilizer, ...) under the shared backend namespace.
+
+    ``entry`` is the engine's entry point — typically its
+    ``simulate_*`` function; retrieve it with :func:`get_engine`.
+    """
+    _ENGINES[str(name).lower()] = {"kind": str(kind), "entry": entry}
+
+
+def get_engine(name: str):
+    """The entry point registered for an engine name (any kind)."""
+    try:
+        return _ENGINES[str(name).lower()]["entry"]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {name!r}; available: {available_backends()}"
+        ) from None
+
+
+register_backend(KernelBackend)
+register_backend(SparseKronBackend)
+register_backend(EinsumBackend)
 
 _DEFAULT = KernelBackend()
 
 
-def available_backends() -> tuple:
-    """Names of all registered backends."""
-    return tuple(sorted(_REGISTRY))
+def available_backends(kind: str = None) -> tuple:
+    """Names of registered engines.
+
+    ``kind=None`` lists every engine in the unified namespace
+    (statevector gate-apply backends plus the density, MPS and
+    stabilizer engines once :mod:`repro.simulation` is imported);
+    ``kind='statevector'`` restricts to gate-apply backends, and any
+    other kind filters accordingly.
+    """
+    if kind is None:
+        return tuple(sorted(_ENGINES))
+    kind = str(kind).lower()
+    return tuple(
+        sorted(n for n, d in _ENGINES.items() if d["kind"] == kind)
+    )
 
 
 def get_backend(backend) -> Backend:
-    """Resolve a backend name or instance to a :class:`Backend`."""
+    """Resolve a backend name or instance to a gate-apply
+    :class:`Backend` (names and instances are accepted uniformly)."""
     if isinstance(backend, Backend):
         return backend
+    key = str(backend).lower()
     try:
-        return _REGISTRY[str(backend).lower()]()
+        return _REGISTRY[key]()
     except KeyError:
+        pass
+    if key in _ENGINES:
         raise SimulationError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
-        ) from None
+            f"engine {backend!r} is a {_ENGINES[key]['kind']} engine, "
+            "not a gate-apply statevector backend; use "
+            f"get_engine({backend!r}) for its entry point"
+        )
+    raise SimulationError(
+        f"unknown backend {backend!r}; available: "
+        f"{available_backends('statevector')}"
+    )
 
 
 def default_backend() -> Backend:

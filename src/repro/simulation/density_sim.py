@@ -19,14 +19,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.circuit.barrier import Barrier
 from repro.circuit.measurement import Measurement
-from repro.circuit.reset import Reset
-from repro.exceptions import SimulationError, StateError
-from repro.gates.base import QGate
+from repro.exceptions import StateError
 from repro.noise.model import NoiseModel
-from repro.simulation.backends import get_backend
-from repro.simulation.simulate import apply_operation
+from repro.simulation.options import (
+    SimulationOptions,
+    resolve_simulation_options,
+)
+from repro.simulation.plan import GATE, MEASURE, get_plan
 from repro.simulation.state import initial_state
 from repro.utils.bits import gather_indices
 
@@ -159,8 +159,14 @@ def simulate_density(
     circuit,
     start=None,
     noise: Optional[NoiseModel] = None,
-    backend: str = "kernel",
-    atol: float = 1e-12,
+    options: Optional[SimulationOptions] = None,
+    *legacy_args,
+    backend=None,
+    atol: Optional[float] = None,
+    dtype=None,
+    seed=None,
+    compile: Optional[bool] = None,
+    fuse: Optional[bool] = None,
 ) -> DensitySimulation:
     """Exact (noisy) density-matrix simulation of a circuit.
 
@@ -175,17 +181,50 @@ def simulate_density(
         Optional :class:`~repro.noise.NoiseModel`; channels are applied
         **exactly** (full Kraus sums), readout errors mix branch
         probabilities classically.
+    options:
+        A :class:`~repro.simulation.SimulationOptions` — the same
+        object every simulation entry point accepts.  The historical
+        ``backend``/``atol`` keyword and positional forms keep working
+        through a :class:`DeprecationWarning` shim.
+
+    The circuit is executed through a compiled plan
+    (:mod:`repro.simulation.plan`); gate fusion is disabled
+    automatically while a non-trivial noise model is active, because
+    channels attach per source gate.
     """
-    engine = get_backend(backend)
+    if options is not None and not isinstance(
+        options, (SimulationOptions, dict)
+    ):
+        legacy_args = (options,) + tuple(legacy_args)
+        options = None
+    opts = resolve_simulation_options(
+        options,
+        tuple(legacy_args),
+        {
+            "backend": backend,
+            "atol": atol,
+            "dtype": dtype,
+            "seed": seed,
+            "compile": compile,
+            "fuse": fuse,
+        },
+        caller="simulate_density",
+    )
     nb_qubits = circuit.nbQubits
     noise = noise or NoiseModel()
     dim = 1 << nb_qubits
+
+    use_fuse = opts.fuse and noise.is_trivial
+    plan, _stats = get_plan(
+        circuit, opts.backend, opts.dtype, fuse=use_fuse
+    )
+    engine = plan.engine
 
     if start is None:
         start = "0" * nb_qubits
     arr = np.asarray(start) if not isinstance(start, str) else None
     if arr is not None and arr.ndim == 2:
-        rho0 = np.array(arr, dtype=np.complex128)
+        rho0 = np.array(arr, dtype=opts.dtype)
         if rho0.shape != (dim, dim):
             raise StateError(
                 f"density matrix of shape {rho0.shape}; expected "
@@ -194,64 +233,47 @@ def simulate_density(
         if abs(np.trace(rho0) - 1.0) > 1e-8:
             raise StateError("density matrix must have unit trace")
     else:
-        psi = initial_state(start, nb_qubits)
+        psi = initial_state(start, nb_qubits, dtype=opts.dtype)
         rho0 = np.outer(psi, psi.conj())
 
     branches = [DensityBranch(1.0, rho0, "")]
 
-    for op, off in circuit.operations():
-        if isinstance(op, Barrier):
-            continue
-        if isinstance(op, QGate):
-            targets = [q + off for q in op.target_qubits()]
-            controls = [q + off for q in op.controls()]
+    for step in plan.steps:
+        if step.kind == GATE:
 
             def both_sides(rho):
-                left = engine.apply(
-                    rho,
-                    op.target_matrix(),
-                    targets,
-                    nb_qubits,
-                    controls=controls,
-                    control_states=list(op.control_states()),
-                    diagonal=op.is_diagonal,
-                )
-                right = engine.apply(
-                    np.ascontiguousarray(left.conj().T),
-                    op.target_matrix(),
-                    targets,
-                    nb_qubits,
-                    controls=controls,
-                    control_states=list(op.control_states()),
-                    diagonal=op.is_diagonal,
+                left = engine.apply_planned(rho, step, nb_qubits)
+                right = engine.apply_planned(
+                    np.ascontiguousarray(left.conj().T), step, nb_qubits
                 )
                 return right.conj().T
 
             for branch in branches:
                 branch.rho = both_sides(branch.rho)
-            channel = noise.channel_for(op)
+            channel = (
+                noise.channel_for(step.op)
+                if step.op is not None
+                else None
+            )
             if channel is not None and not channel.is_identity:
-                for q in op.qubits:
+                for q in step.noise_qubits:
                     for branch in branches:
                         branch.rho = _apply_channel(
-                            engine, branch.rho, channel.kraus, q + off,
+                            engine, branch.rho, channel.kraus, q,
                             nb_qubits,
                         )
             continue
-        if isinstance(op, Measurement):
+        if step.kind == MEASURE:
             branches = _measure_density(
-                engine, branches, op, op.qubit + off, nb_qubits, atol
+                engine, branches, step.op, step.qubit, nb_qubits,
+                opts.atol,
             )
             if noise.readout_error > 0.0:
                 branches = _flip_readouts(branches, noise.readout_error)
             continue
-        if isinstance(op, Reset):
-            branches = _reset_density(
-                engine, branches, op, op.qubit + off, nb_qubits, atol
-            )
-            continue
-        raise SimulationError(
-            f"cannot simulate circuit element {type(op).__name__}"
+        # RESET
+        branches = _reset_density(
+            engine, branches, step.op, step.qubit, nb_qubits, opts.atol
         )
 
     return DensitySimulation(nb_qubits, branches)
@@ -291,3 +313,8 @@ def _reset_density(engine, branches, op, qubit, nb_qubits, atol):
         result = b.result if op.record else b.result[:-1]
         out.append(DensityBranch(b.probability, rho, result))
     return out
+
+
+from repro.simulation.backends import register_engine  # noqa: E402
+
+register_engine("density", "density", simulate_density)

@@ -290,3 +290,8 @@ def mps_counts(
         result, _state = simulate_mps(circuit, chi_max=chi_max, rng=rng)
         counts[result] = counts.get(result, 0) + 1
     return counts
+
+
+from repro.simulation.backends import register_engine  # noqa: E402
+
+register_engine("mps", "mps", simulate_mps)

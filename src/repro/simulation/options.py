@@ -1,0 +1,148 @@
+"""The unified :class:`SimulationOptions` API.
+
+Every simulation entry point — :func:`repro.simulation.simulate`,
+:meth:`repro.circuit.QCircuit.simulate` and
+:func:`repro.simulation.simulate_density` — accepts the same options
+object through the keyword-only ``options=`` argument::
+
+    opts = SimulationOptions(backend='sparse', atol=1e-10)
+    circuit.simulate('00', options=opts)
+
+The historical per-function keyword sets (``backend=``, ``atol=``,
+``dtype=`` passed directly, or positionally after ``start``) keep
+working through a shim that emits :class:`DeprecationWarning`; they are
+resolved into a :class:`SimulationOptions` by
+:func:`resolve_simulation_options`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["SimulationOptions", "resolve_simulation_options"]
+
+#: Positional order of the legacy ``simulate(circuit, start, backend,
+#: atol, dtype)`` signature, consumed by the compatibility shim.
+_LEGACY_ORDER = ("backend", "atol", "dtype")
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Options shared by all simulation entry points.
+
+    Parameters
+    ----------
+    backend:
+        Registry name (``'kernel'``, ``'sparse'``, ``'einsum'`` or a
+        user-registered name) or a :class:`~repro.simulation.Backend`
+        instance.
+    atol:
+        Probability threshold below which measurement branches are
+        pruned.
+    dtype:
+        Working precision: ``complex128`` (default) or ``complex64``
+        (mirrors QCLAB++'s single-precision template instantiation).
+    seed:
+        Default seed (int or :class:`numpy.random.Generator`) for
+        shot sampling helpers that do not receive an explicit one.
+    compile:
+        When ``True`` (default) the circuit is compiled once into a
+        :class:`~repro.simulation.CompiledPlan` (memoized in an LRU
+        cache) and executed through it; ``False`` forces the historical
+        walk-the-op-tree path.
+    fuse:
+        When compiling, merge adjacent same-qubit one-qubit gates and
+        coalesce consecutive diagonal gates (default ``True``).
+    """
+
+    backend: Any = "kernel"
+    atol: float = 1e-12
+    dtype: Any = np.complex128
+    seed: Any = None
+    compile: bool = True
+    fuse: bool = True
+
+    def __post_init__(self):
+        if self.atol < 0:
+            raise SimulationError(f"atol must be >= 0, got {self.atol!r}")
+        dt = np.dtype(self.dtype)
+        if dt.kind != "c":
+            raise SimulationError(
+                f"dtype must be a complex floating type, got {dt}"
+            )
+        object.__setattr__(self, "dtype", dt.type)
+
+    @property
+    def use_plan(self) -> bool:
+        """Alias of :attr:`compile` (QuTiP-style naming)."""
+        return self.compile
+
+    def replace(self, **changes) -> "SimulationOptions":
+        """A copy of the options with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_simulation_options(
+    options: Optional[SimulationOptions],
+    legacy_args: tuple = (),
+    legacy_kwargs: Optional[dict] = None,
+    caller: str = "simulate",
+) -> SimulationOptions:
+    """Merge new-style ``options`` with legacy positional/keyword forms.
+
+    ``legacy_args`` are extra positional arguments after ``start``
+    (historically ``backend, atol, dtype``); ``legacy_kwargs`` are
+    explicitly-passed old keywords (values of ``None`` mean "not
+    given").  Legacy forms resolve onto a :class:`SimulationOptions`
+    and emit a single :class:`DeprecationWarning`, except when
+    ``options`` is also provided — then explicit keywords silently
+    override the options object (the supported new-style idiom).
+    """
+    legacy_kwargs = {
+        k: v for k, v in (legacy_kwargs or {}).items() if v is not None
+    }
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_ORDER):
+            raise TypeError(
+                f"{caller}() takes at most {2 + len(_LEGACY_ORDER)} "
+                f"positional arguments"
+            )
+        for name, value in zip(_LEGACY_ORDER, legacy_args):
+            if name in legacy_kwargs:
+                raise TypeError(
+                    f"{caller}() got multiple values for argument {name!r}"
+                )
+            legacy_kwargs[name] = value
+        warnings.warn(
+            f"positional backend/atol/dtype arguments to {caller}() are "
+            "deprecated; pass options=SimulationOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    elif legacy_kwargs and options is None:
+        names = ", ".join(sorted(legacy_kwargs))
+        warnings.warn(
+            f"the {names} keyword(s) of {caller}() are deprecated; pass "
+            "options=SimulationOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    base = options if options is not None else SimulationOptions()
+    if not isinstance(base, SimulationOptions):
+        if isinstance(base, dict):
+            base = SimulationOptions(**base)
+        else:
+            raise SimulationError(
+                "options must be a SimulationOptions (or dict), got "
+                f"{type(base).__name__}"
+            )
+    if legacy_kwargs:
+        base = base.replace(**legacy_kwargs)
+    return base

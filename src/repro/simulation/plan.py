@@ -1,0 +1,537 @@
+"""Compiled execution plans: compile once, simulate many.
+
+The historical drivers re-resolved nested-circuit offsets, rebuilt gate
+kernels and index maps, and re-walked the op tree on *every*
+``simulate()`` call — and repeated all of it per measurement branch.
+This module factors that work into a one-time compilation step, the
+same compile-then-execute split QCLAB++ uses between circuit
+construction and its GPU kernels:
+
+``compile_circuit``
+    Flattens the op tree once into a :class:`CompiledPlan` of
+    :class:`PlanStep` s with resolved absolute qubits, dtype-cast
+    kernels and precomputed index tables; adjacent same-qubit one-qubit
+    gates are fused into single 2x2 kernels and consecutive diagonal
+    gates are coalesced into one diagonal step.
+
+``get_plan``
+    Memoizes plans in an LRU cache keyed by a *structural circuit
+    signature* (gate types, absolute qubits, parameters, backend,
+    dtype).  The signature sees parameter values, so mutating a gate's
+    angle invalidates the cached plan; structural edits additionally
+    bump :attr:`QCircuit.revision`, which invalidates the per-circuit
+    flattening cache.
+
+:class:`PlanStats` records what compilation did (steps, fusions, cache
+hits/misses, per-stage wall time) and is exposed per run as
+``Simulation.stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+
+import numpy as np
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.exceptions import SimulationError
+from repro.gates.base import QGate, controlled_matrix
+from repro.simulation.backends import Backend, get_backend
+
+__all__ = [
+    "GATE",
+    "MEASURE",
+    "RESET",
+    "PlanStep",
+    "PlanStats",
+    "CompiledPlan",
+    "compile_circuit",
+    "circuit_signature",
+    "get_plan",
+    "plan_cache_info",
+    "clear_plan_cache",
+]
+
+#: Plan-step kinds.
+GATE, MEASURE, RESET = 0, 1, 2
+
+#: Diagonal runs are coalesced while their qubit union stays this small.
+MAX_DIAG_FUSE_QUBITS = 4
+
+
+class PlanStep:
+    """One executable step of a :class:`CompiledPlan`.
+
+    Gate steps carry the dtype-cast ``kernel`` on pre-resolved absolute
+    ``targets``/``controls`` plus whatever the backend attached in
+    ``prepare_step`` (``rows``/``flat_rows``/``diag_rep`` index tables
+    for the kernel engine, ``aux`` for sparse/einsum).  Measurement and
+    reset steps carry the absolute ``qubit`` and the source ``op``.
+    """
+
+    __slots__ = (
+        "kind", "kernel", "diag", "targets", "controls",
+        "control_states", "diagonal", "rows", "flat_rows", "diag_rep",
+        "aux", "op", "noise_qubits", "qubit",
+    )
+
+    def __init__(self, kind: int):
+        self.kind = kind
+        self.kernel = None
+        self.diag = None
+        self.targets = ()
+        self.controls = ()
+        self.control_states = ()
+        self.diagonal = False
+        self.rows = None
+        self.flat_rows = None
+        self.diag_rep = None
+        self.aux = None
+        self.op = None
+        self.noise_qubits = None
+        self.qubit = None
+
+    def __repr__(self) -> str:
+        if self.kind == MEASURE:
+            return f"PlanStep(measure q{self.qubit})"
+        if self.kind == RESET:
+            return f"PlanStep(reset q{self.qubit})"
+        ctrl = f", controls={self.controls}" if self.controls else ""
+        tag = "diag " if self.diagonal else ""
+        return f"PlanStep({tag}gate on {self.targets}{ctrl})"
+
+
+@dataclass
+class PlanStats:
+    """What compilation and execution did for one run.
+
+    ``cache_hits``/``cache_misses`` are global plan-cache counters at
+    the time of the run; ``cache_hit`` says whether *this* run reused a
+    cached plan.  The ``*_seconds`` fields give per-stage wall time
+    (signature hashing, compilation — zero on a cache hit — and plan
+    execution).
+    """
+
+    nb_source_ops: int = 0
+    nb_steps: int = 0
+    nb_gate_steps: int = 0
+    nb_fused_1q: int = 0
+    nb_diag_merged: int = 0
+    cache_hit: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    signature_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+    @property
+    def nb_fused(self) -> int:
+        """Total source gates merged away by fusion."""
+        return self.nb_fused_1q + self.nb_diag_merged
+
+
+class CompiledPlan:
+    """A circuit compiled for one (backend, dtype) combination."""
+
+    def __init__(
+        self,
+        nb_qubits: int,
+        engine: Backend,
+        dtype,
+        steps: list,
+        recorded: tuple,
+        end_measured: dict,
+        stats: PlanStats,
+    ):
+        self.nb_qubits = nb_qubits
+        self.engine = engine
+        self.dtype = dtype
+        self.steps = steps
+        #: ``(absolute qubit, op)`` pairs in recorded-measurement order.
+        self.recorded = recorded
+        #: absolute qubit -> (result-string position, Measurement).
+        self.end_measured = end_measured
+        self.stats = stats
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the engine the plan was prepared for."""
+        return self.engine.name
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(nbQubits={self.nb_qubits}, "
+            f"steps={len(self.steps)}, backend={self.engine.name!r}, "
+            f"dtype={np.dtype(self.dtype).name})"
+        )
+
+
+# -- flattening and signatures ----------------------------------------------
+
+
+def _flattened(circuit: QCircuit) -> tuple:
+    """``(op, absolute_offset)`` pairs, cached per circuit revision.
+
+    The cache also records the revision of every nested sub-circuit so
+    that mutating a child after pushing it into a parent invalidates
+    the parent's flattening.
+    """
+    cache = getattr(circuit, "_plan_flat_cache", None)
+    if cache is not None:
+        rev, deps, flat = cache
+        if rev == circuit.revision and all(
+            c.revision == r for c, r in deps
+        ):
+            return flat
+
+    flat = []
+    deps = []
+
+    def walk(c, base):
+        off = base + c.offset
+        for op in c._ops:
+            if isinstance(op, QCircuit):
+                deps.append((op, op.revision))
+                walk(op, off)
+            else:
+                flat.append((op, off))
+
+    walk(circuit, 0)
+    flat = tuple(flat)
+    circuit._plan_flat_cache = (circuit.revision, tuple(deps), flat)
+    return flat
+
+
+def _op_signature(op, off: int) -> tuple:
+    if isinstance(op, QGate):
+        return op.signature(off)
+    if isinstance(op, Measurement):
+        extra = (
+            op.basis_change.tobytes() if op.basis == "custom" else None
+        )
+        return ("measure", op.qubit + off, op.basis, extra)
+    if isinstance(op, Reset):
+        return ("reset", op.qubit + off, bool(op.record))
+    if isinstance(op, Barrier):
+        return ("barrier",) + tuple(q + off for q in op.qubits)
+    raise SimulationError(
+        f"cannot compile circuit element {type(op).__name__}"
+    )
+
+
+def circuit_signature(circuit: QCircuit) -> tuple:
+    """Structural signature of a circuit: register width plus every
+    flattened op's type, absolute qubits and parameter fingerprint.
+
+    Equal signatures guarantee identical simulation semantics, so the
+    signature keys the plan cache; any mutation — structural or a gate
+    parameter update — changes it.
+    """
+    parts = [("n", circuit.nbQubits)]
+    for op, off in _flattened(circuit):
+        parts.append(_op_signature(op, off))
+    return tuple(parts)
+
+
+# -- fusion ------------------------------------------------------------------
+
+
+def _expand_diag(diag, src_qubits, dst_qubits, dtype):
+    """Expand a diagonal over ``src_qubits`` to superset ``dst_qubits``
+    (both ascending, ``qubits[0]`` = most significant sub-index bit)."""
+    k = len(dst_qubits)
+    pos = [dst_qubits.index(q) for q in src_qubits]
+    out = np.empty(1 << k, dtype=dtype)
+    for a in range(1 << k):
+        sub = 0
+        for p in pos:
+            sub = (sub << 1) | ((a >> (k - 1 - p)) & 1)
+        out[a] = diag[sub]
+    return out
+
+
+def _folded_diag(step):
+    """``(qubits, diag)`` of a diagonal step with controls folded in.
+
+    A controlled gate with a diagonal kernel is itself diagonal on the
+    union of controls and targets (ones on the non-matching subspace).
+    """
+    if not step.controls:
+        return step.targets, step.diag
+    qubits_all = tuple(sorted(step.targets + step.controls))
+    full = controlled_matrix(
+        step.kernel, qubits_all, list(step.controls),
+        list(step.control_states), list(step.targets),
+    )
+    return qubits_all, np.ascontiguousarray(np.diag(full))
+
+
+def _merge_1q(prev: PlanStep, cur: PlanStep) -> None:
+    """Merge uncontrolled one-qubit ``cur`` into ``prev`` (same target);
+    ``prev`` acts first, so the merged kernel is ``cur @ prev``."""
+    prev.kernel = cur.kernel @ prev.kernel
+    prev.diagonal = prev.diagonal and cur.diagonal
+    prev.diag = (
+        np.ascontiguousarray(np.diag(prev.kernel))
+        if prev.diagonal else None
+    )
+    prev.op = None
+    prev.noise_qubits = None
+
+
+def _merge_diag(prev: PlanStep, cur: PlanStep) -> bool:
+    """Coalesce diagonal ``cur`` into diagonal ``prev`` when the union
+    qubit set stays small; ``True`` on success."""
+    pq, pd = _folded_diag(prev)
+    cq, cd = _folded_diag(cur)
+    if max(len(pq), len(cq)) < 2:
+        return False  # plain 1q diagonals on distinct qubits: the
+        # strided per-qubit multiply beats a gathered union step
+    union = tuple(sorted(set(pq) | set(cq)))
+    if len(union) > MAX_DIAG_FUSE_QUBITS:
+        return False
+    dtype = prev.kernel.dtype
+    d = _expand_diag(pd, pq, union, dtype) * _expand_diag(
+        cd, cq, union, dtype
+    )
+    prev.targets = union
+    prev.controls = ()
+    prev.control_states = ()
+    prev.diag = d
+    prev.kernel = np.diag(d)
+    prev.op = None
+    prev.noise_qubits = None
+    return True
+
+
+def _touched(step: PlanStep) -> set:
+    return set(step.targets) | set(step.controls)
+
+
+def _fuse_into_window(
+    steps: list, open_start: int, step: PlanStep, counts: dict
+) -> bool:
+    """Fuse ``step`` into an earlier step of the open fusion window
+    (``steps[open_start:]``) when a commuting path back exists.
+
+    An uncontrolled one-qubit gate commutes past every step that does
+    not touch its qubit, so it can fuse with the *last* step that does
+    — if that step is an uncontrolled one-qubit gate on the same
+    target.  A diagonal gate additionally commutes past any other
+    diagonal step (they are simultaneously diagonalized), so it scans
+    back through diagonals and disjoint steps for a coalescing partner.
+    """
+    if not step.controls and len(step.targets) == 1:
+        q = step.targets[0]
+        for i in range(len(steps) - 1, open_start - 1, -1):
+            cand = steps[i]
+            if q not in _touched(cand):
+                continue  # disjoint: commute past
+            if (
+                not cand.controls
+                and len(cand.targets) == 1
+                and cand.targets == step.targets
+            ):
+                _merge_1q(cand, step)
+                counts["fused_1q"] += 1
+                return True
+            break
+    if step.diagonal:
+        qubits = _touched(step)
+        for i in range(len(steps) - 1, open_start - 1, -1):
+            cand = steps[i]
+            if cand.diagonal:
+                if _merge_diag(cand, step):
+                    counts["diag_merged"] += 1
+                    return True
+                continue  # diagonals commute: keep scanning
+            if _touched(cand) & qubits:
+                break
+            # non-diagonal but disjoint: commute past
+    return False
+
+
+# -- compilation -------------------------------------------------------------
+
+
+def compile_circuit(
+    circuit: QCircuit,
+    backend="kernel",
+    dtype=np.complex128,
+    fuse: bool = True,
+) -> CompiledPlan:
+    """Compile a circuit into a :class:`CompiledPlan` for one backend
+    and working precision.
+
+    Barriers compile to nothing but act as fusion breaks.  With
+    ``fuse=False`` every gate keeps a one-to-one step (required when a
+    noise model attaches channels per gate).
+    """
+    t0 = perf_counter()
+    engine = get_backend(backend)
+    nb_qubits = circuit.nbQubits
+    ops = _flattened(circuit)
+
+    steps: list = []
+    open_start = 0  # start of the current fusion window in ``steps``
+    counts = {"fused_1q": 0, "diag_merged": 0}
+    nb_source_ops = 0
+    recorded = []
+    last_touch: dict = {}
+    record_index: dict = {}
+
+    for op, off in ops:
+        if isinstance(op, Barrier):
+            open_start = len(steps)  # barriers block fusion across them
+            continue
+        nb_source_ops += 1
+        if isinstance(op, QGate):
+            step = PlanStep(GATE)
+            step.targets = tuple(q + off for q in op.target_qubits())
+            step.controls = tuple(q + off for q in op.controls())
+            step.control_states = tuple(
+                int(s) for s in op.control_states()
+            )
+            step.kernel = np.asarray(op.target_matrix(), dtype=dtype)
+            step.diagonal = bool(op.is_diagonal)
+            if step.diagonal:
+                step.diag = np.ascontiguousarray(np.diag(step.kernel))
+            step.op = op
+            step.noise_qubits = tuple(q + off for q in op.qubits)
+            Backend._validate(
+                step.kernel, step.targets, nb_qubits, step.controls,
+                step.control_states,
+            )
+            for q in op.qubits:
+                last_touch[q + off] = op
+            if fuse and _fuse_into_window(
+                steps, open_start, step, counts
+            ):
+                continue
+            steps.append(step)
+            continue
+        if isinstance(op, Measurement):
+            step = PlanStep(MEASURE)
+            step.qubit = op.qubit + off
+            step.op = op
+            record_index[id(op)] = len(recorded)
+            recorded.append((step.qubit, op))
+            last_touch[step.qubit] = op
+            steps.append(step)
+            open_start = len(steps)
+            continue
+        if isinstance(op, Reset):
+            step = PlanStep(RESET)
+            step.qubit = op.qubit + off
+            step.op = op
+            if op.record:
+                record_index[id(op)] = len(recorded)
+                recorded.append((step.qubit, op))
+            last_touch[step.qubit] = op
+            steps.append(step)
+            open_start = len(steps)
+            continue
+        raise SimulationError(
+            f"cannot compile circuit element {type(op).__name__}"
+        )
+
+    end_measured = {}
+    for q, op in last_touch.items():
+        if isinstance(op, Measurement):
+            end_measured[q] = (record_index[id(op)], op)
+
+    tables: dict = {}
+    nb_gate_steps = 0
+    for step in steps:
+        if step.kind == GATE:
+            nb_gate_steps += 1
+            engine.prepare_step(step, nb_qubits, tables)
+
+    stats = PlanStats(
+        nb_source_ops=nb_source_ops,
+        nb_steps=len(steps),
+        nb_gate_steps=nb_gate_steps,
+        nb_fused_1q=counts["fused_1q"],
+        nb_diag_merged=counts["diag_merged"],
+        compile_seconds=perf_counter() - t0,
+    )
+    return CompiledPlan(
+        nb_qubits, engine, np.dtype(dtype).type, steps,
+        tuple(recorded), end_measured, stats,
+    )
+
+
+# -- the plan cache ----------------------------------------------------------
+
+#: LRU capacity; oldest plans are evicted beyond this.
+PLAN_CACHE_MAXSIZE = 64
+
+_CACHE: dict = {}
+_HITS = 0
+_MISSES = 0
+
+
+def _engine_key(engine: Backend) -> tuple:
+    return (type(engine).__qualname__, engine.name)
+
+
+def get_plan(
+    circuit: QCircuit,
+    backend="kernel",
+    dtype=np.complex128,
+    fuse: bool = True,
+):
+    """Fetch (or compile and memoize) the plan for a circuit.
+
+    Returns ``(plan, stats)`` where ``stats`` is a fresh
+    :class:`PlanStats` for this call (cache-hit flag, global counters,
+    signature wall time filled in).
+    """
+    global _HITS, _MISSES
+    engine = get_backend(backend)
+    t0 = perf_counter()
+    sig = circuit_signature(circuit)
+    sig_seconds = perf_counter() - t0
+    key = (sig, _engine_key(engine), np.dtype(dtype).str, bool(fuse))
+    plan = _CACHE.pop(key, None)
+    if plan is not None:
+        _CACHE[key] = plan  # re-insert: most recently used
+        _HITS += 1
+        hit = True
+    else:
+        plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
+        _CACHE[key] = plan
+        while len(_CACHE) > PLAN_CACHE_MAXSIZE:
+            _CACHE.pop(next(iter(_CACHE)))
+        _MISSES += 1
+        hit = False
+    stats = replace(
+        plan.stats,
+        cache_hit=hit,
+        cache_hits=_HITS,
+        cache_misses=_MISSES,
+        signature_seconds=sig_seconds,
+    )
+    return plan, stats
+
+
+def plan_cache_info() -> dict:
+    """Global plan-cache counters: hits, misses, size, maxsize."""
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "size": len(_CACHE),
+        "maxsize": PLAN_CACHE_MAXSIZE,
+    }
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan cache and reset its counters."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

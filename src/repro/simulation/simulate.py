@@ -12,11 +12,19 @@ Implements the measurement model of the paper's Section 3.3:
 * ``counts(shots)`` samples repeated experiments, ``reducedStates``
   exposes the state of unmeasured qubits after end-of-circuit
   measurements, and zero-probability branches are pruned.
+
+Execution goes through the compiled-plan layer
+(:mod:`repro.simulation.plan`) by default: the circuit is compiled once
+into a :class:`~repro.simulation.plan.CompiledPlan` (memoized in an LRU
+cache) and every branch replays the prepared steps.
+``SimulationOptions(compile=False)`` forces the historical
+walk-the-op-tree path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
@@ -27,6 +35,11 @@ from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError
 from repro.gates.base import QGate
 from repro.simulation.backends import Backend, get_backend
+from repro.simulation.options import (
+    SimulationOptions,
+    resolve_simulation_options,
+)
+from repro.simulation.plan import GATE, MEASURE, PlanStats, get_plan
 from repro.simulation.reduced import reducedStatevector
 from repro.simulation.state import initial_state
 
@@ -105,12 +118,18 @@ class Simulation:
         measurements: list,
         end_measured: dict,
         backend_name: str,
+        engine: Optional[Backend] = None,
+        stats: Optional[PlanStats] = None,
+        seed=None,
     ):
         self._nb_qubits = nb_qubits
         self._branches = branches
         self._measurements = measurements  # [(qubit, Measurement)] recorded
         self._end_measured = end_measured  # qubit -> (result index, Measurement)
         self._backend_name = backend_name
+        self._engine = engine
+        self._stats = stats
+        self._seed = seed
 
     # -- basic accessors ----------------------------------------------------
 
@@ -123,6 +142,13 @@ class Simulation:
     def backend(self) -> str:
         """Name of the backend that produced this simulation."""
         return self._backend_name
+
+    @property
+    def stats(self) -> Optional[PlanStats]:
+        """Compilation/execution statistics
+        (:class:`~repro.simulation.plan.PlanStats`) of the run; ``None``
+        when the run bypassed the plan layer (``compile=False``)."""
+        return self._stats
 
     @property
     def branches(self) -> List[Branch]:
@@ -171,7 +197,8 @@ class Simulation:
         the paper's tomography example.
 
         ``seed`` may be an int or a :class:`numpy.random.Generator`
-        (the MATLAB listing's ``rng(1)`` becomes ``seed=1``).
+        (the MATLAB listing's ``rng(1)`` becomes ``seed=1``); when
+        omitted, the run's ``SimulationOptions.seed`` applies.
         """
         m = self.nbMeasurements
         if m == 0:
@@ -183,6 +210,8 @@ class Simulation:
                 f"counts vector for {m} measurements would have 2**{m} "
                 "entries; use counts_dict instead"
             )
+        if seed is None:
+            seed = self._seed
         rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -203,6 +232,8 @@ class Simulation:
             raise SimulationError(
                 "counts requires at least one measurement in the circuit"
             )
+        if seed is None:
+            seed = self._seed
         rng = (
             seed
             if isinstance(seed, np.random.Generator)
@@ -231,6 +262,11 @@ class Simulation:
             return None
         if len(self._end_measured) >= self._nb_qubits:
             return None
+        backend = self._engine
+        if backend is None:
+            from repro.simulation.backends import default_backend
+
+            backend = default_backend()
         qubits = sorted(self._end_measured)
         out = []
         for branch in self._branches:
@@ -240,9 +276,6 @@ class Simulation:
             )
             if needs_copy:
                 state = state.copy()
-                from repro.simulation.backends import default_backend
-
-                backend = default_backend()
                 for q in qubits:
                     meas = self._end_measured[q][1]
                     if meas.basis != "z":
@@ -288,23 +321,98 @@ class Simulation:
         )
 
 
+def _run_plan(plan, state, atol):
+    """Replay a compiled plan branch-wise from an initial state."""
+    engine = plan.engine
+    nb_qubits = plan.nb_qubits
+    branches = [Branch(1.0, state, "")]
+    measurements = []
+    for step in plan.steps:
+        if step.kind == GATE:
+            for branch in branches:
+                branch.state = engine.apply_planned(
+                    branch.state, step, nb_qubits
+                )
+        elif step.kind == MEASURE:
+            measurements.append((step.qubit, step.op))
+            branches = _measure(
+                engine, branches, step.qubit, step.op, nb_qubits, atol,
+                record=True,
+            )
+        else:  # RESET
+            if step.op.record:
+                measurements.append((step.qubit, step.op))
+            branches = _reset(
+                engine, branches, step.qubit, nb_qubits, atol,
+                record=step.op.record,
+            )
+    return branches, measurements
+
+
 def simulate(
     circuit,
     start="0",
-    backend="kernel",
-    atol: float = 1e-12,
-    dtype=np.complex128,
+    options: Optional[SimulationOptions] = None,
+    *legacy_args,
+    backend=None,
+    atol: Optional[float] = None,
+    dtype=None,
+    seed=None,
+    compile: Optional[bool] = None,
+    fuse: Optional[bool] = None,
 ):
     """Simulate a :class:`~repro.circuit.QCircuit`.
 
-    See :meth:`repro.circuit.QCircuit.simulate` for the parameters; this
-    is the underlying free function.  ``dtype`` selects the working
-    precision (``complex128`` default, ``complex64`` mirrors QCLAB++'s
-    single-precision template instantiation).
+    Configuration lives in ``options``
+    (:class:`~repro.simulation.SimulationOptions`); the historical
+    ``backend``/``atol``/``dtype`` keyword and positional forms keep
+    working through a :class:`DeprecationWarning` shim.  See
+    :meth:`repro.circuit.QCircuit.simulate` for the parameters; this is
+    the underlying free function.
     """
-    engine = get_backend(backend)
+    if options is not None and not isinstance(
+        options, (SimulationOptions, dict)
+    ):
+        # legacy positional call: simulate(circuit, start, backend, ...)
+        legacy_args = (options,) + tuple(legacy_args)
+        options = None
+    opts = resolve_simulation_options(
+        options,
+        tuple(legacy_args),
+        {
+            "backend": backend,
+            "atol": atol,
+            "dtype": dtype,
+            "seed": seed,
+            "compile": compile,
+            "fuse": fuse,
+        },
+        caller="simulate",
+    )
+
+    engine = get_backend(opts.backend)
     nb_qubits = circuit.nbQubits
-    state = initial_state(start, nb_qubits, dtype=dtype)
+    state = initial_state(start, nb_qubits, dtype=opts.dtype)
+
+    if opts.compile:
+        plan, stats = get_plan(
+            circuit, engine, opts.dtype, fuse=opts.fuse
+        )
+        t0 = perf_counter()
+        branches, measurements = _run_plan(plan, state, opts.atol)
+        stats.execute_seconds = perf_counter() - t0
+        return Simulation(
+            nb_qubits,
+            branches,
+            measurements,
+            plan.end_measured,
+            plan.engine.name,
+            engine=plan.engine,
+            stats=stats,
+            seed=opts.seed,
+        )
+
+    # historical walk-the-op-tree path (compile=False)
     ops = list(circuit.operations())
 
     # Which qubits end on a measurement (for reducedStates)?
@@ -343,7 +451,8 @@ def simulate(
             qubit = op.qubit + off
             measurements.append((qubit, op))
             branches = _measure(
-                engine, branches, qubit, op, nb_qubits, atol, record=True
+                engine, branches, qubit, op, nb_qubits, opts.atol,
+                record=True,
             )
             continue
         if isinstance(op, Reset):
@@ -351,7 +460,8 @@ def simulate(
             if op.record:
                 measurements.append((qubit, op))
             branches = _reset(
-                engine, branches, qubit, nb_qubits, atol, record=op.record
+                engine, branches, qubit, nb_qubits, opts.atol,
+                record=op.record,
             )
             continue
         raise SimulationError(
@@ -359,7 +469,13 @@ def simulate(
         )
 
     return Simulation(
-        nb_qubits, branches, measurements, end_measured, engine.name
+        nb_qubits,
+        branches,
+        measurements,
+        end_measured,
+        engine.name,
+        engine=engine,
+        seed=opts.seed,
     )
 
 

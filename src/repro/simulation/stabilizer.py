@@ -272,3 +272,8 @@ def stabilizer_counts(
         result, _state = simulate_stabilizer(circuit, rng=rng)
         counts[result] = counts.get(result, 0) + 1
     return counts
+
+
+from repro.simulation.backends import register_engine  # noqa: E402
+
+register_engine("stabilizer", "stabilizer", simulate_stabilizer)

@@ -241,7 +241,13 @@ class TestValidationAndRegistry:
             get_backend("gpu")
 
     def test_registry_contents(self):
-        assert set(available_backends()) == {"kernel", "sparse", "einsum"}
+        assert set(available_backends(kind="statevector")) == {
+            "kernel",
+            "sparse",
+            "einsum",
+        }
+        # the unified namespace also lists the non-statevector engines
+        assert {"density", "mps", "stabilizer"} <= set(available_backends())
 
     def test_default_backend(self):
         assert default_backend().name == "kernel"
