@@ -101,31 +101,36 @@ def _layered_1q_circuit(n, layers):
 def test_b2_plan_vs_unplanned(benchmark):
     """Planned-vs-unplanned execution on a deep 1q-heavy circuit
     (paper Section 3.2 workload shape); emits ``BENCH_plan.json``."""
-    import json
-    from pathlib import Path
-    from time import perf_counter
-
     from repro.simulation import SimulationOptions, clear_plan_cache, simulate
     from repro.simulation.plan import get_plan
+
+    try:
+        from benchmarks.harness import emit_json, timed_run
+    except ImportError:  # run directly from the benchmarks/ directory
+        from harness import emit_json, timed_run
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     n, layers, reps = 12, 12, 5
     circuit = _layered_1q_circuit(n, layers)
     start = "0" * n
 
-    def timed(options):
-        best = float("inf")
-        for _ in range(reps):
-            t0 = perf_counter()
-            sim = simulate(circuit, start, options=options)
-            best = min(best, perf_counter() - t0)
-        return best, sim
-
     clear_plan_cache()
-    unplanned, sim_u = timed(SimulationOptions(compile=False))
+    unplanned = timed_run(
+        lambda: simulate(
+            circuit, start, options=SimulationOptions(compile=False)
+        ),
+        repeats=reps,
+        warmup=0,
+    )
     get_plan(circuit)  # pay compilation outside the timed region
-    planned, sim_p = timed(SimulationOptions())
-    assert np.allclose(sim_p.states[0], sim_u.states[0], atol=1e-12)
+    planned = timed_run(
+        lambda: simulate(circuit, start, options=SimulationOptions()),
+        repeats=reps,
+        warmup=0,
+    )
+    assert np.allclose(
+        planned.value.states[0], unplanned.value.states[0], atol=1e-12
+    )
 
     plan, stats = get_plan(circuit)
     payload = {
@@ -135,16 +140,16 @@ def test_b2_plan_vs_unplanned(benchmark):
         "nb_plan_steps": stats.nb_steps,
         "nb_fused_1q": stats.nb_fused_1q,
         "nb_diag_merged": stats.nb_diag_merged,
-        "unplanned_seconds": unplanned,
-        "planned_seconds": planned,
-        "speedup": unplanned / planned,
+        "unplanned_seconds": unplanned.best,
+        "planned_seconds": planned.best,
+        "speedup": unplanned.best / planned.best,
     }
-    out = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    emit_json("plan", payload)
     print()
     print(
         f"B2-plan | {stats.nb_source_ops} gates -> {stats.nb_steps} "
-        f"steps | planned {planned * 1e3:.2f} ms vs unplanned "
-        f"{unplanned * 1e3:.2f} ms | speedup {payload['speedup']:.2f}x"
+        f"steps | planned {planned.best * 1e3:.2f} ms vs unplanned "
+        f"{unplanned.best * 1e3:.2f} ms | speedup "
+        f"{payload['speedup']:.2f}x"
     )
     assert payload["speedup"] >= 1.5

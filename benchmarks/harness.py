@@ -1,0 +1,121 @@
+"""Shared benchmark harness: warmup, repeated timing, JSON emission.
+
+Every ``BENCH_*.json`` emitter used to hand-roll its own
+``perf_counter`` loop and ``json.dumps`` block.  This module gives the
+benches one vocabulary:
+
+``timed_run(fn, repeats=5, warmup=1)``
+    Call ``fn`` ``warmup`` times untimed, then ``repeats`` times timed;
+    returns a :class:`TimedRuns` with best / median / mean seconds and
+    the last return value.
+
+``emit_json(name, payload)``
+    Write a payload to ``<repo root>/BENCH_<name>.json`` (or a full
+    filename), pretty-printed with a trailing newline, and return the
+    path.
+
+The harness composes with :mod:`repro.observability`: pass
+``instrumented=True`` to ``timed_run`` to run the timed region inside
+an ``instrument()`` block and get the profile back alongside the
+timings.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, List, Optional
+
+__all__ = ["TimedRuns", "timed_run", "emit_json", "repo_root"]
+
+
+@dataclass
+class TimedRuns:
+    """Timings of repeated calls, plus the last call's return value."""
+
+    seconds: List[float] = field(default_factory=list)
+    value: Any = None
+    #: Per-run profile reports when ``instrumented=True`` was used.
+    report: Any = None
+
+    @property
+    def best(self) -> float:
+        """Fastest run (the usual benchmark headline number)."""
+        return min(self.seconds)
+
+    @property
+    def median(self) -> float:
+        """Median run — robust to one-off jitter."""
+        return statistics.median(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the runs."""
+        return statistics.fmean(self.seconds)
+
+    def as_dict(self, prefix: str = "") -> dict:
+        """``{prefix}best/median/mean_seconds`` keys for JSON payloads."""
+        return {
+            f"{prefix}best_seconds": self.best,
+            f"{prefix}median_seconds": self.median,
+            f"{prefix}mean_seconds": self.mean,
+            f"{prefix}repeats": len(self.seconds),
+        }
+
+
+def timed_run(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+    instrumented: bool = False,
+) -> TimedRuns:
+    """Time ``fn()`` over ``repeats`` calls after ``warmup`` untimed
+    calls.
+
+    With ``instrumented=True`` the timed calls run inside one
+    :func:`repro.observability.instrument` block and ``result.report``
+    carries the accumulated :class:`~repro.observability.ProfileReport`
+    (tracing adds overhead — don't compare instrumented timings against
+    uninstrumented ones).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result = TimedRuns()
+
+    def measure():
+        for _ in range(int(warmup)):
+            fn()
+        for _ in range(int(repeats)):
+            t0 = perf_counter()
+            result.value = fn()
+            result.seconds.append(perf_counter() - t0)
+
+    if instrumented:
+        from repro.observability import instrument
+
+        with instrument() as inst:
+            measure()
+        result.report = inst.report()
+    else:
+        measure()
+    return result
+
+
+def repo_root() -> Path:
+    """The repository root (parent of ``benchmarks/``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def emit_json(name: str, payload: dict, root: Optional[Path] = None) -> Path:
+    """Write ``payload`` as ``BENCH_<name>.json`` at the repo root.
+
+    ``name`` may also be a full ``*.json`` filename; returns the path
+    written.
+    """
+    filename = name if name.endswith(".json") else f"BENCH_{name}.json"
+    out = (root or repo_root()) / filename
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out

@@ -47,3 +47,22 @@ for marked in ("101", "1011", "110101"):
         f"p={res.probability:.4f} after {res.iterations} iteration(s) "
         f"(optimal {optimal_iterations(n)})"
     )
+print()
+
+# profiling a run ---------------------------------------------------------------
+# wrap any simulation in instrument() to collect tracing spans and
+# kernel metrics, then render the per-run profile
+from repro.algorithms import grover_circuit
+from repro.observability import instrument, to_chrome_trace
+
+marked = "1011010110"
+with instrument() as inst:
+    grover_circuit(marked).simulate("0" * len(marked))
+
+print(f"profile of a {len(marked)}-qubit Grover run:")
+print(inst.report())
+events = to_chrome_trace(inst.tracer)["traceEvents"]
+print(
+    f"({len(events)} trace events; dump to JSON via "
+    "repro.observability.to_chrome_trace and open in Perfetto)"
+)

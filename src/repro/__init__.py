@@ -29,9 +29,12 @@ Sub-packages
     Grover, QEC) plus QFT/QPE extensions.
 ``repro.io``
     Drawing, LaTeX export, OpenQASM 2.0 export **and import**.
+``repro.observability``
+    Tracing spans, metrics, Chrome-trace/Prometheus exporters and
+    per-run profile reports (``instrument()``/``Simulation.report()``).
 """
 
-from repro import compilers, noise, qgates
+from repro import compilers, noise, observability, qgates
 from repro.angle import QAngle, QRotation, turnover
 from repro.circuit import Barrier, Measurement, QCircuit, Reset
 from repro.simulation import (
@@ -78,5 +81,6 @@ __all__ = [
     "PauliSum",
     "noise",
     "compilers",
+    "observability",
     "__version__",
 ]

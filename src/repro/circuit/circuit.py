@@ -299,6 +299,9 @@ class QCircuit(QObject):
             seed=seed,
             compile=compile,
             fuse=fuse,
+            # this method adds a frame between the user and the shim;
+            # keep deprecation warnings pointing at the user's line
+            _stacklevel=4,
         )
 
     def counts(
@@ -306,9 +309,23 @@ class QCircuit(QObject):
     ):
         """Shot-sample the circuit: convenience for
         ``simulate(start).counts(shots, seed)``."""
-        return self.simulate(start, options, backend=backend).counts(
-            shots, seed=seed
-        )
+        if backend is not None:
+            import warnings
+
+            warnings.warn(
+                "the backend keyword of counts() is deprecated; pass "
+                "options=SimulationOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from repro.simulation.options import (
+                resolve_simulation_options,
+            )
+
+            options = resolve_simulation_options(
+                options, (), {}, caller="counts"
+            ).replace(backend=backend)
+        return self.simulate(start, options).counts(shots, seed=seed)
 
     # -- blocks (Grover-style modular drawing) ---------------------------------------
 

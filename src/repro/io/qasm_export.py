@@ -191,8 +191,20 @@ def circuit_to_qasm(
 
     The header declares ``qreg q[n]`` and ``creg c[n]`` and pulls in
     ``qelib1.inc``; definitions for non-qelib1 gates are added when the
-    body uses them.
+    body uses them.  Records an ``io.qasm.export`` span when
+    instrumentation is ambient (see :mod:`repro.observability`).
     """
+    from repro.observability.instrument import current_instrumentation
+
+    with current_instrumentation().span(
+        "io.qasm.export", nb_qubits=circuit.nbQubits
+    ):
+        return _circuit_to_qasm(circuit, offset, include_header)
+
+
+def _circuit_to_qasm(
+    circuit, offset: int = 0, include_header: bool = True
+) -> str:
     body_lines: List[str] = []
     for op, off in circuit.operations():
         text = op.toQASM(off + offset)

@@ -530,8 +530,19 @@ _BUILTINS = {
 
 
 def parse_qasm(text: str) -> QCircuit:
-    """Parse OpenQASM 2.0 source text into a :class:`QCircuit`."""
-    return _Parser(text).parse()
+    """Parse OpenQASM 2.0 source text into a :class:`QCircuit`.
+
+    Records an ``io.qasm.parse`` span when instrumentation is ambient
+    (see :mod:`repro.observability`).
+    """
+    from repro.observability.instrument import current_instrumentation
+
+    with current_instrumentation().span(
+        "io.qasm.parse", chars=len(text)
+    ) as span:
+        circuit = _Parser(text).parse()
+        span.set(nb_qubits=circuit.nbQubits)
+        return circuit
 
 
 def fromQASM(source) -> QCircuit:

@@ -18,6 +18,16 @@ import numpy as np
 from repro.circuit.measurement import Measurement
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
+from repro.observability.backend import InstrumentedBackend
+from repro.observability.instrument import (
+    activate,
+    resolve_instrumentation,
+)
+from repro.observability.metrics import (
+    RNG_DRAWS,
+    SHOTS_SAMPLED,
+    TRAJECTORIES,
+)
 from repro.simulation.options import SimulationOptions
 from repro.simulation.plan import GATE, MEASURE, get_plan
 from repro.simulation.state import initial_state
@@ -82,6 +92,20 @@ def _resolve_options(options, backend):
     return opts
 
 
+class _CountingRNG:
+    """Thin proxy counting ``random()`` draws (instrumented runs)."""
+
+    __slots__ = ("rng", "draws")
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.draws = 0
+
+    def random(self):
+        self.draws += 1
+        return self.rng.random()
+
+
 def run_trajectory(
     circuit,
     noise: Optional[NoiseModel] = None,
@@ -116,55 +140,72 @@ def run_trajectory(
     noise = noise or NoiseModel()
     opts = _resolve_options(options, backend)
     nb_qubits = circuit.nbQubits
-    use_fuse = opts.fuse and noise.is_trivial
-    plan, _stats = get_plan(
-        circuit, opts.backend, opts.dtype, fuse=use_fuse
-    )
-    engine = plan.engine
-    if start is None:
-        start = "0" * nb_qubits
-    state = initial_state(start, nb_qubits, dtype=opts.dtype)
-    outcomes = []
+    inst = resolve_instrumentation(opts.trace, opts.metrics)
 
-    for step in plan.steps:
-        if step.kind == GATE:
-            state = engine.apply_planned(state, step, nb_qubits)
-            channel = (
-                noise.channel_for(step.op)
-                if step.op is not None
-                else None
-            )
-            if channel is not None and not channel.is_identity:
-                for q in step.noise_qubits:
-                    state = _apply_kraus(
-                        engine, state, channel.kraus, q, nb_qubits, rng
-                    )
-            continue
-        if step.kind == MEASURE:
-            outcome, state = _sample_measurement(
-                engine, state, step.op, step.qubit, nb_qubits, rng
-            )
-            if noise.readout_error > 0.0 and (
-                rng.random() < noise.readout_error
-            ):
-                outcome = 1 - outcome
-            outcomes.append(str(outcome))
-            continue
-        # RESET
-        meas = Measurement(step.op.qubit)
-        outcome, state = _sample_measurement(
-            engine, state, meas, step.qubit, nb_qubits, rng
+    with activate(inst), inst.span(
+        "trajectory", nb_qubits=nb_qubits
+    ) as span:
+        use_fuse = opts.fuse and noise.is_trivial
+        plan, _stats = get_plan(
+            circuit, opts.backend, opts.dtype, fuse=use_fuse
         )
-        if outcome == 1:
-            from repro.gates import PauliX
+        engine = plan.engine
+        if inst.enabled:
+            span.set(backend=engine.name)
+            engine = InstrumentedBackend(engine, inst.metrics)
+            inst.metrics.counter(
+                TRAJECTORIES, "Monte-Carlo trajectories executed"
+            ).inc()
+            rng = _CountingRNG(rng)
+        if start is None:
+            start = "0" * nb_qubits
+        state = initial_state(start, nb_qubits, dtype=opts.dtype)
+        outcomes = []
 
-            state = engine.apply(
-                state, PauliX(0).matrix, [step.qubit], nb_qubits
+        for step in plan.steps:
+            if step.kind == GATE:
+                state = engine.apply_planned(state, step, nb_qubits)
+                channel = (
+                    noise.channel_for(step.op)
+                    if step.op is not None
+                    else None
+                )
+                if channel is not None and not channel.is_identity:
+                    for q in step.noise_qubits:
+                        state = _apply_kraus(
+                            engine, state, channel.kraus, q, nb_qubits,
+                            rng,
+                        )
+                continue
+            if step.kind == MEASURE:
+                outcome, state = _sample_measurement(
+                    engine, state, step.op, step.qubit, nb_qubits, rng
+                )
+                if noise.readout_error > 0.0 and (
+                    rng.random() < noise.readout_error
+                ):
+                    outcome = 1 - outcome
+                outcomes.append(str(outcome))
+                continue
+            # RESET
+            meas = Measurement(step.op.qubit)
+            outcome, state = _sample_measurement(
+                engine, state, meas, step.qubit, nb_qubits, rng
             )
-        if step.op.record:
-            outcomes.append(str(outcome))
+            if outcome == 1:
+                from repro.gates import PauliX
 
-    return TrajectoryResult(result="".join(outcomes), state=state)
+                state = engine.apply(
+                    state, PauliX(0).matrix, [step.qubit], nb_qubits
+                )
+            if step.op.record:
+                outcomes.append(str(outcome))
+
+        if isinstance(rng, _CountingRNG) and rng.draws:
+            inst.metrics.counter(
+                RNG_DRAWS, "random draws consumed"
+            ).inc(rng.draws)
+        return TrajectoryResult(result="".join(outcomes), state=state)
 
 
 def noisy_counts(
@@ -185,11 +226,21 @@ def noisy_counts(
         if isinstance(seed, np.random.Generator)
         else np.random.default_rng(seed)
     )
-    counts: Dict[str, int] = {}
-    for _ in range(int(shots)):
-        result = run_trajectory(
-            circuit, noise, rng=rng, start=start, backend=backend,
-            options=options,
-        ).result
-        counts[result] = counts.get(result, 0) + 1
-    return counts
+    opts = _resolve_options(options, backend)
+    inst = resolve_instrumentation(opts.trace, opts.metrics)
+    if inst.enabled:
+        # share this run's tracer/registry with every shot instead of
+        # letting each trajectory allocate fresh ones
+        opts = opts.replace(trace=inst.tracer, metrics=inst.metrics)
+    with activate(inst), inst.span("noisy_counts", shots=int(shots)):
+        if inst.enabled:
+            inst.metrics.counter(
+                SHOTS_SAMPLED, "shots sampled via counts()"
+            ).inc(int(shots))
+        counts: Dict[str, int] = {}
+        for _ in range(int(shots)):
+            result = run_trajectory(
+                circuit, noise, rng=rng, start=start, options=opts
+            ).result
+            counts[result] = counts.get(result, 0) + 1
+        return counts

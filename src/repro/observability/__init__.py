@@ -1,0 +1,104 @@
+"""Instrumentation: tracing spans, metrics, exporters, profiles.
+
+A zero-dependency observability layer for the simulator, in four
+pieces:
+
+:class:`Tracer` / :class:`Span`
+    Nested, thread-safe timing spans with attributes; near-zero
+    overhead when disabled.
+:class:`MetricsRegistry`
+    Counters, gauges and fixed-bucket histograms (gate applies by
+    kind, kernel seconds, plan-cache hits/misses, statevector bytes
+    high-water, RNG draws, shots sampled, ...).
+Exporters
+    :func:`to_json`, :func:`to_chrome_trace` (``chrome://tracing`` /
+    Perfetto), :func:`to_prometheus` (text exposition) and the
+    human-readable :class:`ProfileReport`.
+:func:`instrument`
+    Context manager activating ambient instrumentation that every
+    simulation seam — plan compilation, plan execution, backend
+    kernels, density/trajectory engines, shot sampling, QASM io —
+    reports into::
+
+        from repro.observability import instrument
+
+        with instrument() as inst:
+            simulation = circuit.simulate('00')
+        print(inst.report())                      # profile table
+        trace = to_chrome_trace(inst.tracer)      # chrome://tracing
+
+    The same machinery activates per run through
+    ``SimulationOptions(trace=True, metrics=True)``, in which case
+    ``Simulation.report()`` returns the run's profile.
+"""
+
+from repro.observability.backend import (
+    InstrumentedBackend,
+    gate_kind,
+    step_kind,
+)
+from repro.observability.exporters import (
+    ProfileReport,
+    dumps_json,
+    to_chrome_trace,
+    to_json,
+    to_prometheus,
+)
+from repro.observability.instrument import (
+    Instrumentation,
+    activate,
+    current_instrumentation,
+    instrument,
+    resolve_instrumentation,
+)
+from repro.observability.metrics import (
+    BRANCHES_MAX,
+    Counter,
+    FUSED_STEPS,
+    GATE_APPLIES,
+    Gauge,
+    Histogram,
+    KERNEL_SECONDS,
+    MEASUREMENTS,
+    MetricsRegistry,
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
+    RNG_DRAWS,
+    SHOTS_SAMPLED,
+    STATE_BYTES_MAX,
+    TRAJECTORIES,
+)
+from repro.observability.tracer import Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "instrument",
+    "activate",
+    "current_instrumentation",
+    "resolve_instrumentation",
+    "InstrumentedBackend",
+    "gate_kind",
+    "step_kind",
+    "ProfileReport",
+    "to_json",
+    "dumps_json",
+    "to_chrome_trace",
+    "to_prometheus",
+    "GATE_APPLIES",
+    "KERNEL_SECONDS",
+    "FUSED_STEPS",
+    "PLAN_CACHE_HITS",
+    "PLAN_CACHE_MISSES",
+    "STATE_BYTES_MAX",
+    "RNG_DRAWS",
+    "SHOTS_SAMPLED",
+    "TRAJECTORIES",
+    "MEASUREMENTS",
+    "BRANCHES_MAX",
+]

@@ -1,0 +1,156 @@
+"""The ambient :class:`Instrumentation` context.
+
+One :class:`Instrumentation` bundles a tracer and a metrics registry.
+The *ambient* instrumentation is held in a :class:`contextvars.ContextVar`
+so it flows naturally into nested calls (and into threads started with
+a copied context); every instrumented seam in the simulator reads it
+through :func:`current_instrumentation` — which returns a shared
+disabled singleton when nothing is active, so the uninstrumented cost
+is one context-variable lookup at entry points (never per gate).
+
+Two ways to activate it:
+
+* the :func:`instrument` context manager::
+
+      with instrument() as inst:
+          circuit.simulate('00')
+      print(inst.report())
+
+* per run, through ``SimulationOptions(trace=True, metrics=True)`` —
+  the simulation entry points resolve those fields with
+  :func:`resolve_instrumentation` and activate the result for the
+  duration of the call, attaching it to the returned ``Simulation`` so
+  ``Simulation.report()`` works.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Optional
+
+from repro.observability.exporters import ProfileReport
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
+
+__all__ = [
+    "Instrumentation",
+    "instrument",
+    "current_instrumentation",
+    "activate",
+    "resolve_instrumentation",
+]
+
+
+class Instrumentation:
+    """A tracer + metrics registry pair with a master enable switch.
+
+    ``enabled`` is checked once at each instrumented seam; when it is
+    ``False`` both members are inert (the tracer returns no-op spans)
+    and nothing ever records.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = bool(enabled)
+        self.tracer = tracer if tracer is not None else Tracer(
+            enabled=self.enabled
+        )
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+
+    def span(self, name: str, **attributes):
+        """Open a span on the bundled tracer (no-op when disabled)."""
+        return self.tracer.span(name, **attributes)
+
+    def report(self, stats=None) -> ProfileReport:
+        """A :class:`~repro.observability.ProfileReport` over the
+        recorded spans and metrics."""
+        return ProfileReport(self.tracer, self.metrics, stats=stats)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Instrumentation({state}, {len(self.tracer)} span(s))"
+
+
+#: Shared inert singleton returned when nothing is active.
+_DISABLED = Instrumentation(
+    tracer=Tracer(enabled=False), metrics=MetricsRegistry(), enabled=False
+)
+
+_CURRENT: ContextVar[Instrumentation] = ContextVar(
+    "repro_instrumentation", default=_DISABLED
+)
+
+
+def current_instrumentation() -> Instrumentation:
+    """The ambient instrumentation (a disabled singleton if none)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def activate(inst: Instrumentation):
+    """Make ``inst`` ambient for the duration of the ``with`` block.
+
+    Used internally by the simulation entry points; user code normally
+    reaches for :func:`instrument` instead.
+    """
+    token = _CURRENT.set(inst)
+    try:
+        yield inst
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def instrument(
+    trace: bool = True,
+    metrics: bool = True,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Activate instrumentation for a block and yield it::
+
+        from repro.observability import instrument
+
+        with instrument() as inst:
+            simulation = circuit.simulate('00')
+        print(inst.report())
+
+    ``trace=False`` records metrics only; ``metrics=True`` always
+    allocates a fresh registry unless an explicit ``registry`` is
+    given (pass one to accumulate across blocks).
+    """
+    inst = Instrumentation(
+        tracer=tracer if tracer is not None else Tracer(enabled=trace),
+        metrics=registry if registry is not None else MetricsRegistry(),
+        enabled=bool(trace or metrics or tracer or registry),
+    )
+    with activate(inst):
+        yield inst
+
+
+def resolve_instrumentation(trace, metrics) -> Instrumentation:
+    """Resolve ``SimulationOptions.trace``/``.metrics`` field values.
+
+    ``None``/``False`` for both -> the ambient instrumentation (which
+    is the disabled singleton when nothing is active).  Otherwise a
+    fresh :class:`Instrumentation` is built: ``True`` allocates a new
+    :class:`Tracer`/:class:`MetricsRegistry`, an explicit instance is
+    used as-is (so runs can share a registry).
+    """
+    if not trace and not metrics:
+        return current_instrumentation()
+    if isinstance(trace, Tracer):
+        tracer = trace
+    else:
+        tracer = Tracer(enabled=bool(trace))
+    registry = metrics if isinstance(metrics, MetricsRegistry) else None
+    return Instrumentation(tracer=tracer, metrics=registry, enabled=True)

@@ -1,0 +1,222 @@
+"""Nested tracing spans with near-zero overhead when disabled.
+
+A :class:`Tracer` records :class:`Span` s — named, timed regions with
+attributes and parent links — forming one tree per thread.  Opening a
+span is a context manager::
+
+    tracer = Tracer()
+    with tracer.span("simulate", backend="kernel"):
+        with tracer.span("execute"):
+            ...
+
+Spans capture wall time (``perf_counter``) and CPU time
+(``process_time``), survive exceptions (the span is closed and tagged
+with the exception type before it propagates), and are recorded
+thread-safely: each thread keeps its own open-span stack while the
+completed-span list is shared under a lock.
+
+A disabled tracer (``Tracer(enabled=False)``) returns one shared no-op
+context manager from :meth:`Tracer.span`, so the cost of instrumenting
+a code path that is not being traced is a single attribute check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter, process_time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region: name, wall/CPU interval, attributes, parent.
+
+    ``span_id``/``parent_id`` encode the tree (``parent_id`` is ``None``
+    for roots); ``thread_id`` is the ``ident`` of the recording thread.
+    Times are ``perf_counter``/``process_time`` values — durations are
+    exact, absolute values are process-relative.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "thread_id", "attributes",
+        "start", "end", "cpu_start", "cpu_end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread_id: int,
+        attributes: Dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.attributes = attributes
+        self.start = 0.0
+        self.end = 0.0
+        self.cpu_start = 0.0
+        self.cpu_end = 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Elapsed wall-clock time of the span."""
+        return self.end - self.start
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Elapsed process CPU time of the span."""
+        return self.cpu_end - self.cpu_start
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (used by the JSON exporter)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall={self.wall_seconds * 1e3:.3f}ms, "
+            f"id={self.span_id}, parent={self.parent_id})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attributes):
+        return self
+
+
+#: The singleton no-op span; safe to share across threads (stateless).
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`Span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set(self, **attributes) -> "_SpanHandle":
+        """Attach/overwrite attributes on the open span."""
+        self._span.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self._span)
+        self._span.cpu_start = process_time()
+        self._span.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._span.end = perf_counter()
+        self._span.cpu_end = process_time()
+        if exc_type is not None:
+            self._span.attributes["error"] = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe recorder of nested spans.
+
+    ``enabled=False`` makes :meth:`span` return a shared no-op context
+    manager — the instrumented code path costs one attribute check and
+    no allocation.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attributes):
+        """Open a named span as a context manager (no-op if disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        tid = threading.get_ident()
+        stack = getattr(self._local, "stack", None)
+        parent_id = stack[-1].span_id if stack else None
+        return _SpanHandle(
+            self, Span(name, next(self._ids), parent_id, tid, attributes)
+        )
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._local.stack
+        # Unwind to this span: exceptions can abandon children, so close
+        # the tree back to (and including) the span being exited.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        with self._lock:
+            self._spans.append(span)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Completed spans in completion order (children before
+        parents, as in any post-order traversal)."""
+        with self._lock:
+            return list(self._spans)
+
+    def roots(self) -> List[Span]:
+        """Completed spans with no parent, in completion order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        """Completed direct children of ``span``, by start time."""
+        kids = [s for s in self.spans if s.parent_id == span.span_id]
+        return sorted(kids, key=lambda s: s.start)
+
+    def clear(self) -> None:
+        """Drop all completed spans (open ones are unaffected)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self)} span(s))"

@@ -22,6 +22,11 @@ import numpy as np
 from repro.circuit.measurement import Measurement
 from repro.exceptions import StateError
 from repro.noise.model import NoiseModel
+from repro.observability.backend import InstrumentedBackend
+from repro.observability.instrument import (
+    activate,
+    resolve_instrumentation,
+)
 from repro.simulation.options import (
     SimulationOptions,
     resolve_simulation_options,
@@ -214,69 +219,82 @@ def simulate_density(
     noise = noise or NoiseModel()
     dim = 1 << nb_qubits
 
-    use_fuse = opts.fuse and noise.is_trivial
-    plan, _stats = get_plan(
-        circuit, opts.backend, opts.dtype, fuse=use_fuse
-    )
-    engine = plan.engine
+    inst = resolve_instrumentation(opts.trace, opts.metrics)
+    with activate(inst), inst.span(
+        "simulate_density", nb_qubits=nb_qubits
+    ) as span:
+        use_fuse = opts.fuse and noise.is_trivial
+        plan, _stats = get_plan(
+            circuit, opts.backend, opts.dtype, fuse=use_fuse
+        )
+        engine = plan.engine
+        span.set(backend=engine.name)
+        if inst.enabled:
+            # every K rho K^dagger conjugation is a gate apply; route
+            # them through the instrumented wrapper
+            engine = InstrumentedBackend(engine, inst.metrics)
 
-    if start is None:
-        start = "0" * nb_qubits
-    arr = np.asarray(start) if not isinstance(start, str) else None
-    if arr is not None and arr.ndim == 2:
-        rho0 = np.array(arr, dtype=opts.dtype)
-        if rho0.shape != (dim, dim):
-            raise StateError(
-                f"density matrix of shape {rho0.shape}; expected "
-                f"({dim}, {dim})"
-            )
-        if abs(np.trace(rho0) - 1.0) > 1e-8:
-            raise StateError("density matrix must have unit trace")
-    else:
-        psi = initial_state(start, nb_qubits, dtype=opts.dtype)
-        rho0 = np.outer(psi, psi.conj())
-
-    branches = [DensityBranch(1.0, rho0, "")]
-
-    for step in plan.steps:
-        if step.kind == GATE:
-
-            def both_sides(rho):
-                left = engine.apply_planned(rho, step, nb_qubits)
-                right = engine.apply_planned(
-                    np.ascontiguousarray(left.conj().T), step, nb_qubits
+        if start is None:
+            start = "0" * nb_qubits
+        arr = np.asarray(start) if not isinstance(start, str) else None
+        if arr is not None and arr.ndim == 2:
+            rho0 = np.array(arr, dtype=opts.dtype)
+            if rho0.shape != (dim, dim):
+                raise StateError(
+                    f"density matrix of shape {rho0.shape}; expected "
+                    f"({dim}, {dim})"
                 )
-                return right.conj().T
+            if abs(np.trace(rho0) - 1.0) > 1e-8:
+                raise StateError("density matrix must have unit trace")
+        else:
+            psi = initial_state(start, nb_qubits, dtype=opts.dtype)
+            rho0 = np.outer(psi, psi.conj())
 
-            for branch in branches:
-                branch.rho = both_sides(branch.rho)
-            channel = (
-                noise.channel_for(step.op)
-                if step.op is not None
-                else None
-            )
-            if channel is not None and not channel.is_identity:
-                for q in step.noise_qubits:
-                    for branch in branches:
-                        branch.rho = _apply_channel(
-                            engine, branch.rho, channel.kraus, q,
-                            nb_qubits,
-                        )
-            continue
-        if step.kind == MEASURE:
-            branches = _measure_density(
+        branches = [DensityBranch(1.0, rho0, "")]
+
+        for step in plan.steps:
+            if step.kind == GATE:
+
+                def both_sides(rho):
+                    left = engine.apply_planned(rho, step, nb_qubits)
+                    right = engine.apply_planned(
+                        np.ascontiguousarray(left.conj().T), step,
+                        nb_qubits,
+                    )
+                    return right.conj().T
+
+                for branch in branches:
+                    branch.rho = both_sides(branch.rho)
+                channel = (
+                    noise.channel_for(step.op)
+                    if step.op is not None
+                    else None
+                )
+                if channel is not None and not channel.is_identity:
+                    for q in step.noise_qubits:
+                        for branch in branches:
+                            branch.rho = _apply_channel(
+                                engine, branch.rho, channel.kraus, q,
+                                nb_qubits,
+                            )
+                continue
+            if step.kind == MEASURE:
+                branches = _measure_density(
+                    engine, branches, step.op, step.qubit, nb_qubits,
+                    opts.atol,
+                )
+                if noise.readout_error > 0.0:
+                    branches = _flip_readouts(
+                        branches, noise.readout_error
+                    )
+                continue
+            # RESET
+            branches = _reset_density(
                 engine, branches, step.op, step.qubit, nb_qubits,
                 opts.atol,
             )
-            if noise.readout_error > 0.0:
-                branches = _flip_readouts(branches, noise.readout_error)
-            continue
-        # RESET
-        branches = _reset_density(
-            engine, branches, step.op, step.qubit, nb_qubits, opts.atol
-        )
 
-    return DensitySimulation(nb_qubits, branches)
+        return DensitySimulation(nb_qubits, branches)
 
 
 def _flip_readouts(branches, p):

@@ -60,6 +60,20 @@ class SimulationOptions:
     fuse:
         When compiling, merge adjacent same-qubit one-qubit gates and
         coalesce consecutive diagonal gates (default ``True``).
+    trace:
+        Tracing for this run: ``True`` records nested timing spans
+        into a fresh :class:`~repro.observability.Tracer`, or pass a
+        ``Tracer`` instance to accumulate across runs.  The default
+        (``None``) inherits whatever
+        :func:`repro.observability.instrument` made ambient — i.e.
+        nothing, unless the call happens inside an ``instrument()``
+        block.
+    metrics:
+        Metrics for this run: ``True`` for a fresh
+        :class:`~repro.observability.MetricsRegistry`, or an explicit
+        registry to share one across runs.  Defaults like ``trace``.
+        When either field is set, ``Simulation.report()`` returns the
+        run's :class:`~repro.observability.ProfileReport`.
     """
 
     backend: Any = "kernel"
@@ -68,6 +82,8 @@ class SimulationOptions:
     seed: Any = None
     compile: bool = True
     fuse: bool = True
+    trace: Any = None
+    metrics: Any = None
 
     def __post_init__(self):
         if self.atol < 0:
@@ -94,6 +110,7 @@ def resolve_simulation_options(
     legacy_args: tuple = (),
     legacy_kwargs: Optional[dict] = None,
     caller: str = "simulate",
+    stacklevel: int = 3,
 ) -> SimulationOptions:
     """Merge new-style ``options`` with legacy positional/keyword forms.
 
@@ -104,6 +121,13 @@ def resolve_simulation_options(
     and emit a single :class:`DeprecationWarning`, except when
     ``options`` is also provided — then explicit keywords silently
     override the options object (the supported new-style idiom).
+
+    ``stacklevel`` must make the warning point at the *user's* call
+    site: the default 3 skips this function plus one driver frame
+    (``simulate``/``simulate_density``); wrappers that add a frame
+    (``QCircuit.simulate``) pass one more.  Getting this right is what
+    makes Python's default once-per-location filter deduplicate the
+    warning per call site instead of per library line.
     """
     legacy_kwargs = {
         k: v for k, v in (legacy_kwargs or {}).items() if v is not None
@@ -124,7 +148,7 @@ def resolve_simulation_options(
             f"positional backend/atol/dtype arguments to {caller}() are "
             "deprecated; pass options=SimulationOptions(...) instead",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=stacklevel,
         )
     elif legacy_kwargs and options is None:
         names = ", ".join(sorted(legacy_kwargs))
@@ -132,7 +156,7 @@ def resolve_simulation_options(
             f"the {names} keyword(s) of {caller}() are deprecated; pass "
             "options=SimulationOptions(...) instead",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=stacklevel,
         )
     base = options if options is not None else SimulationOptions()
     if not isinstance(base, SimulationOptions):

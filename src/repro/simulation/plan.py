@@ -40,6 +40,12 @@ from repro.circuit.measurement import Measurement
 from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError
 from repro.gates.base import QGate, controlled_matrix
+from repro.observability.instrument import current_instrumentation
+from repro.observability.metrics import (
+    FUSED_STEPS,
+    PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES,
+)
 from repro.simulation.backends import Backend, get_backend
 
 __all__ = [
@@ -370,7 +376,40 @@ def compile_circuit(
     Barriers compile to nothing but act as fusion breaks.  With
     ``fuse=False`` every gate keeps a one-to-one step (required when a
     noise model attaches channels per gate).
+
+    When instrumentation is ambient (see
+    :mod:`repro.observability`), compilation records a
+    ``plan.compile`` span and fusion counters.
     """
+    inst = current_instrumentation()
+    if not inst.enabled:
+        return _compile_circuit(circuit, backend, dtype, fuse)
+    with inst.span("plan.compile", fuse=bool(fuse)) as sp:
+        plan = _compile_circuit(circuit, backend, dtype, fuse)
+        st = plan.stats
+        sp.set(
+            backend=plan.backend_name,
+            nb_qubits=plan.nb_qubits,
+            nb_ops=st.nb_source_ops,
+            steps=st.nb_steps,
+            fused=st.nb_fused,
+        )
+        fused = inst.metrics.counter(
+            FUSED_STEPS, "source gates merged away by plan fusion"
+        )
+        if st.nb_fused_1q:
+            fused.inc(st.nb_fused_1q, kind="1q")
+        if st.nb_diag_merged:
+            fused.inc(st.nb_diag_merged, kind="diag")
+        return plan
+
+
+def _compile_circuit(
+    circuit: QCircuit,
+    backend="kernel",
+    dtype=np.complex128,
+    fuse: bool = True,
+) -> CompiledPlan:
     t0 = perf_counter()
     engine = get_backend(backend)
     nb_qubits = circuit.nbQubits
@@ -490,33 +529,45 @@ def get_plan(
     Returns ``(plan, stats)`` where ``stats`` is a fresh
     :class:`PlanStats` for this call (cache-hit flag, global counters,
     signature wall time filled in).
+
+    Under ambient instrumentation the lookup records a ``plan.get``
+    span (with a nested ``plan.compile`` span on a miss) and bumps the
+    plan-cache hit/miss counters.
     """
     global _HITS, _MISSES
     engine = get_backend(backend)
-    t0 = perf_counter()
-    sig = circuit_signature(circuit)
-    sig_seconds = perf_counter() - t0
-    key = (sig, _engine_key(engine), np.dtype(dtype).str, bool(fuse))
-    plan = _CACHE.pop(key, None)
-    if plan is not None:
-        _CACHE[key] = plan  # re-insert: most recently used
-        _HITS += 1
-        hit = True
-    else:
-        plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
-        _CACHE[key] = plan
-        while len(_CACHE) > PLAN_CACHE_MAXSIZE:
-            _CACHE.pop(next(iter(_CACHE)))
-        _MISSES += 1
-        hit = False
-    stats = replace(
-        plan.stats,
-        cache_hit=hit,
-        cache_hits=_HITS,
-        cache_misses=_MISSES,
-        signature_seconds=sig_seconds,
-    )
-    return plan, stats
+    inst = current_instrumentation()
+    with inst.span("plan.get", backend=engine.name) as sp:
+        t0 = perf_counter()
+        sig = circuit_signature(circuit)
+        sig_seconds = perf_counter() - t0
+        key = (sig, _engine_key(engine), np.dtype(dtype).str, bool(fuse))
+        plan = _CACHE.pop(key, None)
+        if plan is not None:
+            _CACHE[key] = plan  # re-insert: most recently used
+            _HITS += 1
+            hit = True
+        else:
+            plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
+            _CACHE[key] = plan
+            while len(_CACHE) > PLAN_CACHE_MAXSIZE:
+                _CACHE.pop(next(iter(_CACHE)))
+            _MISSES += 1
+            hit = False
+        if inst.enabled:
+            sp.set(cache_hit=hit)
+            name = PLAN_CACHE_HITS if hit else PLAN_CACHE_MISSES
+            inst.metrics.counter(
+                name, "compiled-plan cache lookups"
+            ).inc()
+        stats = replace(
+            plan.stats,
+            cache_hit=hit,
+            cache_hits=_HITS,
+            cache_misses=_MISSES,
+            signature_seconds=sig_seconds,
+        )
+        return plan, stats
 
 
 def plan_cache_info() -> dict:

@@ -34,6 +34,19 @@ from repro.circuit.measurement import Measurement
 from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError
 from repro.gates.base import QGate
+from repro.observability.backend import InstrumentedBackend
+from repro.observability.instrument import (
+    activate,
+    current_instrumentation,
+    resolve_instrumentation,
+)
+from repro.observability.metrics import (
+    BRANCHES_MAX,
+    MEASUREMENTS,
+    RNG_DRAWS,
+    SHOTS_SAMPLED,
+    STATE_BYTES_MAX,
+)
 from repro.simulation.backends import Backend, get_backend
 from repro.simulation.options import (
     SimulationOptions,
@@ -121,6 +134,7 @@ class Simulation:
         engine: Optional[Backend] = None,
         stats: Optional[PlanStats] = None,
         seed=None,
+        instrumentation=None,
     ):
         self._nb_qubits = nb_qubits
         self._branches = branches
@@ -130,6 +144,7 @@ class Simulation:
         self._engine = engine
         self._stats = stats
         self._seed = seed
+        self._instrumentation = instrumentation
 
     # -- basic accessors ----------------------------------------------------
 
@@ -146,9 +161,30 @@ class Simulation:
     @property
     def stats(self) -> Optional[PlanStats]:
         """Compilation/execution statistics
-        (:class:`~repro.simulation.plan.PlanStats`) of the run; ``None``
-        when the run bypassed the plan layer (``compile=False``)."""
+        (:class:`~repro.simulation.plan.PlanStats`) of the run.
+
+        Always populated: compiled runs carry the full plan stats
+        (fusion counts, cache hit/miss, per-stage times); uncompiled
+        runs (``compile=False``) carry a stats object with
+        ``nb_source_ops``/``nb_steps`` equal to the number of executed
+        ops, ``execute_seconds`` measured, and zero compile/signature
+        time (nothing was compiled, so ``cache_hit`` is ``False``)."""
         return self._stats
+
+    def report(self):
+        """The run's :class:`~repro.observability.ProfileReport`.
+
+        When the run was instrumented — via
+        ``SimulationOptions(trace=..., metrics=...)`` or inside a
+        :func:`repro.observability.instrument` block — the report
+        covers the recorded spans and metrics; otherwise it falls back
+        to the :attr:`stats` timings only.
+        """
+        from repro.observability.exporters import ProfileReport
+
+        if self._instrumentation is not None:
+            return self._instrumentation.report(stats=self._stats)
+        return ProfileReport(stats=self._stats)
 
     @property
     def branches(self) -> List[Branch]:
@@ -217,6 +253,7 @@ class Simulation:
             if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
+        self._record_shots(shots)
         probs = self.probabilities
         probs = probs / probs.sum()
         draws = rng.multinomial(int(shots), probs)
@@ -224,6 +261,19 @@ class Simulation:
         for branch, n in zip(self._branches, draws):
             out[int(branch.result, 2)] += n
         return out
+
+    def _record_shots(self, shots: int) -> None:
+        """Record shot sampling into the run's (or ambient) metrics."""
+        inst = self._instrumentation
+        if inst is None or not inst.enabled:
+            inst = current_instrumentation()
+        if inst.enabled:
+            inst.metrics.counter(
+                SHOTS_SAMPLED, "shots sampled via counts()"
+            ).inc(int(shots))
+            inst.metrics.counter(
+                RNG_DRAWS, "random draws consumed"
+            ).inc()  # one multinomial draw over the branch distribution
 
     def counts_dict(self, shots: int, seed=None) -> dict:
         """Like :meth:`counts` but as ``{outcome: count}`` over observed
@@ -239,6 +289,7 @@ class Simulation:
             if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
+        self._record_shots(shots)
         probs = self.probabilities
         probs = probs / probs.sum()
         draws = rng.multinomial(int(shots), probs)
@@ -349,6 +400,62 @@ def _run_plan(plan, state, atol):
     return branches, measurements
 
 
+def _run_plan_instrumented(plan, state, atol, inst):
+    """:func:`_run_plan` with per-kernel timing and memory metrics.
+
+    Gate applies go through an
+    :class:`~repro.observability.InstrumentedBackend` (per-backend/kind
+    counts and wall seconds); measurement/reset collapses are timed
+    into the ``repro_measurements_total`` histogram; statevector bytes
+    and branch counts record high-water gauges.  Kept separate from
+    :func:`_run_plan` so the uninstrumented path pays nothing.
+    """
+    raw = plan.engine
+    engine = InstrumentedBackend(raw, inst.metrics)
+    nb_qubits = plan.nb_qubits
+    meas_hist = inst.metrics.histogram(
+        MEASUREMENTS, "wall seconds collapsing measurements/resets"
+    )
+    bytes_gauge = inst.metrics.gauge(
+        STATE_BYTES_MAX, "high-water statevector bytes across branches"
+    )
+    branch_gauge = inst.metrics.gauge(
+        BRANCHES_MAX, "high-water simultaneous measurement branches"
+    )
+    branches = [Branch(1.0, state, "")]
+    measurements = []
+    bytes_gauge.set_max(state.nbytes)
+    branch_gauge.set_max(1)
+    for step in plan.steps:
+        if step.kind == GATE:
+            for branch in branches:
+                branch.state = engine.apply_planned(
+                    branch.state, step, nb_qubits
+                )
+            continue
+        # basis changes inside _measure/_reset go through the raw
+        # engine so kernel metrics count gate applies only
+        t0 = perf_counter()
+        if step.kind == MEASURE:
+            measurements.append((step.qubit, step.op))
+            branches = _measure(
+                raw, branches, step.qubit, step.op, nb_qubits, atol,
+                record=True,
+            )
+            meas_hist.observe(perf_counter() - t0, kind="measure")
+        else:  # RESET
+            if step.op.record:
+                measurements.append((step.qubit, step.op))
+            branches = _reset(
+                raw, branches, step.qubit, nb_qubits, atol,
+                record=step.op.record,
+            )
+            meas_hist.observe(perf_counter() - t0, kind="reset")
+        branch_gauge.set_max(len(branches))
+        bytes_gauge.set_max(sum(b.state.nbytes for b in branches))
+    return branches, measurements
+
+
 def simulate(
     circuit,
     start="0",
@@ -360,6 +467,7 @@ def simulate(
     seed=None,
     compile: Optional[bool] = None,
     fuse: Optional[bool] = None,
+    _stacklevel: int = 3,
 ):
     """Simulate a :class:`~repro.circuit.QCircuit`.
 
@@ -369,6 +477,10 @@ def simulate(
     working through a :class:`DeprecationWarning` shim.  See
     :meth:`repro.circuit.QCircuit.simulate` for the parameters; this is
     the underlying free function.
+
+    ``_stacklevel`` is internal: wrappers that add a call frame (the
+    ``QCircuit.simulate`` method) bump it so deprecation warnings point
+    at the user's call site, firing once per call site.
     """
     if options is not None and not isinstance(
         options, (SimulationOptions, dict)
@@ -388,31 +500,55 @@ def simulate(
             "fuse": fuse,
         },
         caller="simulate",
+        stacklevel=_stacklevel,
     )
 
     engine = get_backend(opts.backend)
     nb_qubits = circuit.nbQubits
     state = initial_state(start, nb_qubits, dtype=opts.dtype)
+    inst = resolve_instrumentation(opts.trace, opts.metrics)
 
-    if opts.compile:
-        plan, stats = get_plan(
-            circuit, engine, opts.dtype, fuse=opts.fuse
-        )
-        t0 = perf_counter()
-        branches, measurements = _run_plan(plan, state, opts.atol)
-        stats.execute_seconds = perf_counter() - t0
-        return Simulation(
-            nb_qubits,
-            branches,
-            measurements,
-            plan.end_measured,
-            plan.engine.name,
-            engine=plan.engine,
-            stats=stats,
-            seed=opts.seed,
+    with activate(inst), inst.span(
+        "simulate",
+        backend=engine.name,
+        nb_qubits=nb_qubits,
+        compiled=bool(opts.compile),
+    ):
+        if opts.compile:
+            plan, stats = get_plan(
+                circuit, engine, opts.dtype, fuse=opts.fuse
+            )
+            t0 = perf_counter()
+            if inst.enabled:
+                with inst.span(
+                    "simulate.execute", backend=plan.engine.name
+                ):
+                    branches, measurements = _run_plan_instrumented(
+                        plan, state, opts.atol, inst
+                    )
+            else:
+                branches, measurements = _run_plan(
+                    plan, state, opts.atol
+                )
+            stats.execute_seconds = perf_counter() - t0
+            return Simulation(
+                nb_qubits,
+                branches,
+                measurements,
+                plan.end_measured,
+                plan.engine.name,
+                engine=plan.engine,
+                stats=stats,
+                seed=opts.seed,
+                instrumentation=inst if inst.enabled else None,
+            )
+        return _simulate_unplanned(
+            circuit, engine, state, nb_qubits, opts, inst
         )
 
-    # historical walk-the-op-tree path (compile=False)
+
+def _simulate_unplanned(circuit, engine, state, nb_qubits, opts, inst):
+    """The historical walk-the-op-tree path (``compile=False``)."""
     ops = list(circuit.operations())
 
     # Which qubits end on a measurement (for reducedStates)?
@@ -438,35 +574,54 @@ def simulate(
     branches = [Branch(1.0, state, "")]
     measurements = []
 
-    for op, off in ops:
-        if isinstance(op, Barrier):
-            continue
-        if isinstance(op, QGate):
-            for branch in branches:
-                branch.state = apply_operation(
-                    engine, branch.state, op, off, nb_qubits
-                )
-            continue
-        if isinstance(op, Measurement):
-            qubit = op.qubit + off
-            measurements.append((qubit, op))
-            branches = _measure(
-                engine, branches, qubit, op, nb_qubits, opts.atol,
-                record=True,
-            )
-            continue
-        if isinstance(op, Reset):
-            qubit = op.qubit + off
-            if op.record:
+    # Gate applies go through the instrumented wrapper when tracing so
+    # uncompiled runs are measurable too (ISSUE: stats for compile=False).
+    apply_engine = (
+        InstrumentedBackend(engine, inst.metrics)
+        if inst.enabled
+        else engine
+    )
+    nb_source_ops = 0
+    nb_gates = 0
+    t0 = perf_counter()
+    with inst.span("simulate.execute", backend=engine.name):
+        for op, off in ops:
+            if isinstance(op, Barrier):
+                continue
+            nb_source_ops += 1
+            if isinstance(op, QGate):
+                nb_gates += 1
+                for branch in branches:
+                    branch.state = apply_operation(
+                        apply_engine, branch.state, op, off, nb_qubits
+                    )
+                continue
+            if isinstance(op, Measurement):
+                qubit = op.qubit + off
                 measurements.append((qubit, op))
-            branches = _reset(
-                engine, branches, qubit, nb_qubits, opts.atol,
-                record=op.record,
+                branches = _measure(
+                    engine, branches, qubit, op, nb_qubits, opts.atol,
+                    record=True,
+                )
+                continue
+            if isinstance(op, Reset):
+                qubit = op.qubit + off
+                if op.record:
+                    measurements.append((qubit, op))
+                branches = _reset(
+                    engine, branches, qubit, nb_qubits, opts.atol,
+                    record=op.record,
+                )
+                continue
+            raise SimulationError(
+                f"cannot simulate circuit element {type(op).__name__}"
             )
-            continue
-        raise SimulationError(
-            f"cannot simulate circuit element {type(op).__name__}"
-        )
+    stats = PlanStats(
+        nb_source_ops=nb_source_ops,
+        nb_steps=nb_source_ops,
+        nb_gate_steps=nb_gates,
+        execute_seconds=perf_counter() - t0,
+    )
 
     return Simulation(
         nb_qubits,
@@ -475,7 +630,9 @@ def simulate(
         end_measured,
         engine.name,
         engine=engine,
+        stats=stats,
         seed=opts.seed,
+        instrumentation=inst if inst.enabled else None,
     )
 
 

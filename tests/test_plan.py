@@ -377,9 +377,15 @@ class TestSimulationOptions:
         s = c.simulate("00", options=SimulationOptions(seed=7))
         assert np.array_equal(s.counts(100), s.counts(100, seed=7))
 
-    def test_compile_false_has_no_stats(self):
+    def test_compile_false_still_has_stats(self):
+        # uncompiled runs are measurable too: stats is always populated
         s = simulate(bell(), "00", options=SimulationOptions(compile=False))
-        assert s.stats is None
+        assert s.stats is not None
+        assert s.stats.nb_source_ops == 4  # H, CNOT, 2 measurements
+        assert s.stats.nb_gate_steps == 2
+        assert s.stats.execute_seconds > 0.0
+        assert not s.stats.cache_hit
+        assert s.stats.compile_seconds == 0.0
 
 
 class TestRegistry:
