@@ -1,0 +1,121 @@
+"""IR — canonical-lowering and pass-pipeline cost.
+
+Compares the one IR lowering path against an inline reimplementation of
+the legacy ``plan._flattened`` tree walk it replaced, on a deep nested
+workload, and measures the pass-pipeline cost with and without the
+per-circuit caches; emits ``BENCH_ir.json``.
+"""
+
+import pytest
+
+from repro.circuit import Barrier, QCircuit
+from repro.gates import CZ, Hadamard, RotationX, RotationZ
+
+
+def _legacy_flattened(circuit):
+    """The pre-IR ``plan._flattened`` walk, uncached (what every
+    consumer effectively paid per call before revision caching)."""
+    flat = []
+
+    def walk(c, base):
+        off = base + c.offset
+        for op in c:
+            if isinstance(op, QCircuit):
+                walk(op, off)
+            else:
+                flat.append((op, off))
+
+    walk(circuit, 0)
+    return tuple(flat)
+
+
+def _nested_workload(width, depth, layers):
+    """``depth`` levels of nested sub-circuits, each holding rotation
+    layers — heavy on offset accumulation, the walkers' hot path."""
+    def level(d):
+        c = QCircuit(width - d, 1 if d else 0)
+        for layer in range(layers):
+            for q in range(width - d):
+                c.push_back(RotationX(q, 0.1 * (layer + 1) + 0.01 * q))
+                c.push_back(RotationZ(q, 0.2 - 0.01 * q))
+            for q in range(0, width - d - 1, 2):
+                c.push_back(CZ(q, q + 1))
+        c.push_back(Barrier(list(range(width - d))))
+        if d + 1 < depth:
+            c.push_back(level(d + 1))
+        for q in range(width - d):
+            c.push_back(Hadamard(q))
+        return c
+
+    return level(0)
+
+
+def test_ir_lowering(benchmark):
+    """Lowering + pipeline cost vs the legacy walk; emits
+    ``BENCH_ir.json``."""
+    from repro.ir import PassManager, clear_lowering_cache, lower
+
+    try:
+        from benchmarks.harness import emit_json, timed_run
+    except ImportError:  # run directly from the benchmarks/ directory
+        from harness import emit_json, timed_run
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    circuit = _nested_workload(width=10, depth=6, layers=4)
+    reps = 20
+
+    legacy = timed_run(lambda: _legacy_flattened(circuit), repeats=reps)
+
+    def cold_lower():
+        clear_lowering_cache(circuit)
+        return lower(circuit)
+
+    cold = timed_run(cold_lower, repeats=reps)
+    lower(circuit)  # prime
+    cached = timed_run(lambda: lower(circuit), repeats=reps)
+
+    nb_ops = len(lower(circuit))
+    assert nb_ops == len(_legacy_flattened(circuit))
+
+    manager = PassManager(["fuse_rotations", "cancel_inverses"])
+
+    def cold_pipeline():
+        clear_lowering_cache(circuit)
+        circuit._ir_pipeline_cache = None
+        return manager.run_on(circuit)
+
+    pipe_cold = timed_run(cold_pipeline, repeats=reps)
+    manager.run_on(circuit)  # prime
+    pipe_cached = timed_run(lambda: manager.run_on(circuit), repeats=reps)
+    nb_after = len(manager.run_on(circuit))
+
+    payload = {
+        "benchmark": "IR-lowering",
+        "nb_ops": nb_ops,
+        "nb_ops_after_pipeline": nb_after,
+        "legacy_flattened_seconds": legacy.best,
+        "lower_cold_seconds": cold.best,
+        "lower_cached_seconds": cached.best,
+        "pipeline_cold_seconds": pipe_cold.best,
+        "pipeline_cached_seconds": pipe_cached.best,
+        "cached_speedup_vs_legacy": legacy.best / cached.best,
+    }
+    emit_json("ir", payload)
+    print()
+    print(
+        f"IR | {nb_ops} ops | legacy {legacy.best * 1e3:.2f} ms | "
+        f"lower cold {cold.best * 1e3:.2f} ms, cached "
+        f"{cached.best * 1e6:.1f} us | pipeline cold "
+        f"{pipe_cold.best * 1e3:.2f} ms, cached "
+        f"{pipe_cached.best * 1e3:.2f} ms"
+    )
+    # the revision-cached lowering must beat re-walking the tree
+    assert cached.best < legacy.best
+    # a pipeline cache hit must beat re-running the passes
+    assert pipe_cached.best < pipe_cold.best
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-p", "no:cacheprovider"]))

@@ -26,6 +26,7 @@ __all__ = [
     "random_circuit",
     "ghz_circuit",
     "layered_circuit",
+    "nested_circuit",
     "V_PAPER",
 ]
 
@@ -87,6 +88,39 @@ def random_circuit(
                 c.push_back(Hadamard(q))
         else:
             c.push_back(Hadamard(q))
+    return c
+
+
+def nested_circuit(measure: bool = True) -> QCircuit:
+    """Grover-style modular circuit exercising nesting, blocks, offsets,
+    barriers and resets — the hard cases for circuit-tree lowering."""
+    from repro.circuit import Barrier, Reset
+    from repro.gates import PauliX, PauliZ
+
+    inner = QCircuit(2)
+    inner.push_back(Hadamard(0))
+    inner.push_back(CNOT(0, 1))
+
+    block = QCircuit(2, 1)  # offset 1 inside its parent
+    block.push_back(PauliZ(0))
+    block.push_back(CPhase(0, 1, 0.25))
+    block.asBlock("oracle")
+
+    deep = QCircuit(3)
+    deep.push_back(inner)  # non-block nested circuit
+    deep.push_back(Barrier([0, 1, 2]))
+    deep.push_back(block)  # block nested circuit at offset 1
+
+    c = QCircuit(5)
+    c.push_back(PauliX(4))
+    sub = deep
+    sub.offset = 1  # the whole group sits one qubit up
+    c.push_back(sub)
+    c.push_back(Reset(0))
+    c.push_back(SWAP(0, 4))
+    if measure:
+        c.push_back(Measurement(1))
+        c.push_back(Measurement(2))
     return c
 
 

@@ -190,14 +190,12 @@ class QCircuit(QObject):
 
         The total offset accumulates this circuit's own offset with every
         enclosing circuit's; simulation and QASM export consume this
-        flattened stream.
+        flattened stream.  Delegates to the canonical tree walker
+        :func:`repro.ir.lower.iter_elements` (``expand='all'``).
         """
-        off = base_offset + self._offset
-        for op in self._ops:
-            if isinstance(op, QCircuit):
-                yield from op.operations(off)
-            else:
-                yield op, off
+        from repro.ir.lower import iter_elements
+
+        return iter_elements(self, "all", base_offset)
 
     @property
     def has_measurement(self) -> bool:

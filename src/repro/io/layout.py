@@ -29,27 +29,20 @@ class LayoutItem:
     obj: QObject
 
 
-def _flatten(circuit, base_offset: int):
-    """Yield (obj, total_offset) pairs, keeping block sub-circuits whole."""
-    from repro.circuit.circuit import QCircuit
-
-    off = base_offset + circuit.offset
-    for op in circuit:
-        if isinstance(op, QCircuit) and not op.is_block:
-            yield from _flatten(op, off)
-        else:
-            yield op, off
-
-
 def layout_circuit(circuit) -> tuple:
     """Pack a circuit's elements into columns.
 
     Returns ``(items, nb_columns)`` where ``items`` is a list of
-    :class:`LayoutItem` sorted by column then qubit.
+    :class:`LayoutItem` sorted by column then qubit.  The element
+    stream comes from the canonical lowering
+    (:func:`repro.ir.lower.lower` with ``expand='blocks'``: nested
+    circuits expand, ``asBlock`` sub-circuits stay whole).
     """
+    from repro.ir.lower import lower
+
     frontier = [0] * circuit.nbQubits
     items: List[LayoutItem] = []
-    for op, off in _flatten(circuit, 0):
+    for op, off in lower(circuit, "blocks").flat():
         spec = op.draw_spec()
         elements = {q + off: el for q, el in spec.elements.items()}
         shifted = DrawSpec(elements=elements, connect=spec.connect)

@@ -47,8 +47,10 @@ def circuit_to_qasm3(circuit, include_header: bool = True) -> str:
     renames handled here) with QASM 3 declarations and measurement
     assignments.
     """
+    from repro.ir.lower import lower
+
     body_lines: List[str] = []
-    for op, off in circuit.operations():
+    for op, off in lower(circuit).flat():
         try:
             text = op.toQASM(off)
         except QASMError as exc:

@@ -205,8 +205,10 @@ def circuit_to_qasm(
 def _circuit_to_qasm(
     circuit, offset: int = 0, include_header: bool = True
 ) -> str:
+    from repro.ir.lower import lower
+
     body_lines: List[str] = []
-    for op, off in circuit.operations():
+    for op, off in lower(circuit).flat():
         text = op.toQASM(off + offset)
         body_lines.extend(text.splitlines())
     body = "\n".join(body_lines)

@@ -355,14 +355,25 @@ def _decode_op(d: dict):
 
 
 def circuit_to_dict(circuit: QCircuit) -> dict:
-    """Serialize a circuit (recursively) to plain Python containers."""
+    """Serialize a circuit (recursively) to plain Python containers.
+
+    Uses the canonical walker's structure-preserving view
+    (:func:`repro.ir.lower.iter_elements` with ``expand='none'``):
+    nested sub-circuits stay whole and recurse through
+    :func:`_encode_op`, so the document mirrors the tree exactly.
+    """
+    from repro.ir.lower import iter_elements
+
     return {
         "type": "QCircuit",
         "nbQubits": circuit.nbQubits,
         "offset": circuit.offset,
         "block": circuit.is_block,
         "block_label": circuit.block_label,
-        "ops": [_encode_op(op) for op in circuit],
+        "ops": [
+            _encode_op(op)
+            for op, _off in iter_elements(circuit, "none")
+        ],
     }
 
 

@@ -1,0 +1,53 @@
+"""Canonical circuit IR: one lowering path for every consumer.
+
+This package holds the single implementation of circuit-tree lowering
+(:mod:`repro.ir.lower`), the typed flattened program it produces
+(:mod:`repro.ir.program`) and the pass pipeline that transforms it
+(:mod:`repro.ir.passes`).  Plan compilation, transforms, the drawer,
+the LaTeX/QASM exporters and the serializer all consume circuits
+through here; see README's Architecture section for the diagram.
+"""
+
+from repro.ir.lower import (
+    clear_lowering_cache,
+    iter_elements,
+    lower,
+    make_ir_op,
+)
+from repro.ir.passes import (
+    InjectNoise,
+    PassManager,
+    available_passes,
+    register_pass,
+)
+from repro.ir.program import (
+    BARRIER,
+    BLOCK,
+    GATE,
+    KIND_NAMES,
+    MEASURE,
+    RESET,
+    IRError,
+    IROp,
+    IRProgram,
+)
+
+__all__ = [
+    "GATE",
+    "MEASURE",
+    "RESET",
+    "BARRIER",
+    "BLOCK",
+    "KIND_NAMES",
+    "IRError",
+    "IROp",
+    "IRProgram",
+    "iter_elements",
+    "lower",
+    "make_ir_op",
+    "clear_lowering_cache",
+    "PassManager",
+    "InjectNoise",
+    "available_passes",
+    "register_pass",
+]

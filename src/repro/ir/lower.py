@@ -1,0 +1,177 @@
+"""The one circuit-tree lowering path.
+
+:func:`iter_elements` is the **only** walker over a
+:class:`~repro.circuit.QCircuit`'s nested op tree in the package; every
+consumer — plan compilation, transforms, layout/draw/LaTeX, QASM
+export, serialization — reaches the flattened stream through it (most
+via :func:`lower`, which adds typed :class:`~repro.ir.IROp` records and
+a per-revision cache).
+
+Three expansion modes cover every historical walker:
+
+``expand='all'``
+    Recurse into every nested circuit; absolute qubits for simulation,
+    transforms and QASM export (what ``QCircuit.operations()`` yields).
+``expand='blocks'``
+    Recurse into nested circuits *except* those marked
+    :meth:`~repro.circuit.QCircuit.asBlock`, which stay whole — the
+    drawer and LaTeX exporter render them as labelled boxes.
+``expand='none'``
+    Yield only the circuit's direct children (the serializer's
+    structure-preserving view).
+
+Offset convention: a yielded ``(op, offset)`` pair means "``op``'s own
+qubits shift up by ``offset``".  A non-expanded sub-circuit is yielded
+with the *enclosing* accumulated offset only, because its own
+``offset`` is part of its qubit coordinates already.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.circuit.barrier import Barrier
+from repro.circuit.circuit import QCircuit
+from repro.circuit.measurement import Measurement
+from repro.circuit.reset import Reset
+from repro.gates.base import QGate
+from repro.ir.program import (
+    BARRIER,
+    BLOCK,
+    GATE,
+    MEASURE,
+    RESET,
+    IRError,
+    IROp,
+    IRProgram,
+)
+
+__all__ = ["iter_elements", "lower", "make_ir_op", "clear_lowering_cache"]
+
+_MODES = ("all", "blocks", "none")
+
+
+def iter_elements(
+    circuit: QCircuit, expand: str = "all", base_offset: int = 0
+) -> Iterator[Tuple[object, int]]:
+    """Yield ``(op, total_offset)`` pairs from the circuit tree.
+
+    The total offset accumulates this circuit's own offset with every
+    enclosing circuit's.  See the module docstring for the three
+    ``expand`` modes.
+    """
+    if expand not in _MODES:
+        raise IRError(
+            f"unknown expand mode {expand!r}; expected one of {_MODES}"
+        )
+    off = base_offset + circuit.offset
+    for op in circuit:
+        if isinstance(op, QCircuit) and (
+            expand == "all" or (expand == "blocks" and not op.is_block)
+        ):
+            yield from iter_elements(op, expand, off)
+        else:
+            yield op, off
+
+
+def make_ir_op(op, offset: int) -> IROp:
+    """Build the typed :class:`IROp` record for one flattened element."""
+    if isinstance(op, QGate):
+        return IROp(
+            GATE,
+            op,
+            offset,
+            qubits=tuple(q + offset for q in op.qubits),
+            targets=tuple(q + offset for q in op.target_qubits()),
+            controls=tuple(q + offset for q in op.controls()),
+            control_states=tuple(int(s) for s in op.control_states()),
+        )
+    if isinstance(op, Measurement):
+        q = (op.qubit + offset,)
+        return IROp(MEASURE, op, offset, qubits=q, targets=q)
+    if isinstance(op, Reset):
+        q = (op.qubit + offset,)
+        return IROp(RESET, op, offset, qubits=q, targets=q)
+    if isinstance(op, Barrier):
+        qs = tuple(q + offset for q in op.qubits)
+        return IROp(BARRIER, op, offset, qubits=qs, targets=qs)
+    if isinstance(op, QCircuit):
+        qs = tuple(q + offset for q in op.qubits)
+        return IROp(BLOCK, op, offset, qubits=qs, targets=qs)
+    raise IRError(
+        f"cannot lower circuit element {type(op).__name__}"
+    )
+
+
+def _collect(circuit: QCircuit, expand: str, base_offset: int):
+    """Lower eagerly, recording nested-circuit revision dependencies."""
+    ops = []
+    deps = []
+
+    def walk(c, base):
+        off = base + c.offset
+        for op in c:
+            if isinstance(op, QCircuit) and (
+                expand == "all"
+                or (expand == "blocks" and not op.is_block)
+            ):
+                deps.append((op, op.revision))
+                walk(op, off)
+            else:
+                if isinstance(op, QCircuit):
+                    # kept whole, but content edits must still
+                    # invalidate the parent's cached lowering
+                    deps.append((op, op.revision))
+                ops.append(make_ir_op(op, off))
+
+    walk(circuit, base_offset)
+    return tuple(ops), tuple(deps)
+
+
+def lower(
+    circuit: QCircuit, expand: str = "all", base_offset: int = 0
+) -> IRProgram:
+    """Lower a circuit into an :class:`IRProgram`, cached per revision.
+
+    The cache key is the circuit's :attr:`~repro.circuit.QCircuit.revision`
+    counter plus the revision of every nested sub-circuit, so structural
+    edits anywhere in the tree invalidate the cached lowering while
+    repeated lowerings of an unchanged circuit are free.  Gate
+    *parameter* mutations do not bump revisions and do not need to:
+    IR ops read kernels and parameters through their source-op
+    back-pointers.  Only ``base_offset == 0`` lowerings are cached.
+    """
+    if expand not in _MODES:
+        raise IRError(
+            f"unknown expand mode {expand!r}; expected one of {_MODES}"
+        )
+    if base_offset != 0:
+        ops, _deps = _collect(circuit, expand, base_offset)
+        return IRProgram(circuit.nbQubits, ops)
+
+    cache = getattr(circuit, "_ir_lower_cache", None)
+    if cache is not None:
+        entry = cache.get(expand)
+        if entry is not None:
+            rev, deps, program = entry
+            if rev == circuit.revision and all(
+                c.revision == r for c, r in deps
+            ):
+                return program
+
+    ops, deps = _collect(circuit, expand, 0)
+    program = IRProgram(circuit.nbQubits, ops)
+    if cache is None:
+        cache = {}
+        try:
+            circuit._ir_lower_cache = cache
+        except AttributeError:  # exotic QCircuit subclass with slots
+            return program
+    cache[expand] = (circuit.revision, deps, program)
+    return program
+
+
+def clear_lowering_cache(circuit: QCircuit) -> None:
+    """Drop any cached lowerings attached to ``circuit``."""
+    if getattr(circuit, "_ir_lower_cache", None) is not None:
+        circuit._ir_lower_cache = None

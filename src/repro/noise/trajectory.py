@@ -92,6 +92,33 @@ def _resolve_options(options, backend):
     return opts
 
 
+def _channel_map(circuit, noise: NoiseModel) -> dict:
+    """``{gate class: NoiseChannel}`` for every noisy gate of the circuit.
+
+    Built by running the ``inject_noise`` IR pass over the canonical
+    (revision-cached) lowering.  :func:`noisy_counts` builds this once
+    per batch, so every shot resolves channels with one dict lookup per
+    gate instead of re-matching the noise model's rules.
+
+    Keyed by gate *class*, matching :meth:`NoiseModel.channel_for`'s
+    resolution — deliberately not by gate identity: the plan cache may
+    hand back a plan compiled from a different but signature-equal
+    circuit, whose step back-pointers are different objects of the same
+    classes.
+    """
+    if noise.is_trivial:
+        return {}
+    from repro.ir.lower import lower
+    from repro.ir.passes import InjectNoise, PassManager
+
+    program = PassManager([InjectNoise(noise)]).run(lower(circuit))
+    return {
+        type(irop.op): irop.channel
+        for irop in program
+        if irop.channel is not None
+    }
+
+
 class _CountingRNG:
     """Thin proxy counting ``random()`` draws (instrumented runs)."""
 
@@ -113,6 +140,7 @@ def run_trajectory(
     start=None,
     backend=None,
     options: Optional[SimulationOptions] = None,
+    _channels: Optional[dict] = None,
 ) -> TrajectoryResult:
     """Sample a single noisy run of ``circuit``.
 
@@ -140,6 +168,10 @@ def run_trajectory(
     noise = noise or NoiseModel()
     opts = _resolve_options(options, backend)
     nb_qubits = circuit.nbQubits
+    channels = (
+        _channels if _channels is not None
+        else _channel_map(circuit, noise)
+    )
     inst = resolve_instrumentation(opts.trace, opts.metrics)
 
     with activate(inst), inst.span(
@@ -166,11 +198,11 @@ def run_trajectory(
             if step.kind == GATE:
                 state = engine.apply_planned(state, step, nb_qubits)
                 channel = (
-                    noise.channel_for(step.op)
+                    channels.get(type(step.op))
                     if step.op is not None
                     else None
                 )
-                if channel is not None and not channel.is_identity:
+                if channel is not None:
                     for q in step.noise_qubits:
                         state = _apply_kraus(
                             engine, state, channel.kraus, q, nb_qubits,
@@ -238,9 +270,11 @@ def noisy_counts(
                 SHOTS_SAMPLED, "shots sampled via counts()"
             ).inc(int(shots))
         counts: Dict[str, int] = {}
+        channels = _channel_map(circuit, noise or NoiseModel())
         for _ in range(int(shots)):
             result = run_trajectory(
-                circuit, noise, rng=rng, start=start, options=opts
+                circuit, noise, rng=rng, start=start, options=opts,
+                _channels=channels,
             ).result
             counts[result] = counts.get(result, 0) + 1
         return counts

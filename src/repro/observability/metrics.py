@@ -27,6 +27,9 @@ __all__ = [
     "FUSED_STEPS",
     "PLAN_CACHE_HITS",
     "PLAN_CACHE_MISSES",
+    "IR_PASS_RUNS",
+    "IR_PIPELINE_CACHE_HITS",
+    "IR_PIPELINE_CACHE_MISSES",
     "STATE_BYTES_MAX",
     "RNG_DRAWS",
     "SHOTS_SAMPLED",
@@ -47,6 +50,11 @@ FUSED_STEPS = "repro_fused_steps_total"
 #: Plan-cache hits / misses observed by instrumented runs.
 PLAN_CACHE_HITS = "repro_plan_cache_hits_total"
 PLAN_CACHE_MISSES = "repro_plan_cache_misses_total"
+#: IR pass executions, labelled by ``pass`` name.
+IR_PASS_RUNS = "repro_ir_pass_runs_total"
+#: Per-circuit IR pass-pipeline cache hits / misses.
+IR_PIPELINE_CACHE_HITS = "repro_ir_pipeline_cache_hits_total"
+IR_PIPELINE_CACHE_MISSES = "repro_ir_pipeline_cache_misses_total"
 #: High-water mark of statevector bytes live across branches.
 STATE_BYTES_MAX = "repro_statevector_bytes_max"
 #: Random draws consumed (trajectory Kraus/measurement sampling, shots).

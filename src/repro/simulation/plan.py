@@ -34,12 +34,16 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.circuit.barrier import Barrier
 from repro.circuit.circuit import QCircuit
 from repro.circuit.measurement import Measurement
-from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError
-from repro.gates.base import QGate, controlled_matrix
+from repro.gates.base import controlled_matrix
+from repro.ir.lower import lower
+from repro.ir.program import BARRIER as IR_BARRIER
+from repro.ir.program import GATE as IR_GATE
+from repro.ir.program import MEASURE as IR_MEASURE
+from repro.ir.program import RESET as IR_RESET
+from repro.ir.program import KIND_NAMES
 from repro.observability.instrument import current_instrumentation
 from repro.observability.metrics import (
     FUSED_STEPS,
@@ -47,6 +51,7 @@ from repro.observability.metrics import (
     PLAN_CACHE_MISSES,
 )
 from repro.simulation.backends import Backend, get_backend
+from repro.utils.linalg import expand_diag
 
 __all__ = [
     "GATE",
@@ -176,57 +181,11 @@ class CompiledPlan:
         )
 
 
-# -- flattening and signatures ----------------------------------------------
-
-
-def _flattened(circuit: QCircuit) -> tuple:
-    """``(op, absolute_offset)`` pairs, cached per circuit revision.
-
-    The cache also records the revision of every nested sub-circuit so
-    that mutating a child after pushing it into a parent invalidates
-    the parent's flattening.
-    """
-    cache = getattr(circuit, "_plan_flat_cache", None)
-    if cache is not None:
-        rev, deps, flat = cache
-        if rev == circuit.revision and all(
-            c.revision == r for c, r in deps
-        ):
-            return flat
-
-    flat = []
-    deps = []
-
-    def walk(c, base):
-        off = base + c.offset
-        for op in c._ops:
-            if isinstance(op, QCircuit):
-                deps.append((op, op.revision))
-                walk(op, off)
-            else:
-                flat.append((op, off))
-
-    walk(circuit, 0)
-    flat = tuple(flat)
-    circuit._plan_flat_cache = (circuit.revision, tuple(deps), flat)
-    return flat
-
-
-def _op_signature(op, off: int) -> tuple:
-    if isinstance(op, QGate):
-        return op.signature(off)
-    if isinstance(op, Measurement):
-        extra = (
-            op.basis_change.tobytes() if op.basis == "custom" else None
-        )
-        return ("measure", op.qubit + off, op.basis, extra)
-    if isinstance(op, Reset):
-        return ("reset", op.qubit + off, bool(op.record))
-    if isinstance(op, Barrier):
-        return ("barrier",) + tuple(q + off for q in op.qubits)
-    raise SimulationError(
-        f"cannot compile circuit element {type(op).__name__}"
-    )
+# -- lowering and signatures -------------------------------------------------
+#
+# Plan compilation consumes the canonical IR (:mod:`repro.ir`): the
+# one tree walker, revision-cached, replaces the private ``_flattened``
+# this module used to carry.
 
 
 def circuit_signature(circuit: QCircuit) -> tuple:
@@ -235,29 +194,13 @@ def circuit_signature(circuit: QCircuit) -> tuple:
 
     Equal signatures guarantee identical simulation semantics, so the
     signature keys the plan cache; any mutation — structural or a gate
-    parameter update — changes it.
+    parameter update — changes it.  Delegates to
+    :meth:`repro.ir.IRProgram.signature` on the cached lowering.
     """
-    parts = [("n", circuit.nbQubits)]
-    for op, off in _flattened(circuit):
-        parts.append(_op_signature(op, off))
-    return tuple(parts)
+    return lower(circuit).signature()
 
 
 # -- fusion ------------------------------------------------------------------
-
-
-def _expand_diag(diag, src_qubits, dst_qubits, dtype):
-    """Expand a diagonal over ``src_qubits`` to superset ``dst_qubits``
-    (both ascending, ``qubits[0]`` = most significant sub-index bit)."""
-    k = len(dst_qubits)
-    pos = [dst_qubits.index(q) for q in src_qubits]
-    out = np.empty(1 << k, dtype=dtype)
-    for a in range(1 << k):
-        sub = 0
-        for p in pos:
-            sub = (sub << 1) | ((a >> (k - 1 - p)) & 1)
-        out[a] = diag[sub]
-    return out
 
 
 def _folded_diag(step):
@@ -301,7 +244,7 @@ def _merge_diag(prev: PlanStep, cur: PlanStep) -> bool:
     if len(union) > MAX_DIAG_FUSE_QUBITS:
         return False
     dtype = prev.kernel.dtype
-    d = _expand_diag(pd, pq, union, dtype) * _expand_diag(
+    d = expand_diag(pd, pq, union, dtype) * expand_diag(
         cd, cq, union, dtype
     )
     prev.targets = union
@@ -413,7 +356,7 @@ def _compile_circuit(
     t0 = perf_counter()
     engine = get_backend(backend)
     nb_qubits = circuit.nbQubits
-    ops = _flattened(circuit)
+    program = lower(circuit)
 
     steps: list = []
     open_start = 0  # start of the current fusion window in ``steps``
@@ -423,39 +366,39 @@ def _compile_circuit(
     last_touch: dict = {}
     record_index: dict = {}
 
-    for op, off in ops:
-        if isinstance(op, Barrier):
+    for irop in program:
+        kind = irop.kind
+        if kind == IR_BARRIER:
             open_start = len(steps)  # barriers block fusion across them
             continue
         nb_source_ops += 1
-        if isinstance(op, QGate):
+        op = irop.op
+        if kind == IR_GATE:
             step = PlanStep(GATE)
-            step.targets = tuple(q + off for q in op.target_qubits())
-            step.controls = tuple(q + off for q in op.controls())
-            step.control_states = tuple(
-                int(s) for s in op.control_states()
-            )
-            step.kernel = np.asarray(op.target_matrix(), dtype=dtype)
-            step.diagonal = bool(op.is_diagonal)
+            step.targets = irop.targets
+            step.controls = irop.controls
+            step.control_states = irop.control_states
+            step.kernel = irop.kernel(dtype)
+            step.diagonal = irop.is_diagonal
             if step.diagonal:
                 step.diag = np.ascontiguousarray(np.diag(step.kernel))
             step.op = op
-            step.noise_qubits = tuple(q + off for q in op.qubits)
+            step.noise_qubits = irop.qubits
             Backend._validate(
                 step.kernel, step.targets, nb_qubits, step.controls,
                 step.control_states,
             )
-            for q in op.qubits:
-                last_touch[q + off] = op
+            for q in irop.qubits:
+                last_touch[q] = op
             if fuse and _fuse_into_window(
                 steps, open_start, step, counts
             ):
                 continue
             steps.append(step)
             continue
-        if isinstance(op, Measurement):
+        if kind == IR_MEASURE:
             step = PlanStep(MEASURE)
-            step.qubit = op.qubit + off
+            step.qubit = irop.qubit
             step.op = op
             record_index[id(op)] = len(recorded)
             recorded.append((step.qubit, op))
@@ -463,9 +406,9 @@ def _compile_circuit(
             steps.append(step)
             open_start = len(steps)
             continue
-        if isinstance(op, Reset):
+        if kind == IR_RESET:
             step = PlanStep(RESET)
-            step.qubit = op.qubit + off
+            step.qubit = irop.qubit
             step.op = op
             if op.record:
                 record_index[id(op)] = len(recorded)
@@ -475,7 +418,8 @@ def _compile_circuit(
             open_start = len(steps)
             continue
         raise SimulationError(
-            f"cannot compile circuit element {type(op).__name__}"
+            f"cannot compile {KIND_NAMES.get(kind, kind)} IR op "
+            f"({type(op).__name__})"
         )
 
     end_measured = {}

@@ -1,27 +1,25 @@
 """Peephole optimization passes over :class:`QCircuit`.
 
-Passes share a simple dataflow view: walking the operation list while
-tracking, per qubit, the index of the last operation touching it.  Two
-operations are *adjacent* when every qubit of the later one last saw
-the earlier one — only then may they be fused or cancelled, which
-guarantees unitary preservation even across measurements (a measurement
-is an opaque "last toucher" that nothing fuses across).
+This module is the circuit-level public API of the optimizer; since the
+IR refactor every pass here is a thin wrapper that lowers the circuit
+into the canonical :class:`~repro.ir.IRProgram` (see :mod:`repro.ir`),
+runs the corresponding IR pass, and materializes a flat circuit back.
+The dataflow rule is unchanged: two operations are *adjacent* when
+every qubit of the later one last saw the earlier one — only then may
+they be fused or cancelled, which guarantees unitary preservation even
+across measurements (a measurement is an opaque "last toucher" that
+nothing fuses across).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
-from typing import List, Optional
 
 import numpy as np
 
 from repro.circuit.circuit import QCircuit
-from repro.circuit.measurement import Measurement
-from repro.circuit.reset import Reset
 from repro.exceptions import CircuitError
-from repro.gates import U3, Identity
-from repro.gates.base import QGate
-from repro.gates.parametric import Phase, RotationGate1, RotationGate2
 
 __all__ = [
     "flatten",
@@ -39,55 +37,41 @@ def flatten(circuit: QCircuit) -> QCircuit:
 
     Every element is copied via its ``shifted`` protocol, so the result
     shares no mutable state with the input.
+
+    .. deprecated::
+        Flattening a *nested* circuit by hand is no longer needed:
+        every consumer (simulation, transforms, exporters) lowers
+        through :func:`repro.ir.lower` and flattens on the fly with
+        per-revision caching.  Materializing a flat copy of a nested
+        circuit forfeits that cache; lower to an
+        :class:`~repro.ir.IRProgram` instead.
     """
-    out = QCircuit(circuit.nbQubits)
-    for op, off in circuit.operations():
-        out.push_back(op.shifted(off))
-    return out
+    from repro.ir.lower import lower
+
+    program = lower(circuit)
+    if any(isinstance(op, QCircuit) for op in circuit):
+        warnings.warn(
+            "transforms.flatten on a nested circuit is deprecated; "
+            "consumers flatten on the fly via repro.ir.lower (cached "
+            "per revision) — lower(circuit) gives the flat op stream "
+            "without materializing a copy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return program.to_circuit()
 
 
 def gate_counts(circuit: QCircuit) -> Counter:
     """Count operations by class name (recursing into sub-circuits)."""
-    return Counter(
-        type(op).__name__ for op, _off in circuit.operations()
-    )
+    from repro.ir.lower import lower
+
+    return lower(circuit).gate_counts()
 
 
-def _adjacent_pairs_pass(circuit: QCircuit, combine) -> QCircuit:
-    """Shared engine: walk ops; ``combine(prev_op, op)`` may return a
-    replacement list (possibly empty) when the two are adjacent."""
-    ops: List[Optional[object]] = []
-    last_touch: dict = {}  # qubit -> index into ops
+def _run_ir(circuit: QCircuit, names) -> QCircuit:
+    from repro.ir.passes import PassManager
 
-    for op, off in circuit.operations():
-        op = op.shifted(off)
-        qubits = op.qubits
-        prev_indices = {last_touch.get(q) for q in qubits}
-        merged = False
-        if len(prev_indices) == 1 and None not in prev_indices:
-            (idx,) = prev_indices
-            prev = ops[idx]
-            if prev is not None and tuple(prev.qubits) == tuple(qubits):
-                replacement = combine(prev, op)
-                if replacement is not None:
-                    ops[idx] = None
-                    for q in qubits:
-                        last_touch.pop(q, None)
-                    for new_op in replacement:
-                        ops.append(new_op)
-                        for q in new_op.qubits:
-                            last_touch[q] = len(ops) - 1
-                    merged = True
-        if not merged:
-            ops.append(op)
-            for q in qubits:
-                last_touch[q] = len(ops) - 1
-
-    out = QCircuit(circuit.nbQubits)
-    for op in ops:
-        if op is not None:
-            out.push_back(op)
-    return out
+    return PassManager(names).run_on(circuit).to_circuit()
 
 
 def fuse_rotations(circuit: QCircuit, drop_identity: bool = True) -> QCircuit:
@@ -98,26 +82,18 @@ def fuse_rotations(circuit: QCircuit, drop_identity: bool = True) -> QCircuit:
     whose angle becomes 0 (mod 4 pi for rotations) are dropped when
     ``drop_identity`` is set.
     """
+    if not drop_identity:
+        # the uncommon variant keeps identity-angle gates in place
+        from repro.ir.lower import lower
+        from repro.ir.passes import _adjacent_pairs, _fuse_rotations_combine
 
-    def combine(prev, op):
-        fusable = (RotationGate1, RotationGate2, Phase)
-        if not isinstance(prev, fusable) or type(prev) is not type(op):
-            return None
-        fused = prev.shifted(0)  # fresh copy; fuse mutates in place
-        fused.fuse(op)
-        if drop_identity and _is_identity_rotation(fused):
-            return []
-        return [fused]
-
-    return _adjacent_pairs_pass(circuit, combine)
-
-
-def _is_identity_rotation(gate) -> bool:
-    if isinstance(gate, Phase):
-        a = gate.angle
-        return abs(a.cos - 1.0) < 1e-14 and abs(a.sin) < 1e-14
-    rot = gate.rotation
-    return abs(rot.cos - 1.0) < 1e-14 and abs(rot.sin) < 1e-14
+        program = _adjacent_pairs(
+            lower(circuit),
+            _fuse_rotations_combine(drop_identity=False),
+            "fuse_rotations",
+        )
+        return program.to_circuit()
+    return _run_ir(circuit, ["fuse_rotations"])
 
 
 def cancel_inverses(circuit: QCircuit) -> QCircuit:
@@ -127,18 +103,7 @@ def cancel_inverses(circuit: QCircuit) -> QCircuit:
     inverse pairs (S/S†, T/T†, any gates whose matrices multiply to I).
     Only small gates (up to 3 qubits) are checked, by dense product.
     """
-
-    def combine(prev, op):
-        if not isinstance(prev, QGate) or not isinstance(op, QGate):
-            return None
-        if prev.nbQubits > 3:
-            return None
-        product = op.matrix @ prev.matrix
-        if np.allclose(product, np.eye(product.shape[0]), atol=1e-12):
-            return []
-        return None
-
-    return _adjacent_pairs_pass(circuit, combine)
+    return _run_ir(circuit, ["cancel_inverses"])
 
 
 def merge_single_qubit_runs(circuit: QCircuit) -> QCircuit:
@@ -149,32 +114,17 @@ def merge_single_qubit_runs(circuit: QCircuit) -> QCircuit:
     phase is dropped (it is unobservable for an uncontrolled gate).
     Runs that multiply to the identity disappear entirely.
     """
-    from repro.io.qasm_export import u3_params
-
-    def combine(prev, op):
-        if not (
-            isinstance(prev, QGate)
-            and isinstance(op, QGate)
-            and prev.nbQubits == 1
-            and op.nbQubits == 1
-        ):
-            return None
-        product = op.matrix @ prev.matrix
-        theta, phi, lam, _alpha = u3_params(product)
-        wrapped = (phi + lam) % (2 * np.pi)
-        if abs(theta) < 1e-14 and min(wrapped, 2 * np.pi - wrapped) < 1e-12:
-            return []
-        return [U3(op.qubits[0], theta, phi, lam)]
-
-    return _adjacent_pairs_pass(circuit, combine)
+    return _run_ir(circuit, ["fuse_1q"])
 
 
 _DEFAULT_PASSES = ("fuse_rotations", "cancel_inverses")
 
+#: circuit-level pass names accepted by :func:`optimize`, mapped to the
+#: IR registry names they run as.
 _PASS_TABLE = {
-    "fuse_rotations": fuse_rotations,
-    "cancel_inverses": cancel_inverses,
-    "merge_single_qubit_runs": merge_single_qubit_runs,
+    "fuse_rotations": "fuse_rotations",
+    "cancel_inverses": "cancel_inverses",
+    "merge_single_qubit_runs": "fuse_1q",
 }
 
 
@@ -190,19 +140,22 @@ def optimize(
     ``'merge_single_qubit_runs'`` for aggressive 1-qubit resynthesis
     (exact up to global phase).
     """
+    from repro.ir.lower import lower
+    from repro.ir.passes import PassManager
+
     for name in passes:
         if name not in _PASS_TABLE:
             raise CircuitError(
                 f"unknown pass {name!r}; available: {sorted(_PASS_TABLE)}"
             )
-    current = flatten(circuit)
+    manager = PassManager([_PASS_TABLE[name] for name in passes])
+    current = lower(circuit)
     for _ in range(max_iterations):
         before = len(current)
-        for name in passes:
-            current = _PASS_TABLE[name](current)
+        current = manager.run(current)
         if len(current) >= before:
             break
-    return current
+    return current.to_circuit()
 
 
 def circuits_equivalent(

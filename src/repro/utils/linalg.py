@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "closeto",
     "dagger",
+    "expand_diag",
     "is_unitary",
     "is_hermitian",
     "is_normalized",
@@ -72,4 +73,26 @@ def kron_all(factors: Iterable[np.ndarray]) -> np.ndarray:
     out = np.asarray(factors[0])
     for f in factors[1:]:
         out = np.kron(out, np.asarray(f))
+    return out
+
+
+def expand_diag(diag, src_qubits, dst_qubits, dtype=None) -> np.ndarray:
+    """Expand a diagonal over ``src_qubits`` to superset ``dst_qubits``.
+
+    Both qubit lists are ascending with ``qubits[0]`` as the most
+    significant sub-index bit (the register convention).  Shared by the
+    plan compiler's diagonal coalescing and the IR
+    ``coalesce_diagonals`` pass.
+    """
+    diag = np.asarray(diag)
+    if dtype is None:
+        dtype = diag.dtype
+    k = len(dst_qubits)
+    pos = [list(dst_qubits).index(q) for q in src_qubits]
+    out = np.empty(1 << k, dtype=dtype)
+    for a in range(1 << k):
+        sub = 0
+        for p in pos:
+            sub = (sub << 1) | ((a >> (k - 1 - p)) & 1)
+        out[a] = diag[sub]
     return out
