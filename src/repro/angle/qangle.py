@@ -73,6 +73,11 @@ class QAngle:
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("QAngle is immutable")
 
+    def __reduce__(self):
+        # default slot-state unpickling would trip the immutability
+        # guard; rebuild through the (cos, sin) constructor instead
+        return (QAngle, (self._cos, self._sin))
+
     # -- accessors ---------------------------------------------------------
 
     @property

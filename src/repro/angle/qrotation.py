@@ -59,6 +59,11 @@ class QRotation:
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("QRotation is immutable")
 
+    def __reduce__(self):
+        # default slot-state unpickling would trip the immutability
+        # guard; rebuild from the half-angle (cos, sin) pair instead
+        return (QRotation, (self._half.cos, self._half.sin))
+
     @classmethod
     def from_half_angle(cls, half: QAngle) -> "QRotation":
         """Build a rotation directly from a half-angle :class:`QAngle`."""

@@ -23,8 +23,10 @@ from repro.noise.channels import (
 )
 from repro.noise.model import NoiseModel
 from repro.noise.trajectory import (
+    BatchedTrajectoryResult,
     TrajectoryResult,
     noisy_counts,
+    run_trajectories_batched,
     run_trajectory,
 )
 from repro.noise.qec_threshold import (
@@ -41,8 +43,10 @@ __all__ = [
     "AmplitudeDamping",
     "NoiseModel",
     "run_trajectory",
+    "run_trajectories_batched",
     "noisy_counts",
     "TrajectoryResult",
+    "BatchedTrajectoryResult",
     "repetition_code_logical_error_rate",
     "theoretical_logical_error_rate",
 ]

@@ -22,7 +22,7 @@ from repro.exceptions import SimulationError
 from repro.gates import CNOT, Identity, MCX
 from repro.noise.channels import BitFlip
 from repro.noise.model import NoiseModel
-from repro.noise.trajectory import run_trajectory
+from repro.noise.trajectory import run_trajectories_batched
 
 __all__ = [
     "repetition_code_logical_error_rate",
@@ -74,7 +74,9 @@ def repetition_code_logical_error_rate(
     """Measured logical error rate of the distance-3 code at physical
     bit-flip probability ``p``.
 
-    Each shot samples a trajectory of the noisy memory circuit; the
+    The shots execute through the batched trajectory engine
+    (:func:`repro.noise.run_trajectories_batched`), which for a fixed
+    seed reproduces the historical serial loop shot-for-shot; the
     final data-qubit readout (the last recorded outcome) is 1 exactly
     when the error was miscorrected.
     """
@@ -87,10 +89,9 @@ def repetition_code_logical_error_rate(
     )
     circuit = _noisy_memory_circuit()
     noise = NoiseModel(idle_noise=BitFlip(p))
-    failures = 0
-    for _ in range(int(shots)):
-        result = run_trajectory(circuit, noise, rng=rng).result
-        # outcomes: syndrome bits then the logical readout
-        if result[-1] == "1":
-            failures += 1
+    res = run_trajectories_batched(
+        circuit, noise, shots=int(shots), seed=rng, backend=backend
+    )
+    # outcomes: syndrome bits then the logical readout
+    failures = sum(1 for r in res.results if r[-1] == "1")
     return failures / float(shots)

@@ -52,6 +52,9 @@ from repro.observability.instrument import (
     resolve_instrumentation,
 )
 from repro.observability.metrics import (
+    BATCH_SIZE,
+    BATCH_WORKERS,
+    BATCHED_SHOTS,
     BRANCHES_MAX,
     Counter,
     FUSED_STEPS,
@@ -101,4 +104,7 @@ __all__ = [
     "TRAJECTORIES",
     "MEASUREMENTS",
     "BRANCHES_MAX",
+    "BATCHED_SHOTS",
+    "BATCH_SIZE",
+    "BATCH_WORKERS",
 ]

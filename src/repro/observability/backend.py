@@ -86,6 +86,47 @@ class InstrumentedBackend:
         seconds.observe(dt)
         return out
 
+    def apply_planned_batched(self, states, step, nb_qubits):
+        # one batched call applies the kernel to B trajectories; count
+        # B applies so per-shot accounting matches the serial runner
+        applies, seconds = self._handles[step_kind(step)]
+        batch = states.shape[0]
+        t0 = perf_counter()
+        out = self.inner.apply_planned_batched(states, step, nb_qubits)
+        dt = perf_counter() - t0
+        applies.inc(batch)
+        seconds.observe(dt)
+        return out
+
+    def apply_batched(
+        self,
+        states,
+        kernel,
+        targets,
+        nb_qubits,
+        controls=(),
+        control_states=(),
+        diagonal=False,
+    ):
+        applies, seconds = self._handles[
+            gate_kind(targets, controls, diagonal)
+        ]
+        batch = states.shape[0]
+        t0 = perf_counter()
+        out = self.inner.apply_batched(
+            states,
+            kernel,
+            targets,
+            nb_qubits,
+            controls=controls,
+            control_states=control_states,
+            diagonal=diagonal,
+        )
+        dt = perf_counter() - t0
+        applies.inc(batch)
+        seconds.observe(dt)
+        return out
+
     def apply(
         self,
         state,

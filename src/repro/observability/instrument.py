@@ -146,7 +146,9 @@ def resolve_instrumentation(trace, metrics) -> Instrumentation:
     :class:`Tracer`/:class:`MetricsRegistry`, an explicit instance is
     used as-is (so runs can share a registry).
     """
-    if not trace and not metrics:
+    # explicit None/False checks: a freshly-created (empty) Tracer is
+    # falsy through __len__, but passing one still opts in to tracing
+    if trace in (None, False) and metrics in (None, False):
         return current_instrumentation()
     if isinstance(trace, Tracer):
         tracer = trace

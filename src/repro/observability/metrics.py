@@ -36,6 +36,9 @@ __all__ = [
     "TRAJECTORIES",
     "MEASUREMENTS",
     "BRANCHES_MAX",
+    "BATCHED_SHOTS",
+    "BATCH_SIZE",
+    "BATCH_WORKERS",
 ]
 
 # -- canonical instrument names ----------------------------------------------
@@ -67,6 +70,12 @@ TRAJECTORIES = "repro_trajectories_total"
 MEASUREMENTS = "repro_measurements_total"
 #: High-water mark of simultaneous measurement branches.
 BRANCHES_MAX = "repro_branches_max"
+#: Shots executed through the batched trajectory engine.
+BATCHED_SHOTS = "repro_batched_shots_total"
+#: High-water mark of the trajectory batch size in use.
+BATCH_SIZE = "repro_batch_size"
+#: High-water mark of the worker-process fan-out in use.
+BATCH_WORKERS = "repro_batch_workers"
 
 #: Default histogram bucket upper bounds (seconds): 1 us .. 10 s.
 DEFAULT_BUCKETS = (

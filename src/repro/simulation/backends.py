@@ -107,7 +107,61 @@ class Backend(ABC):
             diagonal=step.diagonal,
         )
 
+    # -- batched (trajectory-ensemble) hooks --------------------------------
+    #
+    # A batch is ``B`` independent state vectors stacked on a leading
+    # axis, shape ``(B, 2**nb_qubits)`` — the layout of the batched
+    # trajectory engine (:mod:`repro.noise.trajectory`).  The defaults
+    # loop over the batch rows; vectorized backends override them to
+    # execute each kernel ONCE across the whole batch.
+
+    def apply_batched(
+        self,
+        states: np.ndarray,
+        kernel: np.ndarray,
+        targets: Sequence[int],
+        nb_qubits: int,
+        controls: Sequence[int] = (),
+        control_states: Sequence[int] = (),
+        diagonal: bool = False,
+    ) -> np.ndarray:
+        """Apply ``kernel`` to every row of a ``(B, 2**n)`` batch.
+
+        Semantics per row match :meth:`apply`; the batch may be
+        modified in place and/or a new array returned — callers use
+        the **returned** array.
+        """
+        self._validate_batch(states, nb_qubits)
+        for i in range(states.shape[0]):
+            states[i] = self.apply(
+                states[i], kernel, targets, nb_qubits,
+                controls=controls, control_states=control_states,
+                diagonal=diagonal,
+            )
+        return states
+
+    def apply_planned_batched(
+        self, states: np.ndarray, step, nb_qubits: int
+    ) -> np.ndarray:
+        """Apply one compiled gate step to a ``(B, 2**n)`` batch.
+
+        The default loops :meth:`apply_planned` over the rows;
+        vectorized backends execute the step once across the batch.
+        """
+        self._validate_batch(states, nb_qubits)
+        for i in range(states.shape[0]):
+            states[i] = self.apply_planned(states[i], step, nb_qubits)
+        return states
+
     # -- shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def _validate_batch(states: np.ndarray, nb_qubits: int) -> None:
+        if states.ndim != 2 or states.shape[1] != (1 << nb_qubits):
+            raise SimulationError(
+                f"batch must have shape (B, {1 << nb_qubits}), got "
+                f"{states.shape}"
+            )
 
     @staticmethod
     def _as_2d(state: np.ndarray):
@@ -180,7 +234,17 @@ class KernelBackend(Backend):
         step.rows = rows
         step.flat_rows = np.ascontiguousarray(rows).ravel()
         if step.diagonal:
-            step.diag_rep = np.repeat(step.diag, rows.shape[1])[:, None]
+            # the expanded diagonal is shared through the plan tables so
+            # signature-equal diagonal steps reuse one allocation instead
+            # of re-running np.repeat per step (or worse, per apply)
+            dkey = ("diag_rep", key, step.diag.tobytes())
+            rep = tables.get(dkey)
+            if rep is None:
+                rep = np.repeat(step.diag, rows.shape[1])[:, None]
+                tables[dkey] = rep
+            step.diag_rep = rep
+            # flat view of the same buffer, broadcast over batch rows
+            step.diag_flat = rep.ravel()
 
     def apply_planned(self, state, step, nb_qubits):
         state2d, shape = self._as_2d(state)
@@ -199,6 +263,75 @@ class KernelBackend(Backend):
         gathered = state2d[flat].reshape(rows.shape[0], rows.shape[1] * m)
         state2d[flat] = (step.kernel @ gathered).reshape(-1, m)
         return state2d.reshape(shape)
+
+    def apply_planned_batched(self, states, step, nb_qubits):
+        rows = step.rows
+        B = states.shape[0]
+        if rows is None:
+            return self._apply_1q_batched(
+                states, step.kernel, step.targets[0], step.diagonal
+            )
+        flat = step.flat_rows
+        if step.diagonal:
+            states[:, flat] *= step.diag_flat
+            return states
+        gathered = states[:, flat].reshape(B, rows.shape[0], rows.shape[1])
+        states[:, flat] = np.matmul(step.kernel, gathered).reshape(B, -1)
+        return states
+
+    def apply_batched(
+        self,
+        states,
+        kernel,
+        targets,
+        nb_qubits,
+        controls=(),
+        control_states=(),
+        diagonal=False,
+    ):
+        self._validate_batch(states, nb_qubits)
+        self._validate(
+            np.asarray(kernel), targets, nb_qubits, controls, control_states
+        )
+        kernel = np.asarray(kernel, dtype=states.dtype)
+        if not controls and len(targets) == 1:
+            return self._apply_1q_batched(
+                states, kernel, targets[0], diagonal
+            )
+        if not controls:
+            rows = subindex_map(nb_qubits, list(targets))
+        else:
+            sub = gather_indices(
+                nb_qubits, list(controls), list(control_states)
+            )
+            others = [
+                q for q in range(nb_qubits) if q not in set(controls)
+            ]
+            local_targets = [others.index(q) for q in targets]
+            rows = sub[subindex_map(len(others), local_targets)]
+        flat = np.ascontiguousarray(rows).ravel()
+        B = states.shape[0]
+        if diagonal:
+            states[:, flat] *= np.repeat(np.diag(kernel), rows.shape[1])
+            return states
+        gathered = states[:, flat].reshape(B, rows.shape[0], rows.shape[1])
+        states[:, flat] = np.matmul(kernel, gathered).reshape(B, -1)
+        return states
+
+    @staticmethod
+    def _apply_1q_batched(states, kernel, target, diagonal):
+        """One-qubit kernel across a ``(B, dim)`` batch: the serial
+        strided reshape gains a leading batch axis and the einsum
+        contracts once for all rows."""
+        B = states.shape[0]
+        left = 1 << target
+        view = states.reshape(B, left, 2, -1)
+        if diagonal:
+            view[:, :, 0, :] *= kernel[0, 0]
+            view[:, :, 1, :] *= kernel[1, 1]
+            return states
+        out = np.einsum("ab,cdbe->cdae", kernel, view)
+        return out.reshape(B, -1)
 
     def apply(
         self,
@@ -306,6 +439,33 @@ class SparseKronBackend(Backend):
         out = np.asarray(step.aux @ state2d, dtype=state2d.dtype)
         return out.reshape(shape)
 
+    def apply_planned_batched(self, states, step, nb_qubits):
+        # one sparse multiply for the whole batch: (dim, dim) @ (dim, B)
+        self._validate_batch(states, nb_qubits)
+        out = np.asarray(step.aux @ states.T, dtype=states.dtype)
+        return np.ascontiguousarray(out.T)
+
+    def apply_batched(
+        self,
+        states,
+        kernel,
+        targets,
+        nb_qubits,
+        controls=(),
+        control_states=(),
+        diagonal=False,
+    ):
+        self._validate_batch(states, nb_qubits)
+        self._validate(
+            np.asarray(kernel), targets, nb_qubits, controls, control_states
+        )
+        op = self.extended_operator(
+            np.asarray(kernel, dtype=states.dtype), targets, nb_qubits,
+            controls, control_states,
+        )
+        out = np.asarray(op @ states.T, dtype=states.dtype)
+        return np.ascontiguousarray(out.T)
+
     def apply(
         self,
         state,
@@ -404,6 +564,56 @@ class EinsumBackend(Backend):
         )
         out = np.moveaxis(contracted, list(range(k)), list(qubits_all))
         return np.ascontiguousarray(out).reshape(shape)
+
+    def apply_planned_batched(self, states, step, nb_qubits):
+        self._validate_batch(states, nb_qubits)
+        ut, qubits_all, k = step.aux
+        return self._contract_batched(states, ut, qubits_all, k, nb_qubits)
+
+    def apply_batched(
+        self,
+        states,
+        kernel,
+        targets,
+        nb_qubits,
+        controls=(),
+        control_states=(),
+        diagonal=False,
+    ):
+        self._validate_batch(states, nb_qubits)
+        self._validate(
+            np.asarray(kernel), targets, nb_qubits, controls, control_states
+        )
+        kernel = np.asarray(kernel, dtype=states.dtype)
+        if controls:
+            qubits_all = sorted(list(targets) + list(controls))
+            full_kernel = controlled_matrix(
+                kernel, qubits_all, list(controls), list(control_states),
+                list(targets),
+            )
+        else:
+            qubits_all = sorted(targets)
+            full_kernel = kernel
+        k = len(qubits_all)
+        ut = full_kernel.reshape((2,) * (2 * k))
+        return self._contract_batched(
+            states, ut, tuple(qubits_all), k, nb_qubits
+        )
+
+    @staticmethod
+    def _contract_batched(states, ut, qubits_all, k, nb_qubits):
+        """Contract a full-register kernel over a batch: qubit axes sit
+        one position right of the leading batch axis."""
+        B = states.shape[0]
+        psi = states.reshape((B,) + (2,) * nb_qubits)
+        axes = [q + 1 for q in qubits_all]
+        contracted = np.tensordot(
+            ut, psi, axes=(list(range(k, 2 * k)), axes)
+        )
+        # kernel row axes land first; the batch axis follows them and
+        # slides back to the front once the rows return to their slots
+        out = np.moveaxis(contracted, list(range(k)), axes)
+        return np.ascontiguousarray(out).reshape(B, -1)
 
     def apply(
         self,

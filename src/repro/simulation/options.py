@@ -74,6 +74,18 @@ class SimulationOptions:
         registry to share one across runs.  Defaults like ``trace``.
         When either field is set, ``Simulation.report()`` returns the
         run's :class:`~repro.observability.ProfileReport`.
+    batch_size:
+        Number of Monte-Carlo trajectories executed simultaneously as
+        one ``(B, 2**n)`` batch by the batched trajectory engine
+        (:func:`repro.noise.run_trajectories_batched`).  ``None``
+        (default) picks a memory-aware size automatically; explicit
+        values must be >= 1.
+    max_workers:
+        Process fan-out for trajectory batches: shot counts exceeding
+        one batch are distributed over this many worker processes via
+        :mod:`concurrent.futures`.  Results are bit-reproducible for a
+        fixed seed regardless of the worker count (the parent draws
+        every batch's randomness up front).  Default 1 = in-process.
     """
 
     backend: Any = "kernel"
@@ -84,6 +96,8 @@ class SimulationOptions:
     fuse: bool = True
     trace: Any = None
     metrics: Any = None
+    batch_size: Optional[int] = None
+    max_workers: int = 1
 
     def __post_init__(self):
         if self.atol < 0:
@@ -94,6 +108,17 @@ class SimulationOptions:
                 f"dtype must be a complex floating type, got {dt}"
             )
         object.__setattr__(self, "dtype", dt.type)
+        if self.batch_size is not None:
+            if int(self.batch_size) < 1:
+                raise SimulationError(
+                    f"batch_size must be >= 1, got {self.batch_size!r}"
+                )
+            object.__setattr__(self, "batch_size", int(self.batch_size))
+        if int(self.max_workers) < 1:
+            raise SimulationError(
+                f"max_workers must be >= 1, got {self.max_workers!r}"
+            )
+        object.__setattr__(self, "max_workers", int(self.max_workers))
 
     @property
     def use_plan(self) -> bool:

@@ -87,7 +87,7 @@ class PlanStep:
     __slots__ = (
         "kind", "kernel", "diag", "targets", "controls",
         "control_states", "diagonal", "rows", "flat_rows", "diag_rep",
-        "aux", "op", "noise_qubits", "qubit",
+        "diag_flat", "aux", "op", "noise_qubits", "qubit",
     )
 
     def __init__(self, kind: int):
@@ -101,6 +101,7 @@ class PlanStep:
         self.rows = None
         self.flat_rows = None
         self.diag_rep = None
+        self.diag_flat = None
         self.aux = None
         self.op = None
         self.noise_qubits = None

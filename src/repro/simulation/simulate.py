@@ -235,6 +235,13 @@ class Simulation:
         ``seed`` may be an int or a :class:`numpy.random.Generator`
         (the MATLAB listing's ``rng(1)`` becomes ``seed=1``); when
         omitted, the run's ``SimulationOptions.seed`` applies.
+
+        Sampling here is exact and fully vectorized — one multinomial
+        over the enumerated branch distribution plus a scatter-add, so
+        measurement-free circuit tails cost nothing per shot.  Paths
+        that genuinely need per-shot stochastic replay (noise models)
+        route through the batched trajectory engine instead
+        (:func:`repro.noise.noisy_counts`).
         """
         m = self.nbMeasurements
         if m == 0:
@@ -257,9 +264,15 @@ class Simulation:
         probs = self.probabilities
         probs = probs / probs.sum()
         draws = rng.multinomial(int(shots), probs)
+        # vectorized accumulation: one scatter-add over the branch
+        # indices (several branches may share an outcome string)
+        idx = np.fromiter(
+            (int(b.result, 2) for b in self._branches),
+            dtype=np.int64,
+            count=len(self._branches),
+        )
         out = np.zeros(1 << m, dtype=np.int64)
-        for branch, n in zip(self._branches, draws):
-            out[int(branch.result, 2)] += n
+        np.add.at(out, idx, draws)
         return out
 
     def _record_shots(self, shots: int) -> None:

@@ -1,0 +1,267 @@
+"""The batched trajectory engine (``run_trajectories_batched``).
+
+The load-bearing property is the seed contract: for a fixed seed the
+batched engine must reproduce a serial :func:`run_trajectory` loop
+sharing one generator *shot for shot*, independent of ``batch_size``
+and ``max_workers``.  The differential tests here enforce it across
+noise models, workloads and backends; the rest covers the batched
+backend kernels, the options knobs and the observability wiring.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.workloads import bell_circuit, ghz_circuit, nested_circuit
+from repro.circuit import Measurement, QCircuit
+from repro.exceptions import SimulationError
+from repro.gates import Hadamard
+from repro.noise import (
+    BatchedTrajectoryResult,
+    Depolarizing,
+    NoiseModel,
+    noisy_counts,
+    run_trajectories_batched,
+    run_trajectory,
+)
+from repro.observability import (
+    BATCH_SIZE,
+    BATCHED_SHOTS,
+    MetricsRegistry,
+    TRAJECTORIES,
+)
+from repro.simulation import SimulationOptions, get_backend
+from repro.simulation.options import resolve_simulation_options
+
+
+def serial_results(circuit, noise, shots, seed, backend=None):
+    """The reference: a serial loop sharing one generator."""
+    rng = np.random.default_rng(seed)
+    return [
+        run_trajectory(
+            circuit, noise, rng=rng, backend=backend
+        ).result
+        for _ in range(shots)
+    ]
+
+
+WORKLOADS = [
+    pytest.param(bell_circuit(), id="bell"),
+    pytest.param(ghz_circuit(4, measure=True), id="ghz4"),
+    pytest.param(nested_circuit(), id="nested"),
+]
+
+NOISES = [
+    pytest.param(NoiseModel(), id="noiseless"),
+    pytest.param(
+        NoiseModel(gate_noise=Depolarizing(0.1)), id="depolarizing"
+    ),
+    pytest.param(NoiseModel(readout_error=0.1), id="readout"),
+    pytest.param(
+        NoiseModel(gate_noise=Depolarizing(0.05), readout_error=0.03),
+        id="depol+readout",
+    ),
+]
+
+
+class TestDifferential:
+    """Batched == serial, shot for shot."""
+
+    @pytest.mark.parametrize("noise", NOISES)
+    @pytest.mark.parametrize("circuit", WORKLOADS)
+    def test_matches_serial_loop(self, circuit, noise):
+        shots = 150
+        expected = serial_results(circuit, noise, shots, seed=42)
+        got = run_trajectories_batched(
+            circuit, noise, shots=shots, seed=42
+        )
+        assert got.results == expected
+
+    @pytest.mark.parametrize("noise", NOISES)
+    def test_histogram_matches_serial(self, noise):
+        c = ghz_circuit(3, measure=True)
+        shots = 200
+        expected = {}
+        for r in serial_results(c, noise, shots, seed=9):
+            expected[r] = expected.get(r, 0) + 1
+        assert noisy_counts(c, noise, shots=shots, seed=9) == expected
+
+    def test_odd_batch_size_partitioning(self):
+        """A batch size that does not divide the shot count must not
+        change the outcome sequence (partial final batch)."""
+        c = bell_circuit()
+        noise = NoiseModel(gate_noise=Depolarizing(0.1))
+        expected = serial_results(c, noise, 50, seed=7)
+        got = run_trajectories_batched(
+            c, noise, shots=50, seed=7,
+            options=SimulationOptions(batch_size=7),
+        )
+        assert got.results == expected
+        assert got.batch_size == 7
+
+    @pytest.mark.parametrize("name", ["kernel", "sparse", "einsum"])
+    def test_all_backends(self, name):
+        c = nested_circuit()
+        noise = NoiseModel(gate_noise=Depolarizing(0.08))
+        expected = serial_results(c, noise, 60, seed=3, backend=name)
+        got = run_trajectories_batched(
+            c, noise, shots=60, seed=3, backend=name
+        )
+        assert got.results == expected
+
+    def test_final_states_match_serial(self):
+        c = bell_circuit()
+        res = run_trajectories_batched(
+            c, None, shots=12, seed=5, return_states=True
+        )
+        assert res.states.shape == (12, 4)
+        rng = np.random.default_rng(5)
+        for i in range(12):
+            ref = run_trajectory(c, rng=rng)
+            np.testing.assert_allclose(res.states[i], ref.state)
+
+
+class TestWorkerInvariance:
+    """Same seed => same results, whatever the fan-out."""
+
+    def test_1_vs_4_workers(self):
+        c = ghz_circuit(4, measure=True)
+        noise = NoiseModel(
+            gate_noise=Depolarizing(0.05), readout_error=0.02
+        )
+        opts1 = SimulationOptions(batch_size=32, max_workers=1)
+        opts4 = SimulationOptions(batch_size=32, max_workers=4)
+        a = run_trajectories_batched(
+            c, noise, shots=256, seed=11, options=opts1
+        )
+        b = run_trajectories_batched(
+            c, noise, shots=256, seed=11, options=opts4
+        )
+        assert a.results == b.results
+        assert a.counts == b.counts
+        assert b.workers == 4
+
+    def test_worker_counts_match_serial(self):
+        c = bell_circuit()
+        noise = NoiseModel(readout_error=0.05)
+        expected = serial_results(c, noise, 64, seed=21)
+        got = run_trajectories_batched(
+            c, noise, shots=64, seed=21,
+            options=SimulationOptions(batch_size=16, max_workers=3),
+        )
+        assert got.results == expected
+
+
+class TestBatchedBackends:
+    """apply_batched / apply_planned_batched == per-row apply."""
+
+    @pytest.mark.parametrize("name", ["kernel", "sparse", "einsum"])
+    def test_apply_batched_equals_rows(self, name):
+        be = get_backend(name)
+        rng = np.random.default_rng(0)
+        nb = 3
+        states = rng.normal(size=(5, 8)) + 1j * rng.normal(size=(5, 8))
+        states = states.astype(np.complex128)
+        h = Hadamard(0).matrix
+        expected = np.stack([
+            be.apply(states[i].copy(), h, [1], nb)
+            for i in range(5)
+        ])
+        got = be.apply_batched(states.copy(), h, [1], nb)
+        np.testing.assert_allclose(got, expected)
+
+    @pytest.mark.parametrize("name", ["kernel", "sparse", "einsum"])
+    def test_apply_batched_controlled(self, name):
+        be = get_backend(name)
+        rng = np.random.default_rng(1)
+        nb = 3
+        states = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        states = states.astype(np.complex128)
+        x = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+        expected = np.stack([
+            be.apply(
+                states[i].copy(), x, [2], nb,
+                controls=[0], control_states=[1],
+            )
+            for i in range(4)
+        ])
+        got = be.apply_batched(
+            states.copy(), x, [2], nb,
+            controls=[0], control_states=[1],
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_batch_shape_validation(self):
+        be = get_backend("kernel")
+        h = Hadamard(0).matrix
+        with pytest.raises(SimulationError):
+            be.apply_batched(np.zeros((3, 5), dtype=complex), h, [0], 2)
+        with pytest.raises(SimulationError):
+            be.apply_batched(np.zeros(4, dtype=complex), h, [0], 2)
+
+
+class TestOptionsAndResult:
+    def test_batch_size_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(batch_size=0)
+        with pytest.raises(SimulationError):
+            SimulationOptions(max_workers=0)
+        opts = SimulationOptions(batch_size=8, max_workers=2)
+        assert opts.batch_size == 8 and opts.max_workers == 2
+
+    def test_options_survive_resolution(self):
+        opts = resolve_simulation_options(
+            {"batch_size": 16, "max_workers": 2}
+        )
+        assert opts.batch_size == 16
+        assert opts.max_workers == 2
+
+    def test_counts_sorted_by_bitstring(self):
+        c = QCircuit(2)
+        c.push_back(Hadamard(0))
+        c.push_back(Hadamard(1))
+        c.push_back(Measurement(0))
+        c.push_back(Measurement(1))
+        counts = noisy_counts(c, shots=400, seed=2)
+        assert list(counts) == sorted(counts)
+        assert sum(counts.values()) == 400
+
+    def test_result_counts_property(self):
+        res = BatchedTrajectoryResult(
+            results=["11", "00", "11", "01"],
+            shots=4, batch_size=4, workers=1,
+        )
+        assert res.counts == {"00": 1, "01": 1, "11": 2}
+        assert list(res.counts) == ["00", "01", "11"]
+
+    def test_zero_shots(self):
+        res = run_trajectories_batched(bell_circuit(), shots=0, seed=0)
+        assert res.results == []
+        assert res.counts == {}
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            run_trajectories_batched(bell_circuit(), shots=-1)
+
+
+class TestObservability:
+    def test_batched_metrics_wired(self):
+        reg = MetricsRegistry()
+        opts = SimulationOptions(metrics=reg, batch_size=32)
+        run_trajectories_batched(
+            bell_circuit(), None, shots=100, seed=0, options=opts
+        )
+        assert reg.get(BATCHED_SHOTS).total() == 100
+        assert reg.get(TRAJECTORIES).total() == 100
+        assert reg.get(BATCH_SIZE).value() == 32
+
+    def test_batch_spans_recorded(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        opts = SimulationOptions(trace=tracer)
+        run_trajectories_batched(
+            bell_circuit(), None, shots=10, seed=0, options=opts
+        )
+        names = [s.name for s in tracer.spans]
+        assert "batch.trajectories" in names
+        assert "batch.execute" in names
