@@ -1,0 +1,75 @@
+"""Conformance harness throughput — circuits oracled per second.
+
+Times a fixed conformance sweep (the same circuit distribution the CI
+smoke job uses) and records oracle throughput to
+``BENCH_conformance.json``: circuits fully cross-checked per second,
+seeds per minute, and the check-group count, so regressions in the
+oracle's own cost (each new engine multiplies the differential
+surface) show up next to the simulator benchmarks.
+
+Run directly (``python benchmarks/bench_conformance.py``) or through
+pytest.
+"""
+
+import sys
+from pathlib import Path
+
+SEEDS = 25
+
+
+def _run():
+    from repro.conformance import (
+        GeneratorConfig,
+        OracleConfig,
+        run_conformance,
+    )
+
+    return run_conformance(
+        seeds=SEEDS,
+        generator=GeneratorConfig(max_qubits=4, max_ops=16),
+        oracle=OracleConfig(trajectory_shots=8, sampling_shots=128),
+    )
+
+
+def test_conformance_throughput():
+    """Time the sweep and emit ``BENCH_conformance.json``."""
+    try:
+        from benchmarks.harness import emit_json, timed_run
+    except ImportError:  # run directly from the benchmarks/ directory
+        from harness import emit_json, timed_run  # type: ignore
+
+    reports = []
+    timed = timed_run(lambda: reports.append(_run()), repeats=3, warmup=1)
+    report = reports[-1]
+    assert report.ok, report.summary()
+
+    seconds = timed.median
+    payload = {
+        "workload": {
+            "seeds": SEEDS,
+            "max_qubits": 4,
+            "max_ops": 16,
+            "trajectory_shots": 8,
+            "sampling_shots": 128,
+        },
+        "nb_circuits": report.nb_circuits,
+        "nb_check_groups": report.nb_checks,
+        "median_seconds": seconds,
+        "circuits_per_second": report.nb_circuits / seconds,
+        "seeds_per_minute": 60.0 * SEEDS / seconds,
+        "timings": timed.as_dict(),
+    }
+    emit_json("conformance", payload)
+    print(
+        f"conformance throughput: "
+        f"{payload['circuits_per_second']:.1f} circuits/s "
+        f"({payload['seeds_per_minute']:.0f} seeds/min)"
+    )
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "src")
+    )
+    test_conformance_throughput()

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.conformance``."""
+
+import sys
+
+from repro.conformance.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

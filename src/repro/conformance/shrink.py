@@ -1,0 +1,209 @@
+"""Greedy minimization of failing conformance circuits.
+
+A raw fuzzer failure is an 18-op, 4-qubit circuit with nested blocks —
+useless as a bug report.  :func:`shrink` turns it into the smallest
+circuit the failure's ``replay`` closure still rejects:
+
+1. **Flatten** — replace nested blocks by their expanded contents (a
+   backend bug does not care about block structure; if the flattened
+   circuit still fails, shrink that instead).
+2. **Delta-debug the op list** — repeatedly try dropping contiguous
+   chunks (halving the chunk size down to single ops, ddmin-style),
+   keeping any candidate that still fails.
+3. **Prune the register** — drop unused qubits above the highest used
+   qubit and shift the circuit down past unused low qubits.
+
+Every candidate is validated by re-running the *original failing
+check* via :meth:`CheckFailure.still_fails`, so the shrinker can never
+"minimize" into a different bug, and a wall-clock budget bounds the
+whole search (shrinking is a best-effort nicety, not a correctness
+step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional
+
+from repro.circuit import QCircuit
+from repro.io import circuit_to_dict
+from repro.ir import PassManager, lower
+from repro.noise import NoiseModel
+
+from repro.conformance.oracle import CheckFailure
+
+__all__ = ["ShrunkFailure", "shrink"]
+
+
+@dataclass
+class ShrunkFailure:
+    """A minimized, reproducible conformance failure."""
+
+    seed: int
+    check: str
+    deviation: float
+    tolerance: float
+    message: str
+    circuit: QCircuit
+    noise: Optional[NoiseModel]
+    nb_ops_original: int
+    nb_ops_shrunk: int
+    shrink_seconds: float
+
+    @property
+    def qasm(self) -> Optional[str]:
+        """OpenQASM 2.0 of the reproducer, when expressible."""
+        try:
+            return self.circuit.toQASM()
+        except Exception:
+            return None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (seed + QASM + circuit + numbers)."""
+        return {
+            "seed": self.seed,
+            "check": self.check,
+            "deviation": self.deviation,
+            "tolerance": self.tolerance,
+            "message": self.message,
+            "nb_qubits": self.circuit.nbQubits,
+            "nb_ops_original": self.nb_ops_original,
+            "nb_ops_shrunk": self.nb_ops_shrunk,
+            "shrink_seconds": self.shrink_seconds,
+            "noise": repr(self.noise) if self.noise is not None else None,
+            "qasm": self.qasm,
+            "circuit": circuit_to_dict(self.circuit),
+            "draw": self.circuit.draw(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable failure block for terminal output."""
+        lines = [
+            f"FAIL {self.check} (seed {self.seed}): {self.message}",
+            f"  deviation {self.deviation:.3e} > tolerance "
+            f"{self.tolerance:.3e}; shrunk "
+            f"{self.nb_ops_original} -> {self.nb_ops_shrunk} ops "
+            f"in {self.shrink_seconds:.1f}s",
+        ]
+        if self.noise is not None:
+            lines.append(f"  noise: {self.noise!r}")
+        lines.extend(
+            "  " + line for line in self.circuit.draw().splitlines()
+        )
+        return "\n".join(lines)
+
+
+def _rebuild(nb_qubits: int, ops: List) -> QCircuit:
+    circuit = QCircuit(nb_qubits)
+    for op in ops:
+        circuit.push_back(op)
+    return circuit
+
+
+def _try_flatten(circuit: QCircuit) -> Optional[QCircuit]:
+    try:
+        return PassManager(["flatten"]).run(lower(circuit)).to_circuit()
+    except Exception:
+        return None
+
+
+def _ddmin_ops(
+    circuit: QCircuit,
+    noise: Optional[NoiseModel],
+    failure: CheckFailure,
+    deadline: float,
+) -> QCircuit:
+    """Drop contiguous op chunks while the failure reproduces."""
+    ops = list(circuit)
+    chunk = max(len(ops) // 2, 1)
+    while chunk >= 1:
+        i = 0
+        progressed = False
+        while i < len(ops) and len(ops) > 1:
+            if perf_counter() > deadline:
+                return _rebuild(circuit.nbQubits, ops)
+            candidate_ops = ops[:i] + ops[i + chunk:]
+            if not candidate_ops:
+                i += chunk
+                continue
+            candidate = _rebuild(circuit.nbQubits, candidate_ops)
+            if failure.still_fails(candidate, noise) is not None:
+                ops = candidate_ops
+                progressed = True
+            else:
+                i += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progressed else 0)
+    return _rebuild(circuit.nbQubits, ops)
+
+
+def _prune_register(
+    circuit: QCircuit,
+    noise: Optional[NoiseModel],
+    failure: CheckFailure,
+) -> QCircuit:
+    """Drop unused high qubits; shift down past unused low qubits."""
+    used = sorted({q for op in circuit for q in op.qubits})
+    if not used:
+        return circuit
+    top = used[-1]
+    if top + 1 < circuit.nbQubits:
+        candidate = _rebuild(top + 1, list(circuit))
+        if failure.still_fails(candidate, noise) is not None:
+            circuit = candidate
+    low = used[0]
+    if low > 0:
+        try:
+            shifted = [op.shifted(-low) for op in circuit]
+            candidate = _rebuild(circuit.nbQubits - low, shifted)
+        except Exception:
+            return circuit
+        if failure.still_fails(candidate, noise) is not None:
+            circuit = candidate
+    return circuit
+
+
+def shrink(
+    circuit: QCircuit,
+    noise: Optional[NoiseModel],
+    failure: CheckFailure,
+    time_budget: float = 20.0,
+) -> ShrunkFailure:
+    """Minimize ``circuit`` against ``failure`` within ``time_budget``
+    seconds and package the result as a :class:`ShrunkFailure`."""
+    t0 = perf_counter()
+    deadline = t0 + float(time_budget)
+    nb_original = len(list(lower(circuit).flat()))
+    best = circuit
+    deviation = failure.deviation
+
+    flat = _try_flatten(circuit)
+    if flat is not None:
+        dev = failure.still_fails(flat, noise)
+        if dev is not None:
+            best, deviation = flat, dev
+
+    for _ in range(3):  # ddmin + prune to a small fixpoint
+        before = len(best)
+        best = _ddmin_ops(best, noise, failure, deadline)
+        best = _prune_register(best, noise, failure)
+        if len(best) >= before or perf_counter() > deadline:
+            break
+
+    final_dev = failure.still_fails(best, noise)
+    if final_dev is not None:
+        deviation = final_dev
+    return ShrunkFailure(
+        seed=failure.seed,
+        check=failure.check,
+        deviation=deviation,
+        tolerance=failure.tolerance,
+        message=failure.message,
+        circuit=best,
+        noise=noise,
+        nb_ops_original=nb_original,
+        nb_ops_shrunk=len(best),
+        shrink_seconds=perf_counter() - t0,
+    )

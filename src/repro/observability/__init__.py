@@ -56,6 +56,9 @@ from repro.observability.metrics import (
     BATCH_WORKERS,
     BATCHED_SHOTS,
     BRANCHES_MAX,
+    CONFORMANCE_CHECKS,
+    CONFORMANCE_CIRCUITS,
+    CONFORMANCE_FAILURES,
     Counter,
     FUSED_STEPS,
     GATE_APPLIES,
@@ -107,4 +110,7 @@ __all__ = [
     "BATCHED_SHOTS",
     "BATCH_SIZE",
     "BATCH_WORKERS",
+    "CONFORMANCE_CIRCUITS",
+    "CONFORMANCE_CHECKS",
+    "CONFORMANCE_FAILURES",
 ]

@@ -75,9 +75,11 @@ class InstrumentedBackend:
         }
 
     def prepare_step(self, step, nb_qubits, tables):
+        """Delegate plan-time preparation to ``inner``."""
         self.inner.prepare_step(step, nb_qubits, tables)
 
     def apply_planned(self, state, step, nb_qubits):
+        """Timed pass-through to ``inner.apply_planned``."""
         applies, seconds = self._handles[step_kind(step)]
         t0 = perf_counter()
         out = self.inner.apply_planned(state, step, nb_qubits)
@@ -87,6 +89,8 @@ class InstrumentedBackend:
         return out
 
     def apply_planned_batched(self, states, step, nb_qubits):
+        """Timed pass-through to ``inner.apply_planned_batched``;
+        counts one apply per batch row."""
         # one batched call applies the kernel to B trajectories; count
         # B applies so per-shot accounting matches the serial runner
         applies, seconds = self._handles[step_kind(step)]
@@ -108,6 +112,8 @@ class InstrumentedBackend:
         control_states=(),
         diagonal=False,
     ):
+        """Timed pass-through to ``inner.apply_batched``; counts one
+        apply per batch row."""
         applies, seconds = self._handles[
             gate_kind(targets, controls, diagonal)
         ]
@@ -137,6 +143,8 @@ class InstrumentedBackend:
         control_states=(),
         diagonal=False,
     ):
+        """Timed pass-through to ``inner.apply``, metering applies
+        and kernel seconds by gate kind."""
         applies, seconds = self._handles[
             gate_kind(targets, controls, diagonal)
         ]

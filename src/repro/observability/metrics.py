@@ -39,6 +39,9 @@ __all__ = [
     "BATCHED_SHOTS",
     "BATCH_SIZE",
     "BATCH_WORKERS",
+    "CONFORMANCE_CIRCUITS",
+    "CONFORMANCE_CHECKS",
+    "CONFORMANCE_FAILURES",
 ]
 
 # -- canonical instrument names ----------------------------------------------
@@ -76,6 +79,12 @@ BATCHED_SHOTS = "repro_batched_shots_total"
 BATCH_SIZE = "repro_batch_size"
 #: High-water mark of the worker-process fan-out in use.
 BATCH_WORKERS = "repro_batch_workers"
+#: Circuits generated and oracled by the conformance harness.
+CONFORMANCE_CIRCUITS = "repro_conformance_circuits_total"
+#: Conformance check groups executed, labelled by ``check`` family.
+CONFORMANCE_CHECKS = "repro_conformance_checks_total"
+#: Conformance failures detected, labelled by ``check`` name.
+CONFORMANCE_FAILURES = "repro_conformance_failures_total"
 
 #: Default histogram bucket upper bounds (seconds): 1 us .. 10 s.
 DEFAULT_BUCKETS = (

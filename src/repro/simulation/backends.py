@@ -206,6 +206,8 @@ class KernelBackend(Backend):
     name = "kernel"
 
     def prepare_step(self, step, nb_qubits, tables):
+        """Attach gather-row index tables (shared via ``tables``)
+        for multi-target/controlled steps; 1q steps need none."""
         if not step.controls:
             if len(step.targets) == 1:
                 return  # strided-reshape fast path needs no tables
@@ -247,6 +249,8 @@ class KernelBackend(Backend):
             step.diag_flat = rep.ravel()
 
     def apply_planned(self, state, step, nb_qubits):
+        """Strided-reshape fast path for 1q steps; gather/matmul/
+        scatter over the precomputed row tables otherwise."""
         state2d, shape = self._as_2d(state)
         rows = step.rows
         if rows is None:
@@ -265,6 +269,8 @@ class KernelBackend(Backend):
         return state2d.reshape(shape)
 
     def apply_planned_batched(self, states, step, nb_qubits):
+        """One vectorized kernel application across the whole
+        ``(B, 2**n)`` batch, reusing the plan's row tables."""
         rows = step.rows
         B = states.shape[0]
         if rows is None:
@@ -289,6 +295,8 @@ class KernelBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Uncompiled batched path: build the row tables on the fly
+        and apply the kernel once across the batch."""
         self._validate_batch(states, nb_qubits)
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
@@ -343,6 +351,9 @@ class KernelBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Vectorized index-kernel application: strided reshape for
+        one target, gather/matmul/scatter for general targets and
+        controls, diagonal-aware in-place scaling throughout."""
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
         )
@@ -421,6 +432,8 @@ class SparseKronBackend(Backend):
     name = "sparse"
 
     def prepare_step(self, step, nb_qubits, tables):
+        """Materialize (and share via ``tables``) the sparse
+        full-register operator for this step."""
         key = (
             "sparse", step.targets, step.controls, step.control_states,
             step.kernel.tobytes(),
@@ -435,11 +448,14 @@ class SparseKronBackend(Backend):
         step.aux = op
 
     def apply_planned(self, state, step, nb_qubits):
+        """One sparse matrix-vector product with the prebuilt
+        extended operator."""
         state2d, shape = self._as_2d(state)
         out = np.asarray(step.aux @ state2d, dtype=state2d.dtype)
         return out.reshape(shape)
 
     def apply_planned_batched(self, states, step, nb_qubits):
+        """One sparse multiply for the whole ``(B, 2**n)`` batch."""
         # one sparse multiply for the whole batch: (dim, dim) @ (dim, B)
         self._validate_batch(states, nb_qubits)
         out = np.asarray(step.aux @ states.T, dtype=states.dtype)
@@ -455,6 +471,8 @@ class SparseKronBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Build the extended sparse operator and multiply it against
+        the whole batch at once."""
         self._validate_batch(states, nb_qubits)
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
@@ -476,6 +494,8 @@ class SparseKronBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Apply via ``extended_operator(...) @ state`` — the paper's
+        reference sparse-Kronecker algorithm."""
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
         )
@@ -540,6 +560,8 @@ class EinsumBackend(Backend):
     name = "einsum"
 
     def prepare_step(self, step, nb_qubits, tables):
+        """Pre-reshape the (control-folded) kernel into the
+        ``(2,)*2k`` tensor the contraction consumes."""
         if step.controls:
             qubits_all = sorted(step.targets + step.controls)
             full_kernel = controlled_matrix(
@@ -555,6 +577,8 @@ class EinsumBackend(Backend):
         )
 
     def apply_planned(self, state, step, nb_qubits):
+        """``tensordot`` the prepared kernel tensor over the step's
+        qubit axes, then move the result axes back in place."""
         state2d, shape = self._as_2d(state)
         ut, qubits_all, k = step.aux
         m = state2d.shape[1]
@@ -566,6 +590,7 @@ class EinsumBackend(Backend):
         return np.ascontiguousarray(out).reshape(shape)
 
     def apply_planned_batched(self, states, step, nb_qubits):
+        """Single tensor contraction across the whole batch."""
         self._validate_batch(states, nb_qubits)
         ut, qubits_all, k = step.aux
         return self._contract_batched(states, ut, qubits_all, k, nb_qubits)
@@ -580,6 +605,8 @@ class EinsumBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Fold controls into the kernel and contract once over the
+        whole batch."""
         self._validate_batch(states, nb_qubits)
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
@@ -625,6 +652,8 @@ class EinsumBackend(Backend):
         control_states=(),
         diagonal=False,
     ):
+        """Reshape the state into a rank-``n`` tensor and contract the
+        (control-folded) kernel over the gate's qubit axes."""
         self._validate(
             np.asarray(kernel), targets, nb_qubits, controls, control_states
         )
