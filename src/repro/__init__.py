@@ -36,10 +36,13 @@ Sub-packages
 
 from repro import compilers, noise, observability, qgates
 from repro.angle import QAngle, QRotation, turnover
-from repro.circuit import Barrier, Measurement, QCircuit, Reset
+from repro.circuit import Barrier, BoundCircuit, Measurement, QCircuit, Reset
+from repro.exceptions import UnboundParameterError
+from repro.parameter import Parameter, ParameterExpression
 from repro.simulation import (
     PauliSum,
     Simulation,
+    SweepResult,
     expectation,
     basis_state,
     density_matrix,
@@ -50,6 +53,7 @@ from repro.simulation import (
     random_state,
     reducedStatevector,
     simulate,
+    sweep,
     trace_distance,
     variance,
 )
@@ -58,9 +62,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "QCircuit",
+    "BoundCircuit",
     "Measurement",
     "Reset",
     "Barrier",
+    "Parameter",
+    "ParameterExpression",
+    "UnboundParameterError",
+    "sweep",
+    "SweepResult",
     "qgates",
     "QAngle",
     "QRotation",

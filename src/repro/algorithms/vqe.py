@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuit import QCircuit
 from repro.exceptions import CircuitError
 from repro.gates import CZ, RotationY
+from repro.parameter import Parameter
 from repro.simulation.observables import PauliSum
 from repro.simulation.state import basis_state
 
@@ -40,24 +41,34 @@ def h2_hamiltonian() -> PauliSum:
 
 
 def hardware_efficient_ansatz(
-    nb_qubits: int, layers: int, params: np.ndarray
+    nb_qubits: int, layers: int, params=None
 ) -> QCircuit:
     """RY rotations interleaved with CZ entangler ladders.
 
     Needs ``nb_qubits * (layers + 1)`` parameters: one RY per qubit per
     rotation layer, with a CZ ladder between consecutive layers.
+
+    ``params`` may be numeric angles, :class:`~repro.parameter.Parameter`
+    slots (or a mix), or ``None`` to create a fresh symbolic slot per
+    rotation — the resulting circuit is then compiled once and re-bound
+    per evaluation via :meth:`QCircuit.bind`.
     """
-    params = np.asarray(params, dtype=float).ravel()
     expected = nb_qubits * (layers + 1)
-    if params.size != expected:
+    if params is None:
+        params = [Parameter(f"theta_{i}") for i in range(expected)]
+    elif isinstance(params, np.ndarray):
+        params = list(params.ravel())
+    else:
+        params = list(params)
+    if len(params) != expected:
         raise CircuitError(
-            f"ansatz needs {expected} parameter(s), got {params.size}"
+            f"ansatz needs {expected} parameter(s), got {len(params)}"
         )
     circuit = QCircuit(nb_qubits)
     idx = 0
     for layer in range(layers + 1):
         for q in range(nb_qubits):
-            circuit.push_back(RotationY(q, float(params[idx])))
+            circuit.push_back(RotationY(q, params[idx]))
             idx += 1
         if layer < layers:
             for q in range(nb_qubits - 1):
@@ -89,7 +100,11 @@ def vqe_minimize(
     """Minimize ``<psi(params)| H |psi(params)>`` over the ansatz.
 
     Uses SciPy's gradient-free optimizers with a few random restarts;
-    intended for the small Hamiltonians of prototyping workflows.
+    intended for the small Hamiltonians of prototyping workflows.  The
+    ansatz is built once over symbolic :class:`Parameter` slots and each
+    energy evaluation re-binds the same compiled plan, so the optimizer
+    loop never pays for lowering or plan compilation after the first
+    call.
     """
     import scipy.optimize
 
@@ -97,11 +112,14 @@ def vqe_minimize(
     zero = basis_state("0" * n)
     evaluations = 0
 
+    circuit = hardware_efficient_ansatz(n, layers)
+    thetas = circuit.parameters
+
     def energy(params):
         nonlocal evaluations
         evaluations += 1
-        circuit = hardware_efficient_ansatz(n, layers, params)
-        state = circuit.simulate(zero, {"backend": backend}).states[0]
+        bound = circuit.bind(dict(zip(thetas, np.asarray(params, float))))
+        state = bound.simulate(zero, {"backend": backend}).states[0]
         return hamiltonian.expectation(state)
 
     rng = np.random.default_rng(seed)

@@ -8,8 +8,9 @@ single-qubit measurements), :class:`~repro.circuit.reset.Reset`
 """
 
 from repro.circuit.barrier import Barrier
+from repro.circuit.bound import BoundCircuit
 from repro.circuit.circuit import QCircuit
 from repro.circuit.measurement import Measurement
 from repro.circuit.reset import Reset
 
-__all__ = ["QCircuit", "Measurement", "Reset", "Barrier"]
+__all__ = ["QCircuit", "BoundCircuit", "Measurement", "Reset", "Barrier"]

@@ -220,9 +220,15 @@ class QCircuit(QObject):
             raise CircuitError(
                 "matrix is undefined for circuits with measurements/resets"
             )
+        from repro.exceptions import UnboundParameterError
         from repro.simulation.plan import get_plan
 
         plan, _stats = get_plan(self, "kernel", np.complex128)
+        if plan.is_parametric:
+            raise UnboundParameterError(
+                "matrix is undefined for a circuit with unbound "
+                "parameters; bind(...) values first"
+            )
         dim = 1 << self._nb_qubits
         state = np.eye(dim, dtype=np.complex128)
         for step in plan.steps:
@@ -245,6 +251,59 @@ class QCircuit(QObject):
             else:
                 out.push_back(op.ctranspose())
         return out
+
+    # -- symbolic parameters ------------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple:
+        """Distinct unbound :class:`~repro.parameter.Parameter` slots
+        in the circuit, in first-appearance order (nested circuits
+        walked recursively); empty for concrete circuits."""
+        from repro.ir.lower import lower
+
+        return lower(self).parameters()
+
+    def bind(self, values) -> "BoundCircuit":
+        """A cheap bound view of this parametric circuit.
+
+        ``values`` maps each :class:`~repro.parameter.Parameter` (or
+        its unambiguous name) to a value, or is a sequence aligned with
+        :attr:`parameters`.  The view shares this circuit — no copy, no
+        revision bump — and simulating it reuses this circuit's cached
+        compiled plan, only refilling the parametric kernel tables.
+        This replaces the deprecated sweep idiom of mutating
+        ``gate.theta`` in place between ``simulate()`` calls.
+
+        >>> from repro import Parameter, QCircuit
+        >>> from repro.gates import RotationY
+        >>> theta = Parameter("theta")
+        >>> circuit = QCircuit(1)
+        >>> _ = circuit.push_back(RotationY(0, theta))
+        >>> bound = circuit.bind({theta: 3.141592653589793})
+        >>> bool(abs(bound.simulate('0').states[0][1]) > 0.999)
+        True
+        """
+        from repro.circuit.bound import BoundCircuit
+        from repro.parameter import normalize_values
+
+        return BoundCircuit(
+            self, normalize_values(self.parameters, values)
+        )
+
+    def sweep(self, values, parameters=None, start=None, options=None):
+        """Evaluate the circuit over a whole matrix of parameter
+        points, vectorized along the parameter axis.
+
+        Convenience for :func:`repro.simulation.sweep`; see there for
+        the parameters and the returned
+        :class:`~repro.simulation.sweep.SweepResult`.
+        """
+        from repro.simulation.sweep import sweep as _sweep
+
+        return _sweep(
+            self, values, parameters=parameters, start=start,
+            options=options,
+        )
 
     # -- simulation ---------------------------------------------------------------
 

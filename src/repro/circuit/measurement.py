@@ -15,7 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import MeasurementError
-from repro.gates.base import DrawElement, DrawSpec, QObject, validate_unitary
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QObject,
+    bump_mutation_epoch,
+    validate_unitary,
+)
 from repro.utils.linalg import dagger
 from repro.utils.validation import check_qubit
 
@@ -88,6 +94,7 @@ class Measurement(QObject):
 
     @qubit.setter
     def qubit(self, value: int) -> None:
+        bump_mutation_epoch()
         self._qubit = check_qubit(value)
 
     @property

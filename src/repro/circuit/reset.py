@@ -10,7 +10,12 @@ probabilistic mixture over branches.
 
 from __future__ import annotations
 
-from repro.gates.base import DrawElement, DrawSpec, QObject
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QObject,
+    bump_mutation_epoch,
+)
 from repro.utils.validation import check_qubit
 
 __all__ = ["Reset"]
@@ -42,6 +47,7 @@ class Reset(QObject):
 
     @qubit.setter
     def qubit(self, value: int) -> None:
+        bump_mutation_epoch()
         self._qubit = check_qubit(value)
 
     @property

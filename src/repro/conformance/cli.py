@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate only noiseless circuits",
     )
     parser.add_argument(
+        "--parametric", type=float, default=0.0, metavar="FRACTION",
+        help=(
+            "fraction of non-Clifford seeds generated with symbolic "
+            "Parameter slots, exercising the bind()/sweep() oracle "
+            "(default 0.0 — seed streams are unchanged)"
+        ),
+    )
+    parser.add_argument(
         "--backends", type=str, default=None,
         help=(
             "comma-separated statevector backends to cross-check "
@@ -81,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip", type=str, default=None,
         help=(
             "comma-separated check families to skip: density, "
-            "trajectory, mps, stabilizer, passes, roundtrips"
+            "trajectory, mps, stabilizer, passes, roundtrips, "
+            "parametric"
         ),
     )
     parser.add_argument(
@@ -118,6 +127,7 @@ def _configs(args) -> tuple:
         max_ops=max(args.depth, 1),
         min_ops=min(4, max(args.depth, 1)),
         noise_fraction=0.0 if args.no_noise else 0.25,
+        parametric_fraction=min(max(args.parametric, 0.0), 1.0),
     )
     skip = {
         s.strip() for s in (args.skip or "").split(",") if s.strip()
@@ -136,6 +146,7 @@ def _configs(args) -> tuple:
         check_stabilizer="stabilizer" not in skip,
         check_passes="passes" not in skip,
         check_roundtrips="roundtrips" not in skip,
+        check_parametric="parametric" not in skip,
     )
     return generator, oracle
 

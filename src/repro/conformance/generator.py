@@ -65,6 +65,7 @@ from repro.noise import (
     NoiseModel,
     PhaseFlip,
 )
+from repro.parameter import Parameter
 
 __all__ = ["GeneratorConfig", "GeneratedCase", "generate_case"]
 
@@ -91,6 +92,16 @@ class GeneratorConfig:
         with Z-basis measurements), eligible for the stabilizer engine.
     noise_fraction:
         Fraction of seeds that carry a random :class:`NoiseModel`.
+    parametric_fraction:
+        Fraction of non-Clifford seeds generated *parametric*: some
+        rotation angles are replaced by symbolic
+        :class:`~repro.parameter.Parameter` slots.  The case's
+        :attr:`~GeneratedCase.circuit` is the concrete baseline
+        materialization (so every existing check runs unchanged) and
+        the symbolic original rides along in
+        :attr:`~GeneratedCase.symbolic` for the bind/sweep oracle.
+        The default 0.0 draws nothing from the RNG, keeping historical
+        seed streams byte-identical.
     allow_matrix_gates, allow_multi_controlled:
         Include random-unitary :class:`~repro.gates.MatrixGate` s /
         multi-controlled gates in the universe.
@@ -110,6 +121,7 @@ class GeneratorConfig:
     p_block: float = 0.07
     clifford_fraction: float = 0.2
     noise_fraction: float = 0.25
+    parametric_fraction: float = 0.0
     allow_matrix_gates: bool = True
     allow_multi_controlled: bool = True
     measure_at_end: bool = True
@@ -127,6 +139,7 @@ class GeneratorConfig:
         for name in (
             "p_measure", "p_reset", "p_barrier", "p_block",
             "clifford_fraction", "noise_fraction",
+            "parametric_fraction",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -150,6 +163,12 @@ class GeneratedCase:
     qasm_safe: bool
     #: Human-readable universe tag ('clifford' or 'full').
     universe: str = "full"
+    #: ``(Parameter, baseline_value)`` pairs of a parametric case, in
+    #: slot-creation order; empty for concrete cases.
+    parameters: tuple = ()
+    #: The symbolic original of a parametric case (``circuit`` is its
+    #: baseline materialization); ``None`` for concrete cases.
+    symbolic: Optional[QCircuit] = None
 
 
 def _random_unitary(rng: np.random.Generator, dim: int) -> np.ndarray:
@@ -188,7 +207,24 @@ def _clifford_gate(rng: np.random.Generator, n: int):
     return SWAP(a, b)
 
 
-def _full_gate(rng: np.random.Generator, n: int, config: GeneratorConfig):
+def _sym(rng: np.random.Generator, theta: float, params_out):
+    """Replace ``theta`` with a fresh :class:`Parameter` slot half the
+    time (parametric mode only), recording the baseline value.
+
+    Draws from ``rng`` only when ``params_out`` is not ``None`` so
+    concrete-mode seed streams are untouched.
+    """
+    if params_out is None or rng.random() >= 0.5:
+        return theta
+    param = Parameter(f"p{len(params_out)}")
+    params_out.append((param, theta))
+    return param
+
+
+def _full_gate(
+    rng: np.random.Generator, n: int, config: GeneratorConfig,
+    params_out=None,
+):
     """One gate from the full universe (may need >= 2 / >= 3 qubits)."""
     kinds = ["fixed", "param", "param"]
     if n >= 2:
@@ -210,6 +246,8 @@ def _full_gate(rng: np.random.Generator, n: int, config: GeneratorConfig):
         return cls(q)
     if kind == "param":
         roll = int(rng.integers(0, 6))
+        if roll < 4:
+            theta = _sym(rng, theta, params_out)
         if roll == 0:
             return RotationX(q, theta)
         if roll == 1:
@@ -227,6 +265,8 @@ def _full_gate(rng: np.random.Generator, n: int, config: GeneratorConfig):
     if kind == "two":
         a, b = _distinct(rng, n, 2)
         roll = int(rng.integers(0, 8))
+        if roll in (4, 7):
+            theta = _sym(rng, theta, params_out)
         if roll == 0:
             return CNOT(a, b)
         if roll == 1:
@@ -247,6 +287,8 @@ def _full_gate(rng: np.random.Generator, n: int, config: GeneratorConfig):
         a, b = _distinct(rng, n, 2)
         control_state = int(rng.integers(0, 2))
         roll = int(rng.integers(0, 4))
+        if roll >= 1:
+            theta = _sym(rng, theta, params_out)
         if roll == 0:
             return ControlledGate1(Hadamard(b), a, control_state)
         if roll == 1:
@@ -303,6 +345,14 @@ def generate_case(
     nb_ops = int(rng.integers(config.min_ops, config.max_ops + 1))
     clifford = bool(rng.random() < config.clifford_fraction)
     noisy = bool(rng.random() < config.noise_fraction)
+    # Short-circuit: the default fraction of 0.0 draws nothing, so
+    # historical seed streams stay byte-identical.
+    parametric = bool(
+        config.parametric_fraction > 0
+        and not clifford
+        and rng.random() < config.parametric_fraction
+    )
+    params_out: Optional[list] = [] if parametric else None
 
     circuit = QCircuit(n)
     recorded = 0
@@ -341,7 +391,7 @@ def generate_case(
         circuit.push_back(
             _clifford_gate(rng, n)
             if clifford
-            else _full_gate(rng, n, config)
+            else _full_gate(rng, n, config, params_out)
         )
 
     if config.measure_at_end and recorded < config.max_recorded:
@@ -350,6 +400,14 @@ def generate_case(
 
     from repro.gates.base import QGate
     from repro.ir import lower
+
+    symbolic = None
+    parameters = tuple(params_out) if params_out else ()
+    if parameters:
+        # Concrete baseline for every existing check; the symbolic
+        # original rides along for the parametric oracle.
+        symbolic = circuit
+        circuit = circuit.bind(dict(parameters)).materialize()
 
     two_local = all(
         len(op.qubits) <= 2
@@ -365,4 +423,6 @@ def generate_case(
         two_local=two_local,
         qasm_safe=qasm_safe,
         universe="clifford" if clifford else "full",
+        parameters=parameters,
+        symbolic=symbolic,
     )

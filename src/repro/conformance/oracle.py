@@ -26,7 +26,11 @@ Metamorphic checks (transformed circuit, same engine)
       semantics;
     * the JSON serializer and the QASM export->import round-trip must
       preserve semantics (QASM only for circuits whose semantics QASM
-      can express — Z-basis measurements, unrecorded resets).
+      can express — Z-basis measurements, unrecorded resets);
+    * for parametric cases (``--parametric``), ``bind(values)`` on the
+      cached plan against a from-scratch recompile of the materialized
+      circuit, vectorized ``sweep()`` rows against per-point binds, and
+      the guarantee that re-binding never misses the plan cache.
 
 Every check returns the *deviation* it measured so failures carry a
 magnitude, and every failure carries a ``replay`` closure the shrinker
@@ -119,6 +123,7 @@ class OracleConfig:
     check_stabilizer: bool = True
     check_passes: bool = True
     check_roundtrips: bool = True
+    check_parametric: bool = True
 
     def tol(self, check: str) -> float:
         """Tolerance for ``check``, honoring :attr:`tolerances`."""
@@ -470,6 +475,149 @@ def _check_stabilizer(case: GeneratedCase, config: OracleConfig):
     ]
 
 
+def _gate_only(circuit: QCircuit) -> QCircuit:
+    """``circuit`` with top-level measurements and resets dropped (the
+    vectorized sweep path is gate-only by contract)."""
+    from repro.circuit import Measurement, Reset
+
+    out = QCircuit(circuit.nbQubits, circuit.offset)
+    for op in circuit:
+        if not isinstance(op, (Measurement, Reset)):
+            out.push_back(op)
+    return out
+
+
+def _parametric_bind_replay(backend, values):
+    def replay(circuit, noise):
+        params = tuple(getattr(circuit, "parameters", ()))
+        if not params or len(params) != len(values):
+            return None
+        bound = circuit.bind(dict(zip(params, values)))
+        ref = _simulate(bound.materialize(), "kernel")
+        sim = simulate(
+            bound, _start(circuit),
+            options=SimulationOptions(backend=backend),
+        )
+        dev, _ = _branch_deviation(ref, sim)
+        return dev
+
+    return replay
+
+
+def _parametric_sweep_replay(backend, points):
+    def replay(circuit, noise):
+        params = tuple(getattr(circuit, "parameters", ()))
+        if not params:
+            return None
+        gates = _gate_only(circuit)
+        if tuple(gates.parameters) != params:
+            return None
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != len(params):
+            return None
+        swept = gates.sweep(pts, options={"backend": backend}).states
+        dev = 0.0
+        for i, row in enumerate(pts):
+            ref = gates.bind(dict(zip(params, row))).simulate(
+                _start(gates), {"backend": backend}
+            ).states[0]
+            dev = max(dev, float(np.max(np.abs(swept[i] - ref))))
+        return dev
+
+    return replay
+
+
+def _parametric_cache_replay(values_a, values_b):
+    def replay(circuit, noise):
+        params = tuple(getattr(circuit, "parameters", ()))
+        if not params or len(params) != len(values_a):
+            return None
+        from repro.simulation.plan import plan_cache_info
+
+        start = _start(circuit)
+        circuit.bind(dict(zip(params, values_a))).simulate(start)
+        before = plan_cache_info()["misses"]
+        circuit.bind(dict(zip(params, values_b))).simulate(start)
+        after = plan_cache_info()["misses"]
+        return 0.0 if after == before else STRUCTURAL_MISMATCH
+
+    return replay
+
+
+def _check_parametric(case: GeneratedCase, config: OracleConfig):
+    """The parametric-bind contract on parametric cases.
+
+    * ``bind(values)`` through every backend must match a from-scratch
+      recompile of the materialized concrete circuit (baseline values
+      and a shifted binding);
+    * vectorized ``sweep()`` rows must match per-point ``bind()`` on
+      the gate-only portion of the circuit;
+    * re-binding the same circuit must not miss the plan cache.
+    """
+    if case.symbolic is None:
+        return []
+    failures = []
+    tol = config.tol("statevector")
+    symbolic = case.symbolic
+    baseline = [float(v) for _, v in case.parameters]
+    shifted = [v + 0.37 for v in baseline]
+    backends = config.backends or available_backends("statevector")
+    for backend in backends:
+        for tag, values in (("baseline", baseline), ("shifted", shifted)):
+            replay = _parametric_bind_replay(backend, values)
+            dev = replay(symbolic, None)
+            if dev is not None and dev > tol:
+                failures.append(
+                    CheckFailure(
+                        check=f"param:bind/{backend}/{tag}",
+                        seed=case.seed,
+                        deviation=dev,
+                        tolerance=tol,
+                        message=(
+                            f"bound plan on {backend!r} ({tag} values) "
+                            "disagrees with the materialized recompile: "
+                            f"max |delta| = {dev:.3e}"
+                        ),
+                        replay=replay,
+                    )
+                )
+        points = [baseline, shifted, [v - 0.81 for v in baseline]]
+        replay = _parametric_sweep_replay(backend, points)
+        dev = replay(symbolic, None)
+        if dev is not None and dev > tol:
+            failures.append(
+                CheckFailure(
+                    check=f"param:sweep/{backend}",
+                    seed=case.seed,
+                    deviation=dev,
+                    tolerance=tol,
+                    message=(
+                        f"vectorized sweep on {backend!r} disagrees "
+                        "with per-point bind: max |delta| = "
+                        f"{dev:.3e}"
+                    ),
+                    replay=replay,
+                )
+            )
+    replay = _parametric_cache_replay(baseline, shifted)
+    dev = replay(symbolic, None)
+    if dev is not None and dev > 0.0:
+        failures.append(
+            CheckFailure(
+                check="param:plan-cache",
+                seed=case.seed,
+                deviation=dev,
+                tolerance=0.0,
+                message=(
+                    "re-binding a parametric circuit recompiled its "
+                    "plan (cache miss where a hit was guaranteed)"
+                ),
+                replay=replay,
+            )
+        )
+    return failures
+
+
 def _pass_replay(pass_name):
     def replay(circuit, noise):
         ref = _simulate(circuit, "kernel")
@@ -602,6 +750,8 @@ def run_oracle(
         groups.append((True, _check_passes))
     if config.check_roundtrips:
         groups.append((True, _check_roundtrips))
+    if config.check_parametric:
+        groups.append((case.symbolic is not None, _check_parametric))
 
     for applicable, check in groups:
         if not applicable:

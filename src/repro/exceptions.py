@@ -17,6 +17,7 @@ __all__ = [
     "MeasurementError",
     "QASMError",
     "DrawError",
+    "UnboundParameterError",
 ]
 
 
@@ -54,3 +55,15 @@ class QASMError(QCLabError, ValueError):
 
 class DrawError(QCLabError, RuntimeError):
     """A failure while rendering a circuit diagram."""
+
+
+class UnboundParameterError(QCLabError, TypeError):
+    """A numeric value was requested from a symbolic
+    :class:`~repro.parameter.Parameter` slot that has no binding.
+
+    Raised by ``.matrix``/``.theta`` on gates constructed with a
+    :class:`~repro.parameter.Parameter`, and by ``bind``/``sweep`` when
+    a required parameter is missing from the supplied values.  Subclasses
+    :class:`TypeError` because the historical failure mode was a
+    ``TypeError`` deep inside numpy.
+    """

@@ -30,7 +30,39 @@ import numpy as np
 from repro.exceptions import GateError
 from repro.utils.linalg import closeto, dagger, is_unitary
 
-__all__ = ["QObject", "QGate", "DrawElement", "DrawSpec", "reorder_matrix"]
+__all__ = [
+    "QObject",
+    "QGate",
+    "DrawElement",
+    "DrawSpec",
+    "reorder_matrix",
+    "mutation_epoch",
+    "bump_mutation_epoch",
+]
+
+#: Global counter bumped by every *in-place* mutation of a pushed
+#: operation (gate angle setters, qubit reassignment, measurement
+#: retargeting).  Such mutations never bump a circuit's structural
+#: ``revision``, so caches derived from gate state — the IR program's
+#: structural signature, its parameter-slot list — key their entries on
+#: this counter instead of re-walking the op tree per call.
+_MUTATION_EPOCH = 0
+
+
+def mutation_epoch() -> int:
+    """The current global in-place-mutation counter."""
+    return _MUTATION_EPOCH
+
+
+def bump_mutation_epoch() -> None:
+    """Record an in-place mutation of some circuit element.
+
+    Called by every setter that changes an op's simulation semantics
+    without a structural circuit edit; conservatively invalidates every
+    epoch-keyed cache in the process.
+    """
+    global _MUTATION_EPOCH
+    _MUTATION_EPOCH += 1
 
 
 @dataclass(frozen=True)
@@ -149,6 +181,25 @@ class QGate(QObject):
     def is_fixed(self) -> bool:
         """``True`` when the gate carries no continuous parameter."""
         return True
+
+    # -- symbolic-parameter hooks -------------------------------------------
+
+    @property
+    def parameter(self):
+        """The :class:`~repro.parameter.Parameter` slot this gate is
+        bound to, or ``None`` for concrete gates (the default)."""
+        return None
+
+    @property
+    def is_bound(self) -> bool:
+        """``False`` only while the gate holds a symbolic
+        :class:`~repro.parameter.Parameter` slot instead of a value."""
+        return True
+
+    def bind_parameters(self, values) -> "QGate":
+        """A concrete copy with parameter slots resolved from
+        ``{Parameter: value}``; concrete gates return ``self``."""
+        return self
 
     # -- plan-compilation hooks ---------------------------------------------
 

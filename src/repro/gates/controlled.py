@@ -117,6 +117,35 @@ class ControlledGate1(QGate):
     def is_fixed(self) -> bool:
         return self._gate.is_fixed
 
+    @property
+    def is_bound(self) -> bool:
+        """Whether the wrapped gate's angle is concrete."""
+        return self._gate.is_bound
+
+    @property
+    def parameter(self):
+        """The wrapped gate's unresolved slot, or ``None``."""
+        return self._gate.parameter
+
+    @property
+    def parameter_expression(self):
+        """Slot expression of the wrapped gate, or ``None``."""
+        return getattr(self._gate, "parameter_expression", None)
+
+    def kernel_values(self, thetas) -> np.ndarray:
+        """Stacked *target* kernels for a batch of angle values
+        (controls are index structure, not part of the kernel)."""
+        return self._gate.kernel_values(thetas)
+
+    def bind_parameters(self, values) -> "ControlledGate1":
+        """A copy whose wrapped gate has its slot resolved from
+        ``values`` (``self`` when already bound)."""
+        if self._gate.is_bound:
+            return self
+        out = copy.copy(self)
+        out._gate = self._gate.bind_parameters(values)
+        return out
+
     def _param_signature(self):
         # the generic wrapper's identity is its inner gate's identity
         return self._gate.signature()
@@ -271,6 +300,35 @@ class ControlledGate(QGate):
     @property
     def is_fixed(self) -> bool:
         return self._gate.is_fixed
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether the wrapped gate's angle is concrete."""
+        return self._gate.is_bound
+
+    @property
+    def parameter(self):
+        """The wrapped gate's unresolved slot, or ``None``."""
+        return self._gate.parameter
+
+    @property
+    def parameter_expression(self):
+        """Slot expression of the wrapped gate, or ``None``."""
+        return getattr(self._gate, "parameter_expression", None)
+
+    def kernel_values(self, thetas) -> np.ndarray:
+        """Stacked *target* kernels for a batch of angle values
+        (controls are index structure, not part of the kernel)."""
+        return self._gate.kernel_values(thetas)
+
+    def bind_parameters(self, values) -> "ControlledGate":
+        """A copy whose wrapped gate has its slot resolved from
+        ``values`` (``self`` when already bound)."""
+        if self._gate.is_bound:
+            return self
+        out = copy.copy(self)
+        out._gate = self._gate.bind_parameters(values)
+        return out
 
     def _param_signature(self):
         return self._gate.signature()

@@ -11,12 +11,20 @@ QCLAB's fusion API used by its derived compilers.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.angle import QAngle, QRotation, turnover
-from repro.exceptions import GateError
-from repro.gates.base import DrawElement, DrawSpec, QGate
+from repro.exceptions import GateError, UnboundParameterError
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QGate,
+    bump_mutation_epoch,
+)
 from repro.gates.qgate1 import QGate1
+from repro.parameter import Parameter, ParameterExpression, as_expression
 from repro.utils.validation import check_qubit, check_qubits
 
 __all__ = [
@@ -35,25 +43,73 @@ __all__ = [
 ]
 
 
-def _as_rotation(*args) -> QRotation:
-    """Coerce ``(theta)``, ``(QRotation)`` or ``(cos, sin)`` to a QRotation."""
-    if len(args) == 1 and isinstance(args[0], QRotation):
-        return args[0]
+def _as_rotation(*args):
+    """Coerce ``(theta)``, ``(QRotation)``, ``(QAngle)``, ``(cos, sin)``
+    or a symbolic ``(Parameter)`` to a QRotation / ParameterExpression."""
+    if len(args) == 1:
+        if isinstance(args[0], QRotation):
+            return args[0]
+        if isinstance(args[0], QAngle):
+            return QRotation(args[0].theta)
+        if isinstance(args[0], (Parameter, ParameterExpression)):
+            return as_expression(args[0])
     return QRotation(*args)
 
 
-def _as_angle(*args) -> QAngle:
-    """Coerce ``(theta)``, ``(QAngle)`` or ``(cos, sin)`` to a QAngle."""
-    if len(args) == 1 and isinstance(args[0], QAngle):
-        return args[0]
+def _as_angle(*args):
+    """Coerce ``(theta)``, ``(QAngle)``, ``(QRotation)``, ``(cos, sin)``
+    or a symbolic ``(Parameter)`` to a QAngle / ParameterExpression."""
+    if len(args) == 1:
+        if isinstance(args[0], QAngle):
+            return args[0]
+        if isinstance(args[0], QRotation):
+            return QAngle(args[0].theta)
+        if isinstance(args[0], (Parameter, ParameterExpression)):
+            return as_expression(args[0])
     return QAngle(*args)
+
+
+def _add_symbolic(a, b) -> ParameterExpression:
+    """Sum of two stored angle values where at least one is symbolic.
+
+    Two expressions fuse only on the *same* slot (affine closure);
+    a symbolic plus a concrete value folds into the offset.
+    """
+    ea = a if isinstance(a, ParameterExpression) else None
+    eb = b if isinstance(b, ParameterExpression) else None
+    if ea is not None and eb is not None:
+        if ea.parameter is not eb.parameter:
+            raise GateError(
+                "cannot fuse rotations bound to distinct parameters "
+                f"({ea.parameter.name!r} and {eb.parameter.name!r})"
+            )
+        return ea + eb
+    if ea is not None:
+        return ea + b.theta
+    return eb + a.theta
+
+
+def _warn_theta_mutation(stacklevel: int = 4) -> None:
+    """The deprecation shim for the in-place sweep idiom."""
+    bump_mutation_epoch()
+    warnings.warn(
+        "mutating gate.theta in place as a sweep idiom is deprecated; "
+        "build the circuit over a repro.Parameter slot and evaluate it "
+        "with QCircuit.bind(values) or sweep(values) — no recompile per "
+        "point",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 class Phase(QGate1):
     """The phase gate ``P(theta) = diag(1, e^{i theta})``.
 
-    Accepts ``Phase(qubit, theta)``, ``Phase(qubit, QAngle)`` or
-    ``Phase(qubit, cos, sin)``.
+    Accepts ``Phase(qubit, theta)``, ``Phase(qubit, QAngle)``,
+    ``Phase(qubit, QRotation)``, ``Phase(qubit, cos, sin)`` or the
+    symbolic ``Phase(qubit, Parameter)`` (an *unbound* gate whose
+    numeric accessors raise
+    :class:`~repro.exceptions.UnboundParameterError` until bound).
     """
 
     _QASM = "u1"
@@ -63,27 +119,82 @@ class Phase(QGate1):
         self._angle = _as_angle(*args) if args else QAngle()
 
     @property
+    def is_bound(self) -> bool:
+        """``False`` while the angle is an unresolved
+        :class:`~repro.parameter.Parameter` slot."""
+        return not isinstance(self._angle, ParameterExpression)
+
+    @property
+    def parameter(self):
+        """The unresolved :class:`~repro.parameter.Parameter` slot,
+        or ``None`` when the gate is bound."""
+        if isinstance(self._angle, ParameterExpression):
+            return self._angle.parameter
+        return None
+
+    @property
+    def parameter_expression(self):
+        """The stored affine slot expression, or ``None`` when bound."""
+        if isinstance(self._angle, ParameterExpression):
+            return self._angle
+        return None
+
+    def _require_bound(self, what: str):
+        if isinstance(self._angle, ParameterExpression):
+            raise UnboundParameterError(
+                f"{type(self).__name__} on qubit {self.qubit} holds the "
+                f"unbound parameter {self._angle.label!r}; bind a value "
+                f"before reading .{what}"
+            )
+
+    @property
     def angle(self) -> QAngle:
         """The phase angle as a :class:`QAngle`."""
+        self._require_bound("angle")
         return self._angle
 
     @angle.setter
     def angle(self, value) -> None:
+        bump_mutation_epoch()
         self._angle = _as_angle(value)
 
     @property
     def theta(self) -> float:
         """The phase angle in radians."""
+        self._require_bound("theta")
         return self._angle.theta
 
     @theta.setter
     def theta(self, value: float) -> None:
+        self._set_theta(value)
+
+    def _set_theta(self, value: float) -> None:
+        """Deprecated in-place mutation shim shared with the controlled
+        wrappers (keeps the warning pointing at the user's call site)."""
+        _warn_theta_mutation()
         self._angle = QAngle(float(value))
 
     @property
     def matrix(self) -> np.ndarray:
+        self._require_bound("matrix")
         c, s = self._angle.cos, self._angle.sin
         return np.array([[1, 0], [0, complex(c, s)]], dtype=np.complex128)
+
+    def kernel_values(self, thetas) -> np.ndarray:
+        """Stacked ``(P, 2, 2)`` kernels for a batch of angle values
+        (independent of the gate's own stored angle/slot)."""
+        thetas = np.asarray(thetas, dtype=float).ravel()
+        out = np.zeros((thetas.size, 2, 2), dtype=np.complex128)
+        out[:, 0, 0] = 1.0
+        out[:, 1, 1] = np.cos(thetas) + 1j * np.sin(thetas)
+        return out
+
+    def bind_parameters(self, values) -> "Phase":
+        """A concrete copy with the slot resolved from ``values``
+        (``self`` when already bound)."""
+        if self.is_bound:
+            return self
+        return Phase(self.qubit, self._angle.resolve(values))
 
     @property
     def is_diagonal(self) -> bool:
@@ -94,21 +205,32 @@ class Phase(QGate1):
         return False
 
     def _param_signature(self):
+        if isinstance(self._angle, ParameterExpression):
+            return ("slot",) + self._angle.signature()
         return (self._angle.cos, self._angle.sin)
 
     @property
     def label(self) -> str:
+        if not self.is_bound:
+            return f"P({self._angle.label})"
         return f"P({self.theta:.4g})"
 
     def fuse(self, other: "Phase") -> "Phase":
-        """Merge another phase gate into this one (angles add stably)."""
+        """Merge another phase gate into this one (angles add stably;
+        symbolic angles fold affinely on a shared slot)."""
         if not isinstance(other, Phase):
             raise GateError(f"cannot fuse Phase with {type(other).__name__}")
-        self._angle = self._angle + other._angle
+        bump_mutation_epoch()
+        if self.is_bound and other.is_bound:
+            self._angle = self._angle + other._angle
+        else:
+            self._angle = _add_symbolic(self._angle, other._angle)
         return self
 
     def ctranspose(self) -> "Phase":
         a = self._angle
+        if isinstance(a, ParameterExpression):
+            return Phase(self.qubit, -a)
         return Phase(self.qubit, a.cos, -a.sin)
 
     def toQASM(self, offset: int = 0) -> str:
@@ -117,6 +239,10 @@ class Phase(QGate1):
     def __eq__(self, other):
         if type(self) is not type(other):
             return NotImplemented
+        if self.is_bound != other.is_bound:
+            return False
+        if not self.is_bound:
+            return self.qubits == other.qubits and self._angle == other._angle
         return self.qubits == other.qubits and self._angle.isclose(
             other._angle
         )
@@ -127,8 +253,11 @@ class Phase(QGate1):
 class RotationGate1(QGate1):
     """Base class for the one-qubit rotations RX, RY, RZ.
 
-    Accepts ``(qubit, theta)``, ``(qubit, QRotation)`` or
-    ``(qubit, cos, sin)`` where ``cos``/``sin`` are of the half angle.
+    Accepts ``(qubit, theta)``, ``(qubit, QRotation)``,
+    ``(qubit, QAngle)``, ``(qubit, cos, sin)`` — ``cos``/``sin`` of the
+    half angle — or the symbolic ``(qubit, Parameter)`` form (an
+    *unbound* gate whose numeric accessors raise
+    :class:`~repro.exceptions.UnboundParameterError` until bound).
     """
 
     _AXIS = "?"
@@ -143,31 +272,71 @@ class RotationGate1(QGate1):
         return self._AXIS
 
     @property
+    def is_bound(self) -> bool:
+        """``False`` while the angle is an unresolved
+        :class:`~repro.parameter.Parameter` slot."""
+        return not isinstance(self._rotation, ParameterExpression)
+
+    @property
+    def parameter(self):
+        """The unresolved :class:`~repro.parameter.Parameter` slot,
+        or ``None`` when the gate is bound."""
+        if isinstance(self._rotation, ParameterExpression):
+            return self._rotation.parameter
+        return None
+
+    @property
+    def parameter_expression(self):
+        """The stored affine slot expression, or ``None`` when bound."""
+        if isinstance(self._rotation, ParameterExpression):
+            return self._rotation
+        return None
+
+    def _require_bound(self, what: str):
+        if isinstance(self._rotation, ParameterExpression):
+            raise UnboundParameterError(
+                f"{type(self).__name__} on qubit(s) {self.qubits} holds "
+                f"the unbound parameter {self._rotation.label!r}; bind a "
+                f"value before reading .{what}"
+            )
+
+    @property
     def rotation(self) -> QRotation:
         """The rotation value object."""
+        self._require_bound("rotation")
         return self._rotation
 
     @rotation.setter
     def rotation(self, value) -> None:
+        bump_mutation_epoch()
         self._rotation = _as_rotation(value)
 
     @property
     def theta(self) -> float:
         """The rotation angle in radians."""
+        self._require_bound("theta")
         return self._rotation.theta
 
     @theta.setter
     def theta(self, value: float) -> None:
+        self._set_theta(value)
+
+    def _set_theta(self, value: float) -> None:
+        """Deprecated in-place mutation shim shared with the controlled
+        wrappers (keeps the warning pointing at the user's call site)."""
+        _warn_theta_mutation()
         self._rotation = QRotation(float(value))
 
     @property
     def cos(self) -> float:
         """``cos(theta/2)``."""
+        self._require_bound("cos")
         return self._rotation.cos
 
     @property
     def sin(self) -> float:
         """``sin(theta/2)``."""
+        self._require_bound("sin")
         return self._rotation.sin
 
     @property
@@ -175,23 +344,53 @@ class RotationGate1(QGate1):
         return False
 
     def _param_signature(self):
+        if isinstance(self._rotation, ParameterExpression):
+            return ("slot",) + self._rotation.signature()
         return (self._rotation.cos, self._rotation.sin)
 
     @property
     def label(self) -> str:
+        if not self.is_bound:
+            return f"R{self._AXIS.upper()}({self._rotation.label})"
         return f"R{self._AXIS.upper()}({self.theta:.4g})"
 
+    def kernel_values(self, thetas) -> np.ndarray:
+        """Stacked ``(P, 2, 2)`` kernels for a batch of angle values
+        (independent of the gate's own stored rotation/slot)."""
+        thetas = np.asarray(thetas, dtype=float).ravel()
+        return self._kernel_batch(
+            np.cos(0.5 * thetas), np.sin(0.5 * thetas)
+        )
+
+    @staticmethod
+    def _kernel_batch(c: np.ndarray, s: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bind_parameters(self, values) -> "RotationGate1":
+        """A concrete copy with the slot resolved from ``values``
+        (``self`` when already bound)."""
+        if self.is_bound:
+            return self
+        return type(self)(self.qubit, self._rotation.resolve(values))
+
     def fuse(self, other: "RotationGate1") -> "RotationGate1":
-        """Merge a same-axis rotation into this one: ``R(t1) R(t2) = R(t1+t2)``."""
+        """Merge a same-axis rotation into this one: ``R(t1) R(t2) =
+        R(t1+t2)`` (symbolic angles fold affinely on a shared slot)."""
         if type(other) is not type(self):
             raise GateError(
                 f"cannot fuse {type(self).__name__} with "
                 f"{type(other).__name__}"
             )
-        self._rotation = self._rotation * other._rotation
+        bump_mutation_epoch()
+        if self.is_bound and other.is_bound:
+            self._rotation = self._rotation * other._rotation
+        else:
+            self._rotation = _add_symbolic(self._rotation, other._rotation)
         return self
 
     def ctranspose(self):
+        if isinstance(self._rotation, ParameterExpression):
+            return type(self)(self.qubit, -self._rotation)
         return type(self)(self.qubit, self._rotation.inv())
 
     def toQASM(self, offset: int = 0) -> str:
@@ -200,6 +399,13 @@ class RotationGate1(QGate1):
     def __eq__(self, other):
         if type(self) is not type(other):
             return NotImplemented
+        if self.is_bound != other.is_bound:
+            return False
+        if not self.is_bound:
+            return (
+                self.qubits == other.qubits
+                and self._rotation == other._rotation
+            )
         return self.qubits == other.qubits and self._rotation.isclose(
             other._rotation
         )
@@ -207,6 +413,11 @@ class RotationGate1(QGate1):
     __hash__ = QGate1.__hash__
 
     def __repr__(self) -> str:
+        if not self.is_bound:
+            return (
+                f"{type(self).__name__}({self.qubit}, "
+                f"<{self._rotation.label}>)"
+            )
         return f"{type(self).__name__}({self.qubit}, {self.theta!r})"
 
 
@@ -220,6 +431,15 @@ class RotationX(RotationGate1):
         c, s = self.cos, self.sin
         return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
 
+    @staticmethod
+    def _kernel_batch(c, s):
+        out = np.zeros((c.size, 2, 2), dtype=np.complex128)
+        out[:, 0, 0] = c
+        out[:, 1, 1] = c
+        out[:, 0, 1] = -1j * s
+        out[:, 1, 0] = -1j * s
+        return out
+
 
 class RotationY(RotationGate1):
     """``RY(theta) = exp(-i theta/2 Y)``."""
@@ -230,6 +450,15 @@ class RotationY(RotationGate1):
     def matrix(self) -> np.ndarray:
         c, s = self.cos, self.sin
         return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+    @staticmethod
+    def _kernel_batch(c, s):
+        out = np.zeros((c.size, 2, 2), dtype=np.complex128)
+        out[:, 0, 0] = c
+        out[:, 1, 1] = c
+        out[:, 0, 1] = -s
+        out[:, 1, 0] = s
+        return out
 
 
 class RotationZ(RotationGate1):
@@ -243,6 +472,13 @@ class RotationZ(RotationGate1):
         return np.array(
             [[complex(c, -s), 0], [0, complex(c, s)]], dtype=np.complex128
         )
+
+    @staticmethod
+    def _kernel_batch(c, s):
+        out = np.zeros((c.size, 2, 2), dtype=np.complex128)
+        out[:, 0, 0] = c - 1j * s
+        out[:, 1, 1] = c + 1j * s
+        return out
 
     @property
     def is_diagonal(self) -> bool:
@@ -416,21 +652,59 @@ class RotationGate2(QGate):
         return self._AXIS
 
     @property
+    def is_bound(self) -> bool:
+        """``False`` while the angle is an unresolved
+        :class:`~repro.parameter.Parameter` slot."""
+        return not isinstance(self._rotation, ParameterExpression)
+
+    @property
+    def parameter(self):
+        """The unresolved :class:`~repro.parameter.Parameter` slot,
+        or ``None`` when the gate is bound."""
+        if isinstance(self._rotation, ParameterExpression):
+            return self._rotation.parameter
+        return None
+
+    @property
+    def parameter_expression(self):
+        """The stored affine slot expression, or ``None`` when bound."""
+        if isinstance(self._rotation, ParameterExpression):
+            return self._rotation
+        return None
+
+    def _require_bound(self, what: str):
+        if isinstance(self._rotation, ParameterExpression):
+            raise UnboundParameterError(
+                f"{type(self).__name__} on qubits {self._qubits} holds "
+                f"the unbound parameter {self._rotation.label!r}; bind a "
+                f"value before reading .{what}"
+            )
+
+    @property
     def rotation(self) -> QRotation:
         """The rotation value object."""
+        self._require_bound("rotation")
         return self._rotation
 
     @rotation.setter
     def rotation(self, value) -> None:
+        bump_mutation_epoch()
         self._rotation = _as_rotation(value)
 
     @property
     def theta(self) -> float:
         """The rotation angle in radians."""
+        self._require_bound("theta")
         return self._rotation.theta
 
     @theta.setter
     def theta(self, value: float) -> None:
+        self._set_theta(value)
+
+    def _set_theta(self, value: float) -> None:
+        """Deprecated in-place mutation shim shared with the controlled
+        wrappers (keeps the warning pointing at the user's call site)."""
+        _warn_theta_mutation()
         self._rotation = QRotation(float(value))
 
     @property
@@ -438,16 +712,40 @@ class RotationGate2(QGate):
         return False
 
     def _param_signature(self):
+        if isinstance(self._rotation, ParameterExpression):
+            return ("slot",) + self._rotation.signature()
         return (self._rotation.cos, self._rotation.sin)
 
     @property
     def matrix(self) -> np.ndarray:
+        self._require_bound("matrix")
         c, s = self._rotation.cos, self._rotation.sin
         return c * np.eye(4, dtype=np.complex128) - 1j * s * self._PAULI2
+
+    def kernel_values(self, thetas) -> np.ndarray:
+        """Stacked ``(P, 4, 4)`` kernels for a batch of angle values
+        (independent of the gate's own stored rotation/slot)."""
+        thetas = np.asarray(thetas, dtype=float).ravel()
+        c = np.cos(0.5 * thetas)
+        s = np.sin(0.5 * thetas)
+        eye = np.eye(4, dtype=np.complex128)
+        return (
+            c[:, None, None] * eye
+            - 1j * s[:, None, None] * self._PAULI2
+        )
+
+    def bind_parameters(self, values) -> "RotationGate2":
+        """A concrete copy with the slot resolved from ``values``
+        (``self`` when already bound)."""
+        if self.is_bound:
+            return self
+        return type(self)(*self._qubits, self._rotation.resolve(values))
 
     @property
     def label(self) -> str:
         a = self._AXIS.upper()
+        if not self.is_bound:
+            return f"R{a}{a}({self._rotation.label})"
         return f"R{a}{a}({self.theta:.4g})"
 
     def draw_spec(self) -> DrawSpec:
@@ -462,10 +760,16 @@ class RotationGate2(QGate):
             raise GateError(
                 "fuse requires the same coupling axis and qubit pair"
             )
-        self._rotation = self._rotation * other._rotation
+        bump_mutation_epoch()
+        if self.is_bound and other.is_bound:
+            self._rotation = self._rotation * other._rotation
+        else:
+            self._rotation = _add_symbolic(self._rotation, other._rotation)
         return self
 
     def ctranspose(self):
+        if isinstance(self._rotation, ParameterExpression):
+            return type(self)(*self._qubits, -self._rotation)
         return type(self)(*self._qubits, self._rotation.inv())
 
     def toQASM(self, offset: int = 0) -> str:
@@ -482,6 +786,13 @@ class RotationGate2(QGate):
     def __eq__(self, other):
         if type(self) is not type(other):
             return NotImplemented
+        if self.is_bound != other.is_bound:
+            return False
+        if not self.is_bound:
+            return (
+                self.qubits == other.qubits
+                and self._rotation == other._rotation
+            )
         return self.qubits == other.qubits and self._rotation.isclose(
             other._rotation
         )
@@ -489,6 +800,11 @@ class RotationGate2(QGate):
     __hash__ = QGate.__hash__
 
     def __repr__(self) -> str:
+        if not self.is_bound:
+            return (
+                f"{type(self).__name__}({self._qubits[0]}, "
+                f"{self._qubits[1]}, <{self._rotation.label}>)"
+            )
         return (
             f"{type(self).__name__}({self._qubits[0]}, {self._qubits[1]}, "
             f"{self.theta!r})"

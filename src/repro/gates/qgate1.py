@@ -6,7 +6,12 @@ import copy
 
 import numpy as np
 
-from repro.gates.base import DrawElement, DrawSpec, QGate
+from repro.gates.base import (
+    DrawElement,
+    DrawSpec,
+    QGate,
+    bump_mutation_epoch,
+)
 from repro.utils.validation import check_qubit
 
 __all__ = ["QGate1"]
@@ -36,6 +41,7 @@ class QGate1(QGate):
 
     @qubit.setter
     def qubit(self, value: int) -> None:
+        bump_mutation_epoch()
         self._qubit = check_qubit(value)
 
     def setQubit(self, value: int) -> None:

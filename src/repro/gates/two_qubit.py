@@ -103,7 +103,7 @@ class CPhase(ControlledGate1):
 
     @theta.setter
     def theta(self, value: float) -> None:
-        self.gate.theta = value
+        self.gate._set_theta(value)
 
     @property
     def angle(self):
@@ -114,6 +114,12 @@ class CPhase(ControlledGate1):
         return f"({self.theta!r})"
 
     def ctranspose(self) -> "CPhase":
+        expr = self.gate.parameter_expression
+        if expr is not None:
+            return CPhase(
+                self.control, self.target, -expr,
+                control_state=self.control_state,
+            )
         a = self.gate.angle
         return CPhase(
             self.control,
@@ -141,7 +147,7 @@ class _CRotation(ControlledGate1):
 
     @theta.setter
     def theta(self, value: float) -> None:
-        self.gate.theta = value
+        self.gate._set_theta(value)
 
     @property
     def rotation(self):
@@ -152,6 +158,12 @@ class _CRotation(ControlledGate1):
         return f"({self.theta!r})"
 
     def ctranspose(self):
+        expr = self.gate.parameter_expression
+        if expr is not None:
+            return type(self)(
+                self.control, self.target, -expr,
+                control_state=self.control_state,
+            )
         return type(self)(
             self.control,
             self.target,

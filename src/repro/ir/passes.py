@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.exceptions import GateError
 from repro.gates.base import QGate, controlled_matrix
 from repro.gates.parametric import Phase, RotationGate1, RotationGate2
 from repro.ir.lower import lower, make_ir_op
@@ -139,7 +140,12 @@ def _fuse_rotations_combine(drop_identity: bool = True):
         ):
             return None
         fused = prev.shifted_op()  # fresh absolute copy; fuse mutates
-        fused.fuse(cur.shifted_op())
+        try:
+            fused.fuse(cur.shifted_op())
+        except GateError:
+            # symbolic rotations over *distinct* parameter slots have no
+            # single-slot affine sum; leave the pair untouched
+            return None
         if drop_identity and _is_identity_rotation(fused):
             return []
         return [fused]
@@ -160,6 +166,9 @@ def fuse_rotations(program: IRProgram) -> IRProgram:
 
 
 def _is_identity_rotation(gate) -> bool:
+    if not gate.is_bound:
+        # a symbolic angle has no value; never drop the gate
+        return False
     if isinstance(gate, Phase):
         a = gate.angle
         return abs(a.cos - 1.0) < 1e-14 and abs(a.sin) < 1e-14
@@ -178,6 +187,8 @@ def cancel_inverses(program: IRProgram) -> IRProgram:
     def combine(prev: IROp, cur: IROp):
         if not isinstance(prev.op, QGate) or not isinstance(cur.op, QGate):
             return None
+        if not (prev.is_bound and cur.is_bound):
+            return None  # unbound slots have no matrix to multiply
         if prev.op.nbQubits > 3:
             return None
         product = cur.op.matrix @ prev.op.matrix
@@ -207,6 +218,8 @@ def merge_single_qubit_runs(program: IRProgram) -> IRProgram:
             and cur.op.nbQubits == 1
         ):
             return None
+        if not (prev.is_bound and cur.is_bound):
+            return None  # a symbolic rotation cannot collapse into U3
         product = cur.op.matrix @ prev.op.matrix
         theta, phi, lam, _alpha = u3_params(product)
         wrapped = (phi + lam) % (2 * np.pi)
@@ -264,7 +277,7 @@ def coalesce_diagonals(program: IRProgram) -> IRProgram:
         pending_qubits = set()
 
     for irop in program.ops:
-        if irop.kind == GATE and irop.is_diagonal:
+        if irop.kind == GATE and irop.is_diagonal and irop.is_bound:
             union = pending_qubits | set(irop.qubits)
             if len(union) > MAX_DIAG_COALESCE_QUBITS:
                 flush()

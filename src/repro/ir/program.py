@@ -129,6 +129,22 @@ class IROp:
         """Whether a gate op's kernel is diagonal (``False`` otherwise)."""
         return self.kind == GATE and bool(self.op.is_diagonal)
 
+    @property
+    def is_bound(self) -> bool:
+        """``False`` only for gate ops holding an unresolved
+        :class:`~repro.parameter.Parameter` slot."""
+        if self.kind != GATE:
+            return True
+        return bool(getattr(self.op, "is_bound", True))
+
+    @property
+    def parameter_expression(self):
+        """The op's :class:`~repro.parameter.ParameterExpression`
+        (``None`` for concrete ops and non-gate kinds)."""
+        if self.kind != GATE:
+            return None
+        return getattr(self.op, "parameter_expression", None)
+
     def kernel(self, dtype=np.complex128) -> np.ndarray:
         """The gate's target kernel cast to ``dtype`` (gates only)."""
         if self.kind != GATE:
@@ -184,7 +200,10 @@ class IRProgram:
     this program (``()`` for a raw lowering).
     """
 
-    __slots__ = ("nb_qubits", "ops", "passes")
+    __slots__ = (
+        "nb_qubits", "ops", "passes", "_signature_cache",
+        "_parameters_cache",
+    )
 
     def __init__(
         self,
@@ -195,6 +214,8 @@ class IRProgram:
         self.nb_qubits = int(nb_qubits)
         self.ops = tuple(ops)
         self.passes = tuple(passes)
+        self._signature_cache = None
+        self._parameters_cache = None
 
     def __iter__(self) -> Iterator[IROp]:
         return iter(self.ops)
@@ -226,19 +247,59 @@ class IRProgram:
                 counts[type(irop.op).__name__] += 1
         return counts
 
+    def parameters(self) -> tuple:
+        """Distinct unbound :class:`~repro.parameter.Parameter` slots in
+        first-appearance order (blocks walked recursively).
+
+        Cached per :func:`~repro.gates.base.mutation_epoch` — a pushed
+        gate can become concrete in place (the deprecated ``theta``
+        setter), which bumps the epoch and invalidates the cache."""
+        from repro.gates.base import mutation_epoch
+        from repro.ir.lower import lower
+
+        epoch = mutation_epoch()
+        cached = self._parameters_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        seen: dict = {}
+        for irop in self.ops:
+            if irop.kind == BLOCK:
+                for p in lower(
+                    irop.op, base_offset=irop.offset
+                ).parameters():
+                    seen.setdefault(p, None)
+            else:
+                expr = irop.parameter_expression
+                if expr is not None:
+                    seen.setdefault(expr.parameter, None)
+        params = tuple(seen)
+        self._parameters_cache = (epoch, params)
+        return params
+
     def signature(self) -> tuple:
         """Structural signature: width + every op's signature.
 
-        Equal signatures guarantee identical semantics.  Deliberately
-        recomputed on every call: the program is immutable but the
-        *gates* it points at are mutable handles, and both the plan
-        cache and the pass-pipeline cache rely on a fresh walk to
-        notice parameter mutations (which never bump the revision
-        counter)."""
+        Equal signatures guarantee identical semantics.  The program is
+        immutable but the *gates* it points at are mutable handles, so
+        the result cannot be cached unconditionally: every in-place
+        mutation path (angle/qubit setters, in-place ``fuse``) bumps
+        the global :func:`~repro.gates.base.mutation_epoch`, and the
+        walk is recomputed whenever the epoch moved — the plan cache
+        and the pass-pipeline cache still notice parameter mutations,
+        while signature-stable workloads (parametric ``bind()`` loops)
+        pay the walk once."""
+        from repro.gates.base import mutation_epoch
+
+        epoch = mutation_epoch()
+        cached = self._signature_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         parts = [("n", self.nb_qubits)]
         for irop in self.ops:
             parts.append(irop.signature())
-        return tuple(parts)
+        sig = tuple(parts)
+        self._signature_cache = (epoch, sig)
+        return sig
 
     def to_circuit(self):
         """Materialize a flat :class:`~repro.circuit.QCircuit`.

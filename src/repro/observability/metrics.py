@@ -27,6 +27,8 @@ __all__ = [
     "FUSED_STEPS",
     "PLAN_CACHE_HITS",
     "PLAN_CACHE_MISSES",
+    "PARAM_BINDS",
+    "SWEEP_POINTS",
     "IR_PASS_RUNS",
     "IR_PIPELINE_CACHE_HITS",
     "IR_PIPELINE_CACHE_MISSES",
@@ -56,6 +58,10 @@ FUSED_STEPS = "repro_fused_steps_total"
 #: Plan-cache hits / misses observed by instrumented runs.
 PLAN_CACHE_HITS = "repro_plan_cache_hits_total"
 PLAN_CACHE_MISSES = "repro_plan_cache_misses_total"
+#: Parameter-binding passes over compiled plans (one per ``bind``).
+PARAM_BINDS = "repro_param_binds_total"
+#: Parameter points executed through vectorized ``sweep`` runs.
+SWEEP_POINTS = "repro_sweep_points_total"
 #: IR pass executions, labelled by ``pass`` name.
 IR_PASS_RUNS = "repro_ir_pass_runs_total"
 #: Per-circuit IR pass-pipeline cache hits / misses.

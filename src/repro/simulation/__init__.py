@@ -53,6 +53,7 @@ from repro.simulation.observables import (
 )
 from repro.simulation.reduced import partial_trace, reducedStatevector
 from repro.simulation.simulate import Simulation, apply_operation, simulate
+from repro.simulation.sweep import SweepResult, sweep
 from repro.simulation.mps import MPSState, mps_counts, simulate_mps
 from repro.simulation.stabilizer import (
     StabilizerState,
@@ -85,6 +86,8 @@ __all__ = [
     "simulate",
     "Simulation",
     "apply_operation",
+    "sweep",
+    "SweepResult",
     "initial_state",
     "basis_state",
     "random_state",

@@ -88,6 +88,22 @@ class Backend(ABC):
         :meth:`apply_planned` falls back to :meth:`apply`.
         """
 
+    def refresh_step(self, step, nb_qubits: int, tables: dict) -> None:
+        """Recompute the value-dependent pieces of an already-prepared
+        step after its kernel changed (a parametric re-``bind``).
+
+        The default conservatively clears every derived field and
+        re-runs :meth:`prepare_step`; backends whose index tables are
+        value-independent override this to refresh only what actually
+        follows the kernel values.
+        """
+        step.rows = None
+        step.flat_rows = None
+        step.diag_rep = None
+        step.diag_flat = None
+        step.aux = None
+        self.prepare_step(step, nb_qubits, tables)
+
     def apply_planned(self, state, step, nb_qubits: int):
         """Apply one compiled gate step (see
         :class:`repro.simulation.plan.PlanStep`).
@@ -151,6 +167,35 @@ class Backend(ABC):
         self._validate_batch(states, nb_qubits)
         for i in range(states.shape[0]):
             states[i] = self.apply_planned(states[i], step, nb_qubits)
+        return states
+
+    # -- parameter-axis (sweep) hooks ---------------------------------------
+    #
+    # A sweep batch is ``P`` parameter points stacked on a leading
+    # axis, shape ``(P, 2**nb_qubits)``, with ``kernels`` holding one
+    # kernel PER ROW, shape ``(P, 2**k, 2**k)`` — unlike the batched
+    # hooks above, where one kernel serves every row.
+
+    def apply_planned_sweep(
+        self, states: np.ndarray, step, nb_qubits: int,
+        kernels: np.ndarray,
+    ) -> np.ndarray:
+        """Apply a parametric plan step with per-row kernels across a
+        ``(P, 2**n)`` parameter batch.
+
+        ``kernels[i]`` is the dtype-cast target kernel for row ``i``
+        (controls/targets/diagonality come from ``step``).  The default
+        loops :meth:`apply` per row; vectorized backends contract the
+        whole kernel stack at once.
+        """
+        self._validate_batch(states, nb_qubits)
+        for i in range(states.shape[0]):
+            states[i] = self.apply(
+                states[i], kernels[i], step.targets, nb_qubits,
+                controls=step.controls,
+                control_states=step.control_states,
+                diagonal=step.diagonal,
+            )
         return states
 
     # -- shared helpers -----------------------------------------------------
@@ -248,6 +293,15 @@ class KernelBackend(Backend):
             # flat view of the same buffer, broadcast over batch rows
             step.diag_flat = rep.ravel()
 
+    def refresh_step(self, step, nb_qubits, tables):
+        """Value-only refresh after a parametric re-bind: the gather-row
+        index tables depend only on the step's structure and are kept;
+        only the expanded diagonal views follow the new kernel."""
+        if step.diagonal and step.rows is not None:
+            rep = np.repeat(step.diag, step.rows.shape[1])[:, None]
+            step.diag_rep = rep
+            step.diag_flat = rep.ravel()
+
     def apply_planned(self, state, step, nb_qubits):
         """Strided-reshape fast path for 1q steps; gather/matmul/
         scatter over the precomputed row tables otherwise."""
@@ -283,6 +337,44 @@ class KernelBackend(Backend):
             return states
         gathered = states[:, flat].reshape(B, rows.shape[0], rows.shape[1])
         states[:, flat] = np.matmul(step.kernel, gathered).reshape(B, -1)
+        return states
+
+    def apply_planned_sweep(self, states, step, nb_qubits, kernels):
+        """Vectorized per-row kernels: a batched einsum on the strided
+        1q view, or gather/batched-matmul/scatter with on-the-fly row
+        tables for general targets and controls."""
+        self._validate_batch(states, nb_qubits)
+        P = states.shape[0]
+        if not step.controls and len(step.targets) == 1:
+            left = 1 << step.targets[0]
+            view = states.reshape(P, left, 2, -1)
+            if step.diagonal:
+                d = np.einsum("pii->pi", kernels)
+                view *= d[:, None, :, None]
+                return states
+            out = np.einsum("pab,plbr->plar", kernels, view)
+            return np.ascontiguousarray(out).reshape(P, -1)
+        # parametric steps are never prepare_step-ed, so build the row
+        # tables here exactly as the uncompiled batched path does
+        if not step.controls:
+            rows = subindex_map(nb_qubits, list(step.targets))
+        else:
+            sub = gather_indices(
+                nb_qubits, list(step.controls), list(step.control_states)
+            )
+            others = [
+                q for q in range(nb_qubits)
+                if q not in set(step.controls)
+            ]
+            local_targets = [others.index(q) for q in step.targets]
+            rows = sub[subindex_map(len(others), local_targets)]
+        flat = np.ascontiguousarray(rows).ravel()
+        if step.diagonal:
+            d = np.einsum("pii->pi", kernels)
+            states[:, flat] *= np.repeat(d, rows.shape[1], axis=1)
+            return states
+        gathered = states[:, flat].reshape(P, rows.shape[0], rows.shape[1])
+        states[:, flat] = np.matmul(kernels, gathered).reshape(P, -1)
         return states
 
     def apply_batched(
@@ -594,6 +686,28 @@ class EinsumBackend(Backend):
         self._validate_batch(states, nb_qubits)
         ut, qubits_all, k = step.aux
         return self._contract_batched(states, ut, qubits_all, k, nb_qubits)
+
+    def apply_planned_sweep(self, states, step, nb_qubits, kernels):
+        """Per-row kernels via one batched matmul: move the target
+        axes to the front, flatten, multiply the kernel stack, restore.
+        Controlled steps fall back to the per-row loop (folding the
+        controls would build ``P`` full-register kernels)."""
+        if step.controls:
+            return super().apply_planned_sweep(
+                states, step, nb_qubits, kernels
+            )
+        self._validate_batch(states, nb_qubits)
+        targets = list(step.targets)
+        k = len(targets)
+        P = states.shape[0]
+        psi = states.reshape((P,) + (2,) * nb_qubits)
+        axes = [q + 1 for q in targets]
+        moved = np.moveaxis(psi, axes, list(range(1, k + 1)))
+        flat = np.ascontiguousarray(moved).reshape(P, 1 << k, -1)
+        out = np.matmul(kernels, flat)
+        out = out.reshape((P,) + (2,) * nb_qubits)
+        out = np.moveaxis(out, list(range(1, k + 1)), axes)
+        return np.ascontiguousarray(out).reshape(P, -1)
 
     def apply_batched(
         self,

@@ -19,6 +19,10 @@ from repro.utils.linalg import kron_all
 
 __all__ = ["pauli_matrix", "expectation", "variance", "PauliSum"]
 
+#: register width up to which a :class:`PauliSum` caches its dense
+#: operator (2^8 x 2^8 complex = 1 MiB) for fast repeated expectations.
+_DENSE_CUTOFF = 8
+
 _PAULI = {
     "i": np.eye(2, dtype=np.complex128),
     "x": np.array([[0, 1], [1, 0]], dtype=np.complex128),
@@ -97,6 +101,7 @@ class PauliSum:
         self._terms = [
             (float(c), _check_pauli(p)) for c, p in terms
         ]
+        self._dense = None
 
     @property
     def terms(self):
@@ -112,11 +117,55 @@ class PauliSum:
         """The dense operator (small registers only)."""
         return sum(c * pauli_matrix(p) for c, p in self._terms)
 
+    def _dense_operator(self):
+        """The cached dense operator for small registers (else ``None``).
+
+        Variational loops evaluate the same observable thousands of
+        times; below :data:`_DENSE_CUTOFF` qubits one cached matrix
+        turns each evaluation into a single mat-vec instead of one
+        backend pass per Pauli letter per term.
+        """
+        if self._dense is None and self.nbQubits <= _DENSE_CUTOFF:
+            self._dense = self.matrix()
+        return self._dense
+
     def expectation(self, state) -> float:
         """``sum_k c_k <psi| P_k |psi>``."""
+        dense = self._dense_operator()
+        if dense is not None:
+            psi = np.asarray(state, dtype=np.complex128).ravel()
+            if psi.size != dense.shape[0]:
+                raise StateError(
+                    f"state of dimension {psi.size} does not match "
+                    f"{self.nbQubits} qubit(s)"
+                )
+            return float(np.real(np.vdot(psi, dense @ psi)))
         return float(
             sum(c * expectation(state, p) for c, p in self._terms)
         )
+
+    def expectations(self, states) -> np.ndarray:
+        """Batched expectations over a ``(P, 2**n)`` stack of states.
+
+        The vectorized companion of :meth:`expectation` for parameter
+        sweeps: one call evaluates every row of a
+        :meth:`~repro.circuit.QCircuit.sweep` state batch.
+
+        >>> PauliSum([(1.0, 'z')]).expectations([[1, 0], [0, 1]])
+        array([ 1., -1.])
+        """
+        s = np.asarray(states, dtype=np.complex128)
+        if s.ndim == 1:
+            s = s[None, :]
+        dense = self._dense_operator()
+        if dense is not None:
+            if s.shape[1] != dense.shape[0]:
+                raise StateError(
+                    f"states of dimension {s.shape[1]} do not match "
+                    f"{self.nbQubits} qubit(s)"
+                )
+            return np.sum(s.conj() * (s @ dense.T), axis=1).real
+        return np.array([self.expectation(row) for row in s])
 
     def __repr__(self) -> str:
         inner = " + ".join(f"{c}*{p.upper()}" for c, p in self._terms)

@@ -31,12 +31,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
+from typing import Mapping
 
 import numpy as np
 
 from repro.circuit.circuit import QCircuit
 from repro.circuit.measurement import Measurement
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, UnboundParameterError
 from repro.gates.base import controlled_matrix
 from repro.ir.lower import lower
 from repro.ir.program import BARRIER as IR_BARRIER
@@ -47,8 +48,10 @@ from repro.ir.program import KIND_NAMES
 from repro.observability.instrument import current_instrumentation
 from repro.observability.metrics import (
     FUSED_STEPS,
+    PARAM_BINDS,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
+    SWEEP_POINTS,
 )
 from repro.simulation.backends import Backend, get_backend
 from repro.utils.linalg import expand_diag
@@ -82,17 +85,23 @@ class PlanStep:
     ``prepare_step`` (``rows``/``flat_rows``/``diag_rep`` index tables
     for the kernel engine, ``aux`` for sparse/einsum).  Measurement and
     reset steps carry the absolute ``qubit`` and the source ``op``.
+
+    *Parametric* gate steps — compiled from gates holding a symbolic
+    :class:`~repro.parameter.Parameter` slot — carry the slot's
+    :class:`~repro.parameter.ParameterExpression` in ``param`` and a
+    ``None`` kernel until :meth:`CompiledPlan.bind` fills it in.
     """
 
     __slots__ = (
         "kind", "kernel", "diag", "targets", "controls",
         "control_states", "diagonal", "rows", "flat_rows", "diag_rep",
-        "diag_flat", "aux", "op", "noise_qubits", "qubit",
+        "diag_flat", "aux", "op", "noise_qubits", "qubit", "param",
     )
 
     def __init__(self, kind: int):
         self.kind = kind
         self.kernel = None
+        self.param = None
         self.diag = None
         self.targets = ()
         self.controls = ()
@@ -147,7 +156,15 @@ class PlanStats:
 
 
 class CompiledPlan:
-    """A circuit compiled for one (backend, dtype) combination."""
+    """A circuit compiled for one (backend, dtype) combination.
+
+    Plans compiled from circuits that hold symbolic
+    :class:`~repro.parameter.Parameter` slots are *parametric*: their
+    parametric steps carry no kernel until :meth:`bind` fills the
+    kernel tables in (no re-lowering, no re-compilation), and
+    :meth:`sweep` executes a whole value matrix in one vectorized
+    parameter-batched pass.
+    """
 
     def __init__(
         self,
@@ -158,6 +175,7 @@ class CompiledPlan:
         recorded: tuple,
         end_measured: dict,
         stats: PlanStats,
+        tables: dict = None,
     ):
         self.nb_qubits = nb_qubits
         self.engine = engine
@@ -168,17 +186,213 @@ class CompiledPlan:
         #: absolute qubit -> (result-string position, Measurement).
         self.end_measured = end_measured
         self.stats = stats
+        #: compile-time backend index tables, reused when binding.
+        self._tables = {} if tables is None else tables
+        self._param_steps = tuple(
+            s for s in steps if s.kind == GATE and s.param is not None
+        )
+        seen: dict = {}
+        for s in self._param_steps:
+            seen.setdefault(s.param.parameter, None)
+        self._parameters = tuple(seen)
+        #: whether the parametric steps have been backend-prepared once
+        #: (after that, re-binding only refreshes value-dependent data).
+        self._params_prepared = False
 
     @property
     def backend_name(self) -> str:
         """Name of the engine the plan was prepared for."""
         return self.engine.name
 
+    # -- parametric execution ------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple:
+        """Distinct unbound :class:`~repro.parameter.Parameter` slots,
+        in first-appearance order."""
+        return self._parameters
+
+    @property
+    def is_parametric(self) -> bool:
+        """Whether the plan has parametric steps awaiting a binding."""
+        return bool(self._param_steps)
+
+    def _resolve_values(self, values) -> dict:
+        """Normalize a value set to ``{Parameter: value}``.
+
+        Accepts a mapping keyed by :class:`~repro.parameter.Parameter`
+        or by parameter *name* (names must be unambiguous within this
+        plan), or a sequence aligned with :attr:`parameters`.  Extra
+        entries are ignored; a missing slot raises
+        :class:`~repro.exceptions.UnboundParameterError`.
+        """
+        from repro.parameter import normalize_values
+
+        return normalize_values(self._parameters, values)
+
+    def bind(self, values) -> "CompiledPlan":
+        """Fill the parametric kernel tables from one value set.
+
+        ``values`` is a ``{Parameter-or-name: float}`` mapping or a
+        sequence in :attr:`parameters` order.  Kernels are computed,
+        cast to the plan dtype and re-prepared for the plan's backend
+        **in place** — no re-lowering or re-compilation happens, which
+        is what makes bind-per-point sweeps cheap.  Returns ``self``.
+        """
+        if not self._param_steps:
+            return self
+        mapping = self._resolve_values(values)
+        inst = current_instrumentation()
+        with inst.span(
+            "param.bind",
+            nb_params=len(self._parameters),
+            nb_steps=len(self._param_steps),
+        ):
+            # seed from the compile-time structural tables; per-binding
+            # entries (diagonal expansions, sparse operators) go into
+            # the throwaway copy so repeated binds cannot accumulate
+            tables = dict(self._tables)
+            dtype = self.dtype
+            nb_qubits = self.nb_qubits
+            prepared = self._params_prepared
+            for step in self._param_steps:
+                theta = step.param.resolve(mapping)
+                kernel = step.op.kernel_values(
+                    np.asarray([theta], dtype=float)
+                )[0]
+                step.kernel = np.ascontiguousarray(
+                    kernel.astype(dtype, copy=False)
+                )
+                if step.diagonal:
+                    step.diag = np.ascontiguousarray(
+                        np.diag(step.kernel)
+                    )
+                if prepared:
+                    # index tables already exist; only the
+                    # value-dependent pieces follow the new kernel
+                    self.engine.refresh_step(step, nb_qubits, tables)
+                else:
+                    self.engine.prepare_step(step, nb_qubits, tables)
+            self._params_prepared = True
+            if inst.enabled:
+                inst.metrics.counter(
+                    PARAM_BINDS,
+                    "parameter bindings applied to compiled plans",
+                ).inc()
+        return self
+
+    def sweep(self, values, parameters=None, start=None) -> np.ndarray:
+        """Execute the plan for a whole matrix of parameter points.
+
+        One vectorized pass per plan step runs all ``P`` points at
+        once: concrete steps broadcast their single kernel over the
+        ``(P, 2**n)`` state batch, parametric steps apply a per-point
+        kernel stack along the parameter axis.
+
+        Parameters
+        ----------
+        values:
+            A ``(P, K)`` array whose columns follow ``parameters``
+            (default :attr:`parameters` order; a 1-D array is treated
+            as a single column), or a mapping from Parameter/name to a
+            length-``P`` value array.
+        parameters:
+            Optional explicit column order for the array form.
+        start:
+            Initial state specifier, as in :func:`simulate`
+            (default: the all-zeros state).
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``(P, 2**n)`` final states, one row per point.
+        """
+        from repro.simulation.state import initial_state
+
+        for step in self.steps:
+            if step.kind != GATE:
+                raise SimulationError(
+                    "sweep supports gate-only plans; measurements and "
+                    "resets branch per point — bind() and simulate "
+                    "each point instead"
+                )
+        params = (
+            self._parameters if parameters is None else tuple(parameters)
+        )
+        if isinstance(values, Mapping):
+            mapping = self._resolve_values(values)
+            cols = {
+                p: np.asarray(v, dtype=float).ravel()
+                for p, v in mapping.items()
+            }
+        else:
+            arr = np.asarray(values, dtype=float)
+            if arr.ndim == 1:
+                arr = arr[:, None]
+            if arr.ndim != 2 or arr.shape[1] != len(params):
+                raise UnboundParameterError(
+                    f"sweep over {len(params)} parameter(s) needs a "
+                    f"(P, {len(params)}) value matrix, got shape "
+                    f"{arr.shape}"
+                )
+            cols = {p: arr[:, j] for j, p in enumerate(params)}
+            missing = [p for p in self._parameters if p not in cols]
+            if missing:
+                raise UnboundParameterError(
+                    "no value column for parameter(s) "
+                    + ", ".join(repr(p.name) for p in missing)
+                )
+        lengths = {v.shape[0] for v in cols.values()}
+        if len(lengths) > 1:
+            raise UnboundParameterError(
+                f"parameter value arrays disagree on length: {lengths}"
+            )
+        nb_points = lengths.pop() if lengths else 1
+
+        dtype = self.dtype
+        if start is None:
+            start = "0" * self.nb_qubits
+        init = initial_state(start, self.nb_qubits, dtype=dtype)
+        states = np.tile(init, (nb_points, 1))
+        engine = self.engine
+        inst = current_instrumentation()
+        with inst.span(
+            "param.sweep",
+            points=nb_points,
+            backend=engine.name,
+            nb_params=len(params),
+        ):
+            for step in self.steps:
+                if step.param is None:
+                    states = engine.apply_planned_batched(
+                        states, step, self.nb_qubits
+                    )
+                    continue
+                thetas = step.param.resolve_batch(cols)
+                kernels = np.ascontiguousarray(
+                    step.op.kernel_values(thetas).astype(
+                        dtype, copy=False
+                    )
+                )
+                states = engine.apply_planned_sweep(
+                    states, step, self.nb_qubits, kernels
+                )
+            if inst.enabled:
+                inst.metrics.counter(
+                    SWEEP_POINTS,
+                    "parameter points executed by vectorized sweeps",
+                ).inc(nb_points)
+        return states
+
     def __repr__(self) -> str:
+        par = (
+            f", parameters={[p.name for p in self._parameters]!r}"
+            if self._param_steps else ""
+        )
         return (
             f"CompiledPlan(nbQubits={self.nb_qubits}, "
             f"steps={len(self.steps)}, backend={self.engine.name!r}, "
-            f"dtype={np.dtype(self.dtype).name})"
+            f"dtype={np.dtype(self.dtype).name}{par})"
         )
 
 
@@ -195,8 +409,12 @@ def circuit_signature(circuit: QCircuit) -> tuple:
 
     Equal signatures guarantee identical simulation semantics, so the
     signature keys the plan cache; any mutation — structural or a gate
-    parameter update — changes it.  Delegates to
-    :meth:`repro.ir.IRProgram.signature` on the cached lowering.
+    parameter update — changes it.  Gates holding a symbolic
+    :class:`~repro.parameter.Parameter` are fingerprinted by *slot
+    identity* (uid, scale, offset), not by value: every binding of the
+    same parametric circuit hashes identically and reuses one cached
+    plan.  Delegates to :meth:`repro.ir.IRProgram.signature` on the
+    cached lowering.
     """
     return lower(circuit).signature()
 
@@ -283,6 +501,7 @@ def _fuse_into_window(
                 continue  # disjoint: commute past
             if (
                 not cand.controls
+                and cand.param is None
                 and len(cand.targets) == 1
                 and cand.targets == step.targets
             ):
@@ -295,7 +514,9 @@ def _fuse_into_window(
         for i in range(len(steps) - 1, open_start - 1, -1):
             cand = steps[i]
             if cand.diagonal:
-                if _merge_diag(cand, step):
+                # a parametric diagonal has no kernel yet: commute past
+                # it, but never merge into it
+                if cand.param is None and _merge_diag(cand, step):
                     counts["diag_merged"] += 1
                     return True
                 continue  # diagonals commute: keep scanning
@@ -379,12 +600,25 @@ def _compile_circuit(
             step.targets = irop.targets
             step.controls = irop.controls
             step.control_states = irop.control_states
-            step.kernel = irop.kernel(dtype)
             step.diagonal = irop.is_diagonal
-            if step.diagonal:
-                step.diag = np.ascontiguousarray(np.diag(step.kernel))
             step.op = op
             step.noise_qubits = irop.qubits
+            if not irop.is_bound:
+                # parametric step: no kernel until bind()/sweep();
+                # validate the index structure with an identity stand-in
+                step.param = irop.parameter_expression
+                Backend._validate(
+                    np.eye(1 << len(step.targets), dtype=dtype),
+                    step.targets, nb_qubits, step.controls,
+                    step.control_states,
+                )
+                for q in irop.qubits:
+                    last_touch[q] = op
+                steps.append(step)  # opaque to fusion
+                continue
+            step.kernel = irop.kernel(dtype)
+            if step.diagonal:
+                step.diag = np.ascontiguousarray(np.diag(step.kernel))
             Backend._validate(
                 step.kernel, step.targets, nb_qubits, step.controls,
                 step.control_states,
@@ -433,7 +667,9 @@ def _compile_circuit(
     for step in steps:
         if step.kind == GATE:
             nb_gate_steps += 1
-            engine.prepare_step(step, nb_qubits, tables)
+            if step.param is None:
+                engine.prepare_step(step, nb_qubits, tables)
+            # parametric steps are prepared at bind() time
 
     stats = PlanStats(
         nb_source_ops=nb_source_ops,
@@ -445,7 +681,7 @@ def _compile_circuit(
     )
     return CompiledPlan(
         nb_qubits, engine, np.dtype(dtype).type, steps,
-        tuple(recorded), end_measured, stats,
+        tuple(recorded), end_measured, stats, tables,
     )
 
 

@@ -32,7 +32,7 @@ import numpy as np
 from repro.circuit.barrier import Barrier
 from repro.circuit.measurement import Measurement
 from repro.circuit.reset import Reset
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, UnboundParameterError
 from repro.gates.base import QGate
 from repro.observability.backend import InstrumentedBackend
 from repro.observability.instrument import (
@@ -494,7 +494,20 @@ def simulate(
     ``_stacklevel`` is internal: wrappers that add a call frame (the
     ``QCircuit.simulate`` method) bump it so deprecation warnings point
     at the user's call site, firing once per call site.
+
+    Parametric circuits simulate through their bound view: pass a
+    :class:`~repro.circuit.bound.BoundCircuit` (from
+    :meth:`QCircuit.bind`) and the cached compiled plan of the *base*
+    circuit is re-bound in place — no recompilation per value set.  A
+    parametric circuit passed directly (without values) raises
+    :class:`~repro.exceptions.UnboundParameterError`.
     """
+    from repro.circuit.bound import BoundCircuit
+
+    param_values = None
+    if isinstance(circuit, BoundCircuit):
+        param_values = circuit.values
+        circuit = circuit.base
     if options is not None and not isinstance(
         options, (SimulationOptions, dict)
     ):
@@ -531,6 +544,18 @@ def simulate(
             plan, stats = get_plan(
                 circuit, engine, opts.dtype, fuse=opts.fuse
             )
+            if plan.is_parametric:
+                # always (re-)bind: a cached plan may carry kernels
+                # from a previous binding's values
+                if param_values is None:
+                    raise UnboundParameterError(
+                        "circuit has unbound parameter(s) "
+                        + ", ".join(
+                            repr(p.name) for p in plan.parameters
+                        )
+                        + "; simulate through circuit.bind(values)"
+                    )
+                plan.bind(param_values)
             t0 = perf_counter()
             if inst.enabled:
                 with inst.span(
@@ -555,6 +580,12 @@ def simulate(
                 seed=opts.seed,
                 instrumentation=inst if inst.enabled else None,
             )
+        if param_values is not None:
+            # the uncompiled walk reads gate matrices directly, so it
+            # needs concrete value-carrying gates
+            from repro.circuit.bound import _materialize
+
+            circuit = _materialize(circuit, param_values)
         return _simulate_unplanned(
             circuit, engine, state, nb_qubits, opts, inst
         )
