@@ -29,7 +29,14 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, List, Optional
 
-__all__ = ["TimedRuns", "timed_run", "emit_json", "repo_root"]
+__all__ = [
+    "TimedRuns",
+    "timed_run",
+    "emit_json",
+    "machine_info",
+    "repo_root",
+    "SCHEMA_VERSION",
+]
 
 
 @dataclass
@@ -109,13 +116,53 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+#: Version of the ``meta`` block stamped into every ``BENCH_*.json``.
+SCHEMA_VERSION = 1
+
+
+def machine_info() -> dict:
+    """The machine fingerprint stamped into benchmark payloads.
+
+    ``tools/bench_regress.py`` compares it against the committed
+    baseline's fingerprint: absolute timings measured on a different
+    machine get a widened tolerance band, machine-independent ratios
+    (speedups) are enforced as-is.
+    """
+    import os
+    import platform
+
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def emit_json(name: str, payload: dict, root: Optional[Path] = None) -> Path:
     """Write ``payload`` as ``BENCH_<name>.json`` at the repo root.
 
     ``name`` may also be a full ``*.json`` filename; returns the path
-    written.
+    written.  A ``meta`` block — schema version, UTC timestamp and the
+    :func:`machine_info` fingerprint — is stamped into a copy of the
+    payload (an existing ``meta`` key is preserved), so every emitted
+    benchmark records where and when it was measured.
     """
+    from datetime import datetime, timezone
+
     filename = name if name.endswith(".json") else f"BENCH_{name}.json"
     out = (root or repo_root()) / filename
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    stamped = dict(payload)
+    stamped.setdefault(
+        "meta",
+        {
+            "schema_version": SCHEMA_VERSION,
+            "emitted_at": datetime.now(timezone.utc).isoformat(),
+            "machine": machine_info(),
+        },
+    )
+    out.write_text(json.dumps(stamped, indent=2) + "\n")
     return out

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -36,6 +37,11 @@ from repro.circuit.measurement import Measurement
 from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
 from repro.observability.backend import InstrumentedBackend
+from repro.observability.recorder import (
+    EV_BATCH_EXECUTE,
+    EV_TRAJECTORY,
+    record_event,
+)
 from repro.observability.instrument import (
     activate,
     resolve_instrumentation,
@@ -200,6 +206,7 @@ def run_trajectory(
     )
     inst = resolve_instrumentation(opts.trace, opts.metrics)
 
+    t_traj = perf_counter()
     with activate(inst), inst.span(
         "trajectory", nb_qubits=nb_qubits
     ) as span:
@@ -263,6 +270,11 @@ def run_trajectory(
             inst.metrics.counter(
                 RNG_DRAWS, "random draws consumed"
             ).inc(rng.draws)
+        record_event(
+            EV_TRAJECTORY,
+            nq=nb_qubits,
+            ns=int((perf_counter() - t_traj) * 1e9),
+        )
         return TrajectoryResult(result="".join(outcomes), state=state)
 
 
@@ -596,6 +608,7 @@ def run_trajectories_batched(
                  use_fuse, block, return_states)
                 for block in draw_blocks
             ]
+            t_pool = perf_counter()
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers
             ) as pool:
@@ -603,13 +616,28 @@ def run_trajectories_batched(
                     results.extend(res)
                     if return_states:
                         state_blocks.append(states)
+            # child processes own their rings; one parent-side event
+            # summarizes the whole fan-out
+            record_event(
+                EV_BATCH_EXECUTE,
+                batch=shots,
+                workers=workers,
+                ns=int((perf_counter() - t_pool) * 1e9),
+            )
         else:
             for block in draw_blocks:
+                t_block = perf_counter()
                 with inst.span("batch.execute", batch=block.shape[0]):
                     res, states = _execute_batch(
                         plan, engine, channels, noise, start, block,
                         opts.dtype,
                     )
+                record_event(
+                    EV_BATCH_EXECUTE,
+                    batch=block.shape[0],
+                    workers=1,
+                    ns=int((perf_counter() - t_block) * 1e9),
+                )
                 results.extend(res)
                 if return_states:
                     state_blocks.append(states)

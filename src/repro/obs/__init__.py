@@ -1,0 +1,13 @@
+"""``python -m repro.obs`` — the observability introspection CLI.
+
+Replays a small named workload under full instrumentation (or reads a
+flight-recorder dump produced by
+:meth:`~repro.observability.FlightRecorder.dump_json`) and prints the
+hot-kernel table, plan-cache statistics and memory peaks.  See
+:mod:`repro.obs.cli` for the command surface and
+``docs/observability.md`` for examples.
+"""
+
+from repro.obs.cli import main
+
+__all__ = ["main"]

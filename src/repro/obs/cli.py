@@ -1,0 +1,397 @@
+"""The ``python -m repro.obs`` introspection command.
+
+Two modes:
+
+* **Replay** (default): build a named workload circuit, run it under
+  full instrumentation, and print the per-op cost table (call count,
+  cumulative wall time, bytes touched per backend/kind), the fraction
+  of the execute span those kernels explain, plan-cache statistics,
+  the statevector memory peak and the flight-recorder digest.
+* **Dump reading** (``--dump FILE``): load a flight-recorder dump
+  written by :meth:`~repro.observability.FlightRecorder.dump_json`
+  and print the same digest from its events alone.
+
+Options: ``--workload`` picks the circuit (``plan12`` is the
+BENCH_plan 12-qubit layered workload), ``--backend`` the engine,
+``--top N`` truncates the hot-kernel table, ``--json`` switches to a
+machine-readable report, and ``--trace`` / ``--speedscope`` export
+the instrumented run as a Chrome trace / collapsed-stack profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+__all__ = ["main", "build_workload", "WORKLOADS", "run_workload"]
+
+
+def _plan12_circuit():
+    """The BENCH_plan workload: a deep 1q-heavy 12-qubit circuit
+    (alternating RX/RZ layers with a periodic CZ ladder)."""
+    from repro.circuit import QCircuit
+    from repro.gates import CZ, RotationX, RotationZ
+
+    n, layers = 12, 12
+    c = QCircuit(n)
+    for layer in range(layers):
+        for q in range(n):
+            c.push_back(RotationX(q, 0.1 * (layer + 1) + 0.01 * q))
+        for q in range(n):
+            c.push_back(RotationZ(q, 0.2 * (layer + 1) - 0.01 * q))
+        if layer % 4 == 3:
+            for q in range(0, n - 1, 2):
+                c.push_back(CZ(q, q + 1))
+    return c
+
+
+def _bell_circuit():
+    """The paper's Bell pair with both qubits measured."""
+    from repro.circuit import Measurement, QCircuit
+    from repro.gates import CNOT, Hadamard
+
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    c.push_back(Measurement(0))
+    c.push_back(Measurement(1))
+    return c
+
+
+def _ghz12_circuit():
+    """A 12-qubit GHZ chain (H + CNOT ladder)."""
+    from repro.circuit import QCircuit
+    from repro.gates import CNOT, Hadamard
+
+    n = 12
+    c = QCircuit(n)
+    c.push_back(Hadamard(0))
+    for q in range(n - 1):
+        c.push_back(CNOT(q, q + 1))
+    return c
+
+
+def _qft10_circuit():
+    """A 10-qubit quantum Fourier transform."""
+    from repro.algorithms.qft import qft_circuit
+
+    return qft_circuit(10)
+
+
+def _grover_circuit():
+    """Grover search marking ``101`` on 3 qubits."""
+    from repro.algorithms.grover import grover_circuit
+
+    return grover_circuit("101")
+
+
+#: Named workloads the CLI can replay.
+WORKLOADS = {
+    "plan12": _plan12_circuit,
+    "bell": _bell_circuit,
+    "ghz12": _ghz12_circuit,
+    "qft10": _qft10_circuit,
+    "grover": _grover_circuit,
+}
+
+
+def build_workload(name: str):
+    """The circuit for a :data:`WORKLOADS` entry (raises on unknown)."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(WORKLOADS))}"
+        )
+
+
+def run_workload(name: str, backend: str = "kernel"):
+    """Replay a named workload under instrumentation.
+
+    Clears the global flight recorder first so its ring holds exactly
+    this replay's events.  Returns ``(report, instrumentation)`` where
+    ``report`` is the run's
+    :class:`~repro.observability.ProfileReport`.
+    """
+    from repro.observability import flight_recorder, instrument
+    from repro.simulation import SimulationOptions, simulate
+
+    circuit = build_workload(name)
+    flight_recorder().clear()
+    with instrument() as inst:
+        simulate(
+            circuit,
+            "0" * circuit.nbQubits,
+            options=SimulationOptions(backend=backend),
+        )
+    return inst.report(), inst
+
+
+def _dispatch_table(events) -> List[dict]:
+    """Aggregate ``step.dispatch`` events (dicts or
+    :class:`~repro.observability.RecorderEvent`) into per-op rows
+    ``{op, dispatches, cumulative_ns}``, hottest first.
+
+    These timings wrap the whole per-step branch loop, so their sum
+    tracks the enclosing execute span to within a few percent — the
+    per-op cost table the CLI leads with.
+    """
+    per_op: dict = {}
+    for e in events:
+        data = e if isinstance(e, dict) else dict(e.data, kind=e.kind)
+        if data.get("kind", "step.dispatch") != "step.dispatch":
+            continue
+        op = data.get("op", "?")
+        cnt, ns = per_op.get(op, (0, 0))
+        per_op[op] = (cnt + 1, ns + int(data.get("ns", 0)))
+    return [
+        {"op": op, "dispatches": cnt, "cumulative_ns": ns}
+        for op, (cnt, ns) in sorted(
+            per_op.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:9.3f} s "
+    if ns >= 1e6:
+        return f"{ns / 1e6:9.3f} ms"
+    return f"{ns / 1e3:9.1f} us"
+
+
+def _report_lines(report, top: int) -> List[str]:
+    """The replay-mode digest: per-op costs, hot kernels, coverage,
+    cache and memory."""
+    from repro.observability import EV_STEP_DISPATCH, flight_recorder
+    from repro.simulation.plan import plan_cache_info
+
+    lines: List[str] = []
+    exe_ns = report.execute_seconds * 1e9
+    dispatch = _dispatch_table(
+        flight_recorder().events(EV_STEP_DISPATCH)
+    )
+    if dispatch:
+        shown = dispatch[: top if top > 0 else None]
+        lines.append("per-op cost (step dispatches):")
+        lines.append(
+            f"  {'op':<12} {'dispatches':>10} {'cumulative':>12}"
+        )
+        for r in shown:
+            lines.append(
+                f"  {r['op']:<12} {r['dispatches']:>10} "
+                f"{_fmt_ns(r['cumulative_ns']):>12}"
+            )
+        total = sum(r["cumulative_ns"] for r in dispatch)
+        if exe_ns > 0:
+            lines.append(
+                f"  dispatch total {_fmt_ns(total).strip()} = "
+                f"{100 * total / exe_ns:.1f}% of the "
+                f"{_fmt_ns(exe_ns).strip()} execute span"
+            )
+    rows = report.op_table()[: top if top > 0 else None]
+    lines.append(f"top {len(rows)} hot kernels (backend/kind):")
+    lines.append(
+        f"  {'backend/kind':<20} {'calls':>8} {'cumulative':>12} "
+        f"{'bytes':>14}"
+    )
+    for r in rows:
+        lines.append(
+            f"  {r['backend'] + '/' + r['kind']:<20} {r['calls']:>8} "
+            f"{_fmt_ns(r['seconds'] * 1e9):>12} {r['bytes']:>14}"
+        )
+    total_ns = sum(r["seconds"] for r in report.op_table()) * 1e9
+    if exe_ns > 0:
+        lines.append(
+            f"  kernel total {_fmt_ns(total_ns).strip()} = "
+            f"{100 * total_ns / exe_ns:.1f}% of the "
+            f"{_fmt_ns(exe_ns).strip()} execute span"
+        )
+    info = plan_cache_info()
+    lines.append(
+        f"plan cache: {info['size']}/{info['capacity']} entries, "
+        f"{info['hits']} hit(s) / {info['misses']} miss(es) "
+        f"(hit rate {100 * info['hit_rate']:.1f}%)"
+    )
+    from repro.observability import STATE_BYTES_MAX, Gauge
+
+    peak = 0
+    if report.metrics is not None:
+        g = report.metrics.get(STATE_BYTES_MAX)
+        if isinstance(g, Gauge):
+            peak = int(g.value())
+    lines.append(f"statevector peak: {peak} bytes")
+    return lines
+
+
+def _dump_lines(dump: dict, top: int) -> List[str]:
+    """The dump-reading digest, computed from recorder events alone."""
+    events = dump.get("events", [])
+    lines = [
+        f"flight-recorder dump: {len(events)} event(s) retained "
+        f"(capacity {dump.get('capacity')}, "
+        f"{dump.get('dropped', 0)} dropped, "
+        f"{dump.get('recorded', len(events))} recorded)"
+    ]
+    by_kind: dict = {}
+    for e in events:
+        by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+    if by_kind:
+        lines.append(
+            "  by kind: "
+            + ", ".join(
+                f"{k}={n}" for k, n in sorted(by_kind.items())
+            )
+        )
+    table = _dispatch_table(events)
+    if table:
+        rows = table[: top if top > 0 else None]
+        lines.append(f"top {len(rows)} hot dispatch kinds:")
+        for r in rows:
+            lines.append(
+                f"  {r['op']:<12} {r['dispatches']:>8} dispatch(es) "
+                f"{_fmt_ns(r['cumulative_ns']):>12}"
+            )
+    hits = by_kind.get("plan.hit", 0)
+    misses = by_kind.get("plan.miss", 0)
+    if hits or misses:
+        lines.append(
+            f"plan cache: {hits} hit(s) / {misses} miss(es) "
+            f"(hit rate {100 * hits / (hits + misses):.1f}%)"
+        )
+    peaks = [
+        int(e.get("bytes", 0))
+        for e in events
+        if e["kind"] == "state.highwater"
+    ]
+    if peaks:
+        lines.append(f"statevector peak: {max(peaks)} bytes")
+    errors = [e for e in events if e["kind"] == "error"]
+    for e in errors:
+        lines.append(
+            f"error: {e.get('error', '?')} at {e.get('where', '?')}"
+        )
+    return lines
+
+
+def _dump_json_payload(dump: dict, top: int) -> dict:
+    """Machine-readable form of :func:`_dump_lines`."""
+    events = dump.get("events", [])
+    table = _dispatch_table(events)[: top if top > 0 else None]
+    by_kind: dict = {}
+    for e in events:
+        by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+    return {
+        "mode": "dump",
+        "events": len(events),
+        "dropped": dump.get("dropped", 0),
+        "by_kind": by_kind,
+        "dispatch_table": table,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=(
+            "Replay a workload under instrumentation (or read a "
+            "flight-recorder dump) and print hot kernels, plan-cache "
+            "hit rates and memory peaks."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        default="plan12",
+        help=f"circuit to replay ({', '.join(sorted(WORKLOADS))})",
+    )
+    parser.add_argument(
+        "--backend", default="kernel", help="simulation backend name"
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="FILE",
+        help="read a flight-recorder dump instead of replaying",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows in the hot table"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the replay's Chrome trace JSON to PATH",
+    )
+    parser.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write the replay's collapsed stacks to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.dump:
+        with open(args.dump) as fh:
+            dump = json.load(fh)
+        if dump.get("format") != "repro-flight-recorder":
+            print(f"{args.dump}: not a flight-recorder dump")
+            return 2
+        if args.json:
+            print(json.dumps(_dump_json_payload(dump, args.top), indent=2))
+        else:
+            print("\n".join(_dump_lines(dump, args.top)))
+        return 0
+
+    from repro.observability import (
+        flight_recorder,
+        to_chrome_trace,
+        to_collapsed_stacks,
+    )
+    from repro.simulation.plan import plan_cache_info
+
+    report, inst = run_workload(args.workload, args.backend)
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            json.dump(to_chrome_trace(inst.tracer), fh, indent=2)
+    if args.speedscope:
+        with open(args.speedscope, "w") as fh:
+            fh.write(to_collapsed_stacks(inst.tracer))
+    if args.json:
+        from repro.observability import EV_STEP_DISPATCH
+
+        payload = {
+            "mode": "replay",
+            "workload": args.workload,
+            "backend": args.backend,
+            "execute_ns": int(report.execute_seconds * 1e9),
+            "dispatch_table": _dispatch_table(
+                flight_recorder().events(EV_STEP_DISPATCH)
+            ),
+            "op_table": [
+                {
+                    "backend": r["backend"],
+                    "kind": r["kind"],
+                    "calls": r["calls"],
+                    "cumulative_ns": int(r["seconds"] * 1e9),
+                    "bytes": r["bytes"],
+                }
+                for r in report.op_table()
+            ],
+            "coverage": report.coverage(),
+            "plan_cache": plan_cache_info(),
+            "recorder": {
+                "retained": len(flight_recorder()),
+                "dropped": flight_recorder().dropped,
+                "by_kind": flight_recorder().counts_by_kind(),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"workload {args.workload!r} on backend {args.backend!r}")
+        print("\n".join(_report_lines(report, args.top)))
+        print()
+        print(flight_recorder().summary())
+    return 0

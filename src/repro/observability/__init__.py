@@ -12,8 +12,14 @@ pieces:
     high-water, RNG draws, shots sampled, ...).
 Exporters
     :func:`to_json`, :func:`to_chrome_trace` (``chrome://tracing`` /
-    Perfetto), :func:`to_prometheus` (text exposition) and the
-    human-readable :class:`ProfileReport`.
+    Perfetto), :func:`to_prometheus` (text exposition),
+    :func:`to_collapsed_stacks` (speedscope / ``flamegraph.pl``) and
+    the human-readable :class:`ProfileReport`.
+:class:`FlightRecorder`
+    An always-on bounded ring buffer of structured events (plan-cache
+    traffic, per-step kernel dispatches, trajectory batches, memory
+    high-water marks); dump on demand or on exception, read back with
+    ``python -m repro.obs``.
 :func:`instrument`
     Context manager activating ambient instrumentation that every
     simulation seam — plan compilation, plan execution, backend
@@ -41,6 +47,7 @@ from repro.observability.exporters import (
     ProfileReport,
     dumps_json,
     to_chrome_trace,
+    to_collapsed_stacks,
     to_json,
     to_prometheus,
 )
@@ -64,15 +71,35 @@ from repro.observability.metrics import (
     GATE_APPLIES,
     Gauge,
     Histogram,
+    KERNEL_BYTES,
     KERNEL_SECONDS,
     MEASUREMENTS,
     MetricsRegistry,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
+    PLAN_PREP_SECONDS,
     RNG_DRAWS,
     SHOTS_SAMPLED,
     STATE_BYTES_MAX,
     TRAJECTORIES,
+)
+from repro.observability.recorder import (
+    DEFAULT_CAPACITY,
+    EV_BATCH_EXECUTE,
+    EV_ERROR,
+    EV_PLAN_BIND,
+    EV_PLAN_COMPILE,
+    EV_PLAN_EVICT,
+    EV_PLAN_HIT,
+    EV_PLAN_MISS,
+    EV_PLAN_SWEEP,
+    EV_STATE_HIGHWATER,
+    EV_STEP_DISPATCH,
+    EV_TRAJECTORY,
+    FlightRecorder,
+    RecorderEvent,
+    flight_recorder,
+    record_event,
 )
 from repro.observability.tracer import Span, Tracer
 
@@ -96,8 +123,27 @@ __all__ = [
     "dumps_json",
     "to_chrome_trace",
     "to_prometheus",
+    "to_collapsed_stacks",
+    "FlightRecorder",
+    "RecorderEvent",
+    "flight_recorder",
+    "record_event",
+    "DEFAULT_CAPACITY",
+    "EV_PLAN_COMPILE",
+    "EV_PLAN_HIT",
+    "EV_PLAN_MISS",
+    "EV_PLAN_EVICT",
+    "EV_PLAN_BIND",
+    "EV_PLAN_SWEEP",
+    "EV_STEP_DISPATCH",
+    "EV_BATCH_EXECUTE",
+    "EV_TRAJECTORY",
+    "EV_STATE_HIGHWATER",
+    "EV_ERROR",
     "GATE_APPLIES",
     "KERNEL_SECONDS",
+    "KERNEL_BYTES",
+    "PLAN_PREP_SECONDS",
     "FUSED_STEPS",
     "PLAN_CACHE_HITS",
     "PLAN_CACHE_MISSES",

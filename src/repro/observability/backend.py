@@ -5,12 +5,19 @@ into a :class:`~repro.observability.MetricsRegistry`:
 
 * ``repro_gate_applies_total{backend,kind}`` — application counts,
 * ``repro_kernel_seconds{backend,kind}`` — wall time per application,
+* ``repro_kernel_bytes_total{backend,kind}`` — approximate bytes
+  read+written per application (the backend's ``planned_bytes``
+  estimate for planned steps, full-state streaming otherwise),
+* ``repro_plan_prepare_seconds{backend,stage}`` — wall time inside
+  the ``prepare_step``/``refresh_step`` compile-time hooks,
 
 where ``kind`` classifies the gate structurally (``1q`` / ``diag`` /
 ``kq`` / ``controlled``), matching the gate classes benchmarked by
-``bench_b2``.  The wrapper is applied by the simulation drivers only
-when instrumentation is enabled, so the uninstrumented hot path never
-sees it.
+``bench_b2``.  Together the three kernel series back the per-op cost
+attribution table (:meth:`~repro.observability.ProfileReport.op_table`).
+The wrapper is applied by the simulation drivers only when
+instrumentation is enabled, so the uninstrumented hot path never sees
+it.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from time import perf_counter
 
 from repro.observability.metrics import (
     GATE_APPLIES,
+    KERNEL_BYTES,
     KERNEL_SECONDS,
+    PLAN_PREP_SECONDS,
     MetricsRegistry,
 )
 
@@ -63,6 +72,13 @@ class InstrumentedBackend:
         self._seconds = metrics.histogram(
             KERNEL_SECONDS, "wall seconds inside backend kernels"
         )
+        self._bytes = metrics.counter(
+            KERNEL_BYTES, "approximate bytes touched by backend kernels"
+        )
+        self._prep = metrics.histogram(
+            PLAN_PREP_SECONDS,
+            "wall seconds inside prepare_step/refresh_step hooks",
+        )
         # pre-bound label children per gate kind: keeps the per-apply
         # recording gap (which lands inside the execute span but outside
         # the timed kernel region) as small as possible
@@ -70,22 +86,40 @@ class InstrumentedBackend:
             kind: (
                 self._applies.labels(backend=self.name, kind=kind),
                 self._seconds.labels(backend=self.name, kind=kind),
+                self._bytes.labels(backend=self.name, kind=kind),
             )
             for kind in ("1q", "diag", "kq", "controlled")
         }
 
+    def planned_bytes(self, step, states, nb_qubits):
+        """Delegate the byte estimate to ``inner``."""
+        return self.inner.planned_bytes(step, states, nb_qubits)
+
     def prepare_step(self, step, nb_qubits, tables):
-        """Delegate plan-time preparation to ``inner``."""
+        """Timed pass-through to ``inner.prepare_step``."""
+        t0 = perf_counter()
         self.inner.prepare_step(step, nb_qubits, tables)
+        self._prep.observe(
+            perf_counter() - t0, backend=self.name, stage="prepare"
+        )
+
+    def refresh_step(self, step, nb_qubits, tables):
+        """Timed pass-through to ``inner.refresh_step``."""
+        t0 = perf_counter()
+        self.inner.refresh_step(step, nb_qubits, tables)
+        self._prep.observe(
+            perf_counter() - t0, backend=self.name, stage="refresh"
+        )
 
     def apply_planned(self, state, step, nb_qubits):
         """Timed pass-through to ``inner.apply_planned``."""
-        applies, seconds = self._handles[step_kind(step)]
+        applies, seconds, nbytes = self._handles[step_kind(step)]
         t0 = perf_counter()
         out = self.inner.apply_planned(state, step, nb_qubits)
         dt = perf_counter() - t0
         applies.inc()
         seconds.observe(dt)
+        nbytes.inc(self.inner.planned_bytes(step, out, nb_qubits))
         return out
 
     def apply_planned_batched(self, states, step, nb_qubits):
@@ -93,13 +127,14 @@ class InstrumentedBackend:
         counts one apply per batch row."""
         # one batched call applies the kernel to B trajectories; count
         # B applies so per-shot accounting matches the serial runner
-        applies, seconds = self._handles[step_kind(step)]
+        applies, seconds, nbytes = self._handles[step_kind(step)]
         batch = states.shape[0]
         t0 = perf_counter()
         out = self.inner.apply_planned_batched(states, step, nb_qubits)
         dt = perf_counter() - t0
         applies.inc(batch)
         seconds.observe(dt)
+        nbytes.inc(self.inner.planned_bytes(step, out, nb_qubits))
         return out
 
     def apply_batched(
@@ -114,7 +149,7 @@ class InstrumentedBackend:
     ):
         """Timed pass-through to ``inner.apply_batched``; counts one
         apply per batch row."""
-        applies, seconds = self._handles[
+        applies, seconds, nbytes = self._handles[
             gate_kind(targets, controls, diagonal)
         ]
         batch = states.shape[0]
@@ -131,6 +166,7 @@ class InstrumentedBackend:
         dt = perf_counter() - t0
         applies.inc(batch)
         seconds.observe(dt)
+        nbytes.inc(2 * out.nbytes)  # unplanned: full-batch streaming
         return out
 
     def apply(
@@ -143,9 +179,9 @@ class InstrumentedBackend:
         control_states=(),
         diagonal=False,
     ):
-        """Timed pass-through to ``inner.apply``, metering applies
-        and kernel seconds by gate kind."""
-        applies, seconds = self._handles[
+        """Timed pass-through to ``inner.apply``, metering applies,
+        kernel seconds and bytes by gate kind."""
+        applies, seconds, nbytes = self._handles[
             gate_kind(targets, controls, diagonal)
         ]
         t0 = perf_counter()
@@ -161,6 +197,7 @@ class InstrumentedBackend:
         dt = perf_counter() - t0
         applies.inc()
         seconds.observe(dt)
+        nbytes.inc(2 * out.nbytes)  # unplanned: full-state streaming
         return out
 
     def __repr__(self) -> str:

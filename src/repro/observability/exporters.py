@@ -12,6 +12,9 @@ what they read, so exporting mid-run is safe.
 * :func:`to_prometheus` — the Prometheus text exposition format
   (``# HELP``/``# TYPE`` plus ``_bucket``/``_sum``/``_count`` series
   for histograms).
+* :func:`to_collapsed_stacks` — the collapsed-stack text format
+  (``root;child;leaf <self-time-us>`` lines) consumed by
+  https://speedscope.app and ``flamegraph.pl``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import List, Optional
 
 from repro.observability.metrics import (
     GATE_APPLIES,
+    KERNEL_BYTES,
     KERNEL_SECONDS,
     MEASUREMENTS,
     MetricsRegistry,
@@ -38,6 +42,7 @@ __all__ = [
     "dumps_json",
     "to_chrome_trace",
     "to_prometheus",
+    "to_collapsed_stacks",
     "ProfileReport",
 ]
 
@@ -92,6 +97,38 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- collapsed stacks (speedscope / flamegraph.pl) ----------------------------
+
+
+def to_collapsed_stacks(tracer: Tracer) -> str:
+    """Spans in the collapsed-stack text format.
+
+    One line per unique root-to-span path, ``a;b;c <self-us>``, where
+    the weight is the span's *self* time (wall time minus child wall
+    time) in integer microseconds.  The output drops straight into
+    https://speedscope.app or Brendan Gregg's ``flamegraph.pl``.
+    Identical paths (e.g. repeated ``simulate.execute`` calls) merge
+    into one line with summed weight; zero-weight paths are kept only
+    when the span has no children, so leaf spans never vanish.
+    """
+    weights: dict = {}
+
+    def visit(span: Span, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        children = tracer.children(span)
+        child_wall = sum(c.wall_seconds for c in children)
+        self_us = int(round(max(0.0, span.wall_seconds - child_wall) * 1e6))
+        if self_us > 0 or not children:
+            weights[path] = weights.get(path, 0) + self_us
+        for child in children:
+            visit(child, path)
+
+    for root in tracer.roots():
+        visit(root, "")
+    lines = [f"{path} {us}" for path, us in sorted(weights.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- Prometheus text exposition ----------------------------------------------
@@ -159,6 +196,14 @@ def _fmt_seconds(s: float) -> str:
     if s >= 1e-3:
         return f"{s * 1e3:8.3f} ms"
     return f"{s * 1e6:8.1f} us"
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"
 
 
 class ProfileReport:
@@ -250,6 +295,29 @@ class ProfileReport:
         rows.sort(key=lambda r: -r["seconds"])
         return rows
 
+    def op_table(self) -> List[dict]:
+        """The per-op cost attribution table: rows ``{backend, kind,
+        calls, seconds, bytes}``, slowest first.
+
+        Extends :meth:`kernel_breakdown` with the approximate bytes
+        touched per (backend, kind) series from
+        ``repro_kernel_bytes_total``, so hot kernels can be ranked by
+        either time or memory traffic.
+        """
+        rows = self.kernel_breakdown()
+        nbytes = (
+            self.metrics.get(KERNEL_BYTES)
+            if self.metrics is not None
+            else None
+        )
+        for r in rows:
+            r["bytes"] = (
+                int(nbytes.value(backend=r["backend"], kind=r["kind"]))
+                if isinstance(nbytes, Counter)
+                else 0
+            )
+        return rows
+
     def coverage(self) -> float:
         """Fraction of execution wall time accounted for by kernel +
         measurement timings (1.0 = fully explained)."""
@@ -298,14 +366,17 @@ class ProfileReport:
             out.append("  spans (wall time):")
             for root in self.tracer.roots():
                 self._render_span(root, 1, out)
-        rows = self.kernel_breakdown()
+        rows = self.op_table()
         if rows:
             out.append("  kernel time by backend/kind:")
             for r in rows:
+                mem = (
+                    f", {_fmt_bytes(r['bytes'])}" if r["bytes"] else ""
+                )
                 out.append(
                     f"  {_fmt_seconds(r['seconds'])}  "
                     f"{r['backend']}/{r['kind']}  "
-                    f"({r['calls']} applies)"
+                    f"({r['calls']} applies{mem})"
                 )
             exe = self.execute_seconds
             if exe > 0:

@@ -24,6 +24,8 @@ __all__ = [
     "MetricsRegistry",
     "GATE_APPLIES",
     "KERNEL_SECONDS",
+    "KERNEL_BYTES",
+    "PLAN_PREP_SECONDS",
     "FUSED_STEPS",
     "PLAN_CACHE_HITS",
     "PLAN_CACHE_MISSES",
@@ -53,6 +55,11 @@ __all__ = [
 GATE_APPLIES = "repro_gate_applies_total"
 #: Wall seconds spent inside backend kernels (same labels).
 KERNEL_SECONDS = "repro_kernel_seconds"
+#: Approximate bytes read+written by backend kernels (same labels).
+KERNEL_BYTES = "repro_kernel_bytes_total"
+#: Wall seconds spent in backend ``prepare_step``/``refresh_step``
+#: hooks, labelled by ``backend`` and ``stage``.
+PLAN_PREP_SECONDS = "repro_plan_prepare_seconds"
 #: Source gates merged away by plan fusion, labelled by ``kind``.
 FUSED_STEPS = "repro_fused_steps_total"
 #: Plan-cache hits / misses observed by instrumented runs.

@@ -104,6 +104,18 @@ class Backend(ABC):
         step.aux = None
         self.prepare_step(step, nb_qubits, tables)
 
+    def planned_bytes(self, step, states, nb_qubits: int) -> int:
+        """Approximate bytes read+written by one application of
+        ``step`` to ``states`` (a ``(dim,)`` state or ``(B, dim)``
+        batch).
+
+        Feeds the per-op cost-attribution table
+        (:meth:`repro.observability.ProfileReport.op_table`); the
+        default assumes the whole state is streamed in and out once.
+        Backends that touch only a gathered subspace override this.
+        """
+        return 2 * states.nbytes
+
     def apply_planned(self, state, step, nb_qubits: int):
         """Apply one compiled gate step (see
         :class:`repro.simulation.plan.PlanStep`).
@@ -292,6 +304,16 @@ class KernelBackend(Backend):
             step.diag_rep = rep
             # flat view of the same buffer, broadcast over batch rows
             step.diag_flat = rep.ravel()
+
+    def planned_bytes(self, step, states, nb_qubits):
+        """Subspace-aware byte estimate: steps with gather-row tables
+        touch only ``rows.size`` amplitudes per state; 1q strided steps
+        stream the full state."""
+        if step.rows is None:
+            return 2 * states.nbytes
+        dim = 1 << nb_qubits
+        nb_states = states.size // dim
+        return 2 * step.rows.size * states.itemsize * nb_states
 
     def refresh_step(self, step, nb_qubits, tables):
         """Value-only refresh after a parametric re-bind: the gather-row
@@ -539,6 +561,14 @@ class SparseKronBackend(Backend):
             tables[key] = op
         step.aux = op
 
+    def planned_bytes(self, step, states, nb_qubits):
+        """Full state in and out plus one pass over the sparse
+        operator's stored entries."""
+        nnz_bytes = (
+            step.aux.data.nbytes if step.aux is not None else 0
+        )
+        return 2 * states.nbytes + nnz_bytes
+
     def apply_planned(self, state, step, nb_qubits):
         """One sparse matrix-vector product with the prebuilt
         extended operator."""
@@ -667,6 +697,14 @@ class EinsumBackend(Backend):
         step.aux = (
             full_kernel.reshape((2,) * (2 * k)), tuple(qubits_all), k,
         )
+
+    def planned_bytes(self, step, states, nb_qubits):
+        """Full state streamed through the contraction, plus the
+        (control-folded) kernel tensor."""
+        kernel_bytes = (
+            step.aux[0].nbytes if step.aux is not None else 0
+        )
+        return 2 * states.nbytes + kernel_bytes
 
     def apply_planned(self, state, step, nb_qubits):
         """``tensordot`` the prepared kernel tensor over the step's

@@ -51,7 +51,17 @@ from repro.observability.metrics import (
     PARAM_BINDS,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
+    PLAN_PREP_SECONDS,
     SWEEP_POINTS,
+)
+from repro.observability.recorder import (
+    EV_PLAN_BIND,
+    EV_PLAN_COMPILE,
+    EV_PLAN_EVICT,
+    EV_PLAN_HIT,
+    EV_PLAN_MISS,
+    EV_PLAN_SWEEP,
+    record_event,
 )
 from repro.simulation.backends import Backend, get_backend
 from repro.utils.linalg import expand_diag
@@ -243,6 +253,7 @@ class CompiledPlan:
             return self
         mapping = self._resolve_values(values)
         inst = current_instrumentation()
+        t_bind = perf_counter()
         with inst.span(
             "param.bind",
             nb_params=len(self._parameters),
@@ -255,6 +266,17 @@ class CompiledPlan:
             dtype = self.dtype
             nb_qubits = self.nb_qubits
             prepared = self._params_prepared
+            prep_hist = (
+                inst.metrics.histogram(
+                    PLAN_PREP_SECONDS,
+                    "wall seconds inside prepare_step/refresh_step hooks",
+                ).labels(
+                    backend=self.engine.name,
+                    stage="refresh" if prepared else "prepare",
+                )
+                if inst.enabled
+                else None
+            )
             for step in self._param_steps:
                 theta = step.param.resolve(mapping)
                 kernel = step.op.kernel_values(
@@ -267,18 +289,27 @@ class CompiledPlan:
                     step.diag = np.ascontiguousarray(
                         np.diag(step.kernel)
                     )
+                t_prep = perf_counter()
                 if prepared:
                     # index tables already exist; only the
                     # value-dependent pieces follow the new kernel
                     self.engine.refresh_step(step, nb_qubits, tables)
                 else:
                     self.engine.prepare_step(step, nb_qubits, tables)
+                if prep_hist is not None:
+                    prep_hist.observe(perf_counter() - t_prep)
             self._params_prepared = True
             if inst.enabled:
                 inst.metrics.counter(
                     PARAM_BINDS,
                     "parameter bindings applied to compiled plans",
                 ).inc()
+        record_event(
+            EV_PLAN_BIND,
+            params=len(self._parameters),
+            steps=len(self._param_steps),
+            ns=int((perf_counter() - t_bind) * 1e9),
+        )
         return self
 
     def sweep(self, values, parameters=None, start=None) -> np.ndarray:
@@ -356,6 +387,7 @@ class CompiledPlan:
         states = np.tile(init, (nb_points, 1))
         engine = self.engine
         inst = current_instrumentation()
+        t_sweep = perf_counter()
         with inst.span(
             "param.sweep",
             points=nb_points,
@@ -382,6 +414,12 @@ class CompiledPlan:
                     SWEEP_POINTS,
                     "parameter points executed by vectorized sweeps",
                 ).inc(nb_points)
+        record_event(
+            EV_PLAN_SWEEP,
+            points=nb_points,
+            backend=engine.name,
+            ns=int((perf_counter() - t_sweep) * 1e9),
+        )
         return states
 
     def __repr__(self) -> str:
@@ -529,6 +567,17 @@ def _fuse_into_window(
 # -- compilation -------------------------------------------------------------
 
 
+def _table_bytes(tables: dict) -> int:
+    """Approximate bytes held by compile-time backend index tables."""
+    total = 0
+    for v in tables.values():
+        if hasattr(v, "nbytes"):
+            total += v.nbytes
+        elif isinstance(v, tuple):
+            total += sum(getattr(x, "nbytes", 0) for x in v)
+    return int(total)
+
+
 def compile_circuit(
     circuit: QCircuit,
     backend="kernel",
@@ -664,20 +713,41 @@ def _compile_circuit(
 
     tables: dict = {}
     nb_gate_steps = 0
+    inst = current_instrumentation()
+    prep_hist = (
+        inst.metrics.histogram(
+            PLAN_PREP_SECONDS,
+            "wall seconds inside prepare_step/refresh_step hooks",
+        ).labels(backend=engine.name, stage="prepare")
+        if inst.enabled
+        else None
+    )
     for step in steps:
         if step.kind == GATE:
             nb_gate_steps += 1
             if step.param is None:
+                t_prep = perf_counter()
                 engine.prepare_step(step, nb_qubits, tables)
+                if prep_hist is not None:
+                    prep_hist.observe(perf_counter() - t_prep)
             # parametric steps are prepared at bind() time
 
     stats = PlanStats(
         nb_source_ops=nb_source_ops,
         nb_steps=len(steps),
-        nb_gate_steps=nb_gate_steps,
         nb_fused_1q=counts["fused_1q"],
+        nb_gate_steps=nb_gate_steps,
         nb_diag_merged=counts["diag_merged"],
         compile_seconds=perf_counter() - t0,
+    )
+    record_event(
+        EV_PLAN_COMPILE,
+        backend=engine.name,
+        ops=nb_source_ops,
+        steps=len(steps),
+        fused=stats.nb_fused,
+        ns=int(stats.compile_seconds * 1e9),
+        table_bytes=_table_bytes(tables),
     )
     return CompiledPlan(
         nb_qubits, engine, np.dtype(dtype).type, steps,
@@ -697,6 +767,13 @@ _MISSES = 0
 
 def _engine_key(engine: Backend) -> tuple:
     return (type(engine).__qualname__, engine.name)
+
+
+def _sig_hash(sig) -> str:
+    """Short stable-ish hex digest of a circuit signature, for
+    recorder events and :func:`plan_cache_info` (process-local: it is
+    ``hash()``-based, so it varies across interpreter runs)."""
+    return f"{hash(sig) & 0xFFFFFFFFFFFF:012x}"
 
 
 def get_plan(
@@ -728,11 +805,23 @@ def get_plan(
             _CACHE[key] = plan  # re-insert: most recently used
             _HITS += 1
             hit = True
+            record_event(
+                EV_PLAN_HIT, backend=engine.name, signature=_sig_hash(sig)
+            )
         else:
+            record_event(
+                EV_PLAN_MISS, backend=engine.name, signature=_sig_hash(sig)
+            )
             plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
             _CACHE[key] = plan
             while len(_CACHE) > PLAN_CACHE_MAXSIZE:
-                _CACHE.pop(next(iter(_CACHE)))
+                old_key, old_plan = next(iter(_CACHE.items()))
+                _CACHE.pop(old_key)
+                record_event(
+                    EV_PLAN_EVICT,
+                    backend=old_plan.engine.name,
+                    signature=_sig_hash(old_key[0]),
+                )
             _MISSES += 1
             hit = False
         if inst.enabled:
@@ -752,12 +841,38 @@ def get_plan(
 
 
 def plan_cache_info() -> dict:
-    """Global plan-cache counters: hits, misses, size, maxsize."""
+    """Global plan-cache counters plus a per-entry table.
+
+    Returns ``hits`` / ``misses`` / ``size`` / ``maxsize`` (and
+    ``capacity``, an alias of ``maxsize``), the derived ``hit_rate``
+    (0.0 when the cache was never consulted), and ``entries`` — one
+    dict per cached plan, least-recently-used first, carrying the
+    plan's ``backend``, ``dtype``, ``fuse`` flag, ``nb_steps``,
+    ``nb_qubits``, ``parametric`` flag and a short ``signature``
+    digest (process-local, matching the flight recorder's
+    ``plan.hit``/``plan.miss`` events).
+    """
+    lookups = _HITS + _MISSES
+    entries = [
+        {
+            "backend": plan.engine.name,
+            "dtype": np.dtype(plan.dtype).name,
+            "fuse": key[3],
+            "nb_steps": len(plan.steps),
+            "nb_qubits": plan.nb_qubits,
+            "parametric": plan.is_parametric,
+            "signature": _sig_hash(key[0]),
+        }
+        for key, plan in _CACHE.items()
+    ]
     return {
         "hits": _HITS,
         "misses": _MISSES,
         "size": len(_CACHE),
         "maxsize": PLAN_CACHE_MAXSIZE,
+        "capacity": PLAN_CACHE_MAXSIZE,
+        "hit_rate": (_HITS / lookups) if lookups else 0.0,
+        "entries": entries,
     }
 
 

@@ -34,7 +34,7 @@ from repro.circuit.measurement import Measurement
 from repro.circuit.reset import Reset
 from repro.exceptions import SimulationError, UnboundParameterError
 from repro.gates.base import QGate
-from repro.observability.backend import InstrumentedBackend
+from repro.observability.backend import InstrumentedBackend, step_kind
 from repro.observability.instrument import (
     activate,
     current_instrumentation,
@@ -46,6 +46,12 @@ from repro.observability.metrics import (
     RNG_DRAWS,
     SHOTS_SAMPLED,
     STATE_BYTES_MAX,
+)
+from repro.observability.recorder import (
+    EV_ERROR,
+    EV_STATE_HIGHWATER,
+    EV_STEP_DISPATCH,
+    record_event,
 )
 from repro.simulation.backends import Backend, get_backend
 from repro.simulation.options import (
@@ -386,29 +392,60 @@ class Simulation:
 
 
 def _run_plan(plan, state, atol):
-    """Replay a compiled plan branch-wise from an initial state."""
+    """Replay a compiled plan branch-wise from an initial state.
+
+    Every step appends one ``step.dispatch`` event (op kind, qubit
+    count, wall ns, branch count) to the always-on flight recorder —
+    an O(1) ring append per *step*, not per branch, so the overhead
+    stays in the noise (the guard test holds it under 5%).
+    """
     engine = plan.engine
     nb_qubits = plan.nb_qubits
     branches = [Branch(1.0, state, "")]
     measurements = []
+    highwater = state.nbytes
     for step in plan.steps:
+        t0 = perf_counter()
         if step.kind == GATE:
             for branch in branches:
                 branch.state = engine.apply_planned(
                     branch.state, step, nb_qubits
                 )
-        elif step.kind == MEASURE:
+            record_event(
+                EV_STEP_DISPATCH,
+                op=step_kind(step),
+                nq=nb_qubits,
+                ns=int((perf_counter() - t0) * 1e9),
+                branches=len(branches),
+            )
+            continue
+        if step.kind == MEASURE:
             measurements.append((step.qubit, step.op))
             branches = _measure(
                 engine, branches, step.qubit, step.op, nb_qubits, atol,
                 record=True,
             )
+            op_kind = "measure"
         else:  # RESET
             if step.op.record:
                 measurements.append((step.qubit, step.op))
             branches = _reset(
                 engine, branches, step.qubit, nb_qubits, atol,
                 record=step.op.record,
+            )
+            op_kind = "reset"
+        record_event(
+            EV_STEP_DISPATCH,
+            op=op_kind,
+            nq=nb_qubits,
+            ns=int((perf_counter() - t0) * 1e9),
+            branches=len(branches),
+        )
+        live = sum(b.state.nbytes for b in branches)
+        if live > highwater:
+            highwater = live
+            record_event(
+                EV_STATE_HIGHWATER, bytes=live, branches=len(branches)
             )
     return branches, measurements
 
@@ -439,23 +476,33 @@ def _run_plan_instrumented(plan, state, atol, inst):
     measurements = []
     bytes_gauge.set_max(state.nbytes)
     branch_gauge.set_max(1)
+    highwater = state.nbytes
     for step in plan.steps:
+        t0 = perf_counter()
         if step.kind == GATE:
             for branch in branches:
                 branch.state = engine.apply_planned(
                     branch.state, step, nb_qubits
                 )
+            record_event(
+                EV_STEP_DISPATCH,
+                op=step_kind(step),
+                nq=nb_qubits,
+                ns=int((perf_counter() - t0) * 1e9),
+                branches=len(branches),
+            )
             continue
         # basis changes inside _measure/_reset go through the raw
         # engine so kernel metrics count gate applies only
-        t0 = perf_counter()
         if step.kind == MEASURE:
             measurements.append((step.qubit, step.op))
             branches = _measure(
                 raw, branches, step.qubit, step.op, nb_qubits, atol,
                 record=True,
             )
-            meas_hist.observe(perf_counter() - t0, kind="measure")
+            dt = perf_counter() - t0
+            meas_hist.observe(dt, kind="measure")
+            op_kind = "measure"
         else:  # RESET
             if step.op.record:
                 measurements.append((step.qubit, step.op))
@@ -463,9 +510,24 @@ def _run_plan_instrumented(plan, state, atol, inst):
                 raw, branches, step.qubit, nb_qubits, atol,
                 record=step.op.record,
             )
-            meas_hist.observe(perf_counter() - t0, kind="reset")
+            dt = perf_counter() - t0
+            meas_hist.observe(dt, kind="reset")
+            op_kind = "reset"
+        record_event(
+            EV_STEP_DISPATCH,
+            op=op_kind,
+            nq=nb_qubits,
+            ns=int(dt * 1e9),
+            branches=len(branches),
+        )
         branch_gauge.set_max(len(branches))
-        bytes_gauge.set_max(sum(b.state.nbytes for b in branches))
+        live = sum(b.state.nbytes for b in branches)
+        bytes_gauge.set_max(live)
+        if live > highwater:
+            highwater = live
+            record_event(
+                EV_STATE_HIGHWATER, bytes=live, branches=len(branches)
+            )
     return branches, measurements
 
 
@@ -557,17 +619,25 @@ def simulate(
                     )
                 plan.bind(param_values)
             t0 = perf_counter()
-            if inst.enabled:
-                with inst.span(
-                    "simulate.execute", backend=plan.engine.name
-                ):
-                    branches, measurements = _run_plan_instrumented(
-                        plan, state, opts.atol, inst
+            try:
+                if inst.enabled:
+                    with inst.span(
+                        "simulate.execute", backend=plan.engine.name
+                    ):
+                        branches, measurements = _run_plan_instrumented(
+                            plan, state, opts.atol, inst
+                        )
+                else:
+                    branches, measurements = _run_plan(
+                        plan, state, opts.atol
                     )
-            else:
-                branches, measurements = _run_plan(
-                    plan, state, opts.atol
+            except Exception as exc:
+                record_event(
+                    EV_ERROR,
+                    error=type(exc).__name__,
+                    where="simulate.execute",
                 )
+                raise
             stats.execute_seconds = perf_counter() - t0
             return Simulation(
                 nb_qubits,

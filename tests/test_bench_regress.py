@@ -1,0 +1,182 @@
+"""Tests for the benchmark-regression gate (``tools/bench_regress.py``)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_regress",
+    Path(__file__).resolve().parent.parent / "tools" / "bench_regress.py",
+)
+bench_regress = importlib.util.module_from_spec(_SPEC)
+# dataclass field resolution looks the module up in sys.modules
+sys.modules["bench_regress"] = bench_regress
+_SPEC.loader.exec_module(bench_regress)
+
+
+MACHINE_A = {"python": "3.12", "numpy": "2.0", "cpu_count": 8}
+MACHINE_B = {"python": "3.11", "numpy": "1.26", "cpu_count": 4}
+
+
+def _plan_payload(speedup=4.0, planned=0.003, machine=MACHINE_A):
+    return {
+        "benchmark": "B2-plan",
+        "speedup": speedup,
+        "planned_seconds": planned,
+        "meta": {"schema_version": 1, "machine": machine},
+    }
+
+
+def _write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestExtract:
+    def test_dot_path_dicts_and_lists(self):
+        payload = {"rows": [{"x": 1}, {"x": 2}], "top": {"y": 3}}
+        assert bench_regress.extract(payload, "rows.-1.x") == 2
+        assert bench_regress.extract(payload, "rows.0.x") == 1
+        assert bench_regress.extract(payload, "top.y") == 3
+
+    def test_missing_path_raises(self):
+        with pytest.raises(KeyError):
+            bench_regress.extract({"a": 1}, "a.b.c")
+
+
+class TestGate:
+    def test_matching_payloads_pass(self, tmp_path):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(cur, "plan", _plan_payload())
+        _write(base, "plan", _plan_payload())
+        code = bench_regress.main(
+            [
+                "--current-dir", str(cur),
+                "--baseline-dir", str(base),
+                "--benchmarks", "plan",
+            ]
+        )
+        assert code == 0
+
+    def test_slowed_baseline_fails(self, tmp_path):
+        """The ISSUE acceptance case: a synthetically slowed current
+        run against the committed baseline exits non-zero."""
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(base, "plan", _plan_payload(speedup=4.0))
+        _write(cur, "plan", _plan_payload(speedup=4.0 * 0.5))
+        code = bench_regress.main(
+            [
+                "--current-dir", str(cur),
+                "--baseline-dir", str(base),
+                "--benchmarks", "plan",
+            ]
+        )
+        assert code == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(base, "plan", _plan_payload(speedup=4.0))
+        _write(cur, "plan", _plan_payload(speedup=4.0 * 0.8))
+        code = bench_regress.main(
+            [
+                "--current-dir", str(cur),
+                "--baseline-dir", str(base),
+                "--benchmarks", "plan",
+                "--tolerance", "0.25",
+            ]
+        )
+        assert code == 0
+
+    def test_absolute_metric_gets_cross_machine_slack(self, tmp_path):
+        # 2x slower wall time: fails on-machine, passes off-machine
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(base, "plan", _plan_payload(planned=0.003))
+        _write(
+            cur, "plan",
+            _plan_payload(planned=0.006, machine=MACHINE_B),
+        )
+        args = [
+            "--current-dir", str(cur),
+            "--baseline-dir", str(base),
+            "--benchmarks", "plan",
+        ]
+        assert bench_regress.main(args) == 0
+        assert bench_regress.main(args + ["--strict-machine"]) == 1
+        # the same slowdown on the SAME machine fails outright
+        _write(cur, "plan", _plan_payload(planned=0.006))
+        assert bench_regress.main(args) == 1
+
+    def test_ratio_metric_ignores_machine(self, tmp_path):
+        # speedups are machine-independent: no slack off-machine
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(base, "plan", _plan_payload(speedup=4.0))
+        _write(
+            cur, "plan",
+            _plan_payload(speedup=2.0, machine=MACHINE_B),
+        )
+        code = bench_regress.main(
+            [
+                "--current-dir", str(cur),
+                "--baseline-dir", str(base),
+                "--benchmarks", "plan",
+            ]
+        )
+        assert code == 1
+
+    def test_missing_files_exit_2(self, tmp_path):
+        code = bench_regress.main(
+            [
+                "--current-dir", str(tmp_path),
+                "--baseline-dir", str(tmp_path),
+                "--benchmarks", "plan",
+            ]
+        )
+        assert code == 2
+
+    def test_unknown_benchmark_exits_2(self, tmp_path):
+        assert bench_regress.main(["--benchmarks", "nope"]) == 2
+
+    def test_update_history_appends(self, tmp_path, monkeypatch):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        _write(cur, "plan", _plan_payload())
+        _write(base, "plan", _plan_payload())
+        history = tmp_path / "history.jsonl"
+        monkeypatch.setattr(bench_regress, "HISTORY", history)
+        for _ in range(2):
+            bench_regress.main(
+                [
+                    "--current-dir", str(cur),
+                    "--baseline-dir", str(base),
+                    "--benchmarks", "plan",
+                    "--update-history",
+                ]
+            )
+        rows = [
+            json.loads(ln)
+            for ln in history.read_text().strip().splitlines()
+        ]
+        assert len(rows) == 2
+        assert rows[0]["ok"] is True
+        assert rows[0]["benchmarks"]["plan"]["speedup"] == 4.0
+
+
+class TestCommittedBaselines:
+    def test_baselines_are_stamped_and_gated(self):
+        """Every gated benchmark has a committed, meta-stamped
+        baseline the CI job can compare against."""
+        base = Path(__file__).resolve().parent.parent / (
+            "benchmarks/baselines"
+        )
+        for name in bench_regress.SPECS:
+            payload = json.loads(
+                (base / f"BENCH_{name}.json").read_text()
+            )
+            assert payload["meta"]["schema_version"] == 1
+            assert "machine" in payload["meta"]
+            assert "emitted_at" in payload["meta"]
+            for spec in bench_regress.SPECS[name]:
+                value = bench_regress.extract(payload, spec.path)
+                assert float(value) > 0

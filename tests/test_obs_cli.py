@@ -1,0 +1,123 @@
+"""Tests for the ``python -m repro.obs`` introspection CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import WORKLOADS, build_workload, main
+from repro.observability import flight_recorder
+from repro.simulation import clear_plan_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_plan_cache()
+    flight_recorder().clear()
+    yield
+    flight_recorder().clear()
+
+
+class TestWorkloads:
+    def test_all_workloads_build(self):
+        for name in WORKLOADS:
+            circuit = build_workload(name)
+            assert circuit.nbQubits >= 2
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            build_workload("nope")
+
+
+class TestReplayMode:
+    def test_human_table_renders(self, capsys):
+        assert main(["--workload", "bell"]) == 0
+        out = capsys.readouterr().out
+        assert "per-op cost (step dispatches):" in out
+        assert "hot kernels (backend/kind):" in out
+        assert "plan cache:" in out
+        assert "statevector peak:" in out
+        assert "FlightRecorder:" in out
+
+    def test_json_cost_table_covers_execute_span(self, capsys):
+        """The acceptance bound: the per-op table's cumulative ns sum
+        within 10% of the enclosing execute span on plan12."""
+        assert main(["--workload", "plan12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "replay"
+        table = payload["dispatch_table"]
+        assert table, "dispatch table must not be empty"
+        total = sum(r["cumulative_ns"] for r in table)
+        exe = payload["execute_ns"]
+        assert exe > 0
+        assert abs(total - exe) / exe <= 0.10, (
+            f"per-op cumulative {total} ns vs execute span {exe} ns "
+            f"({abs(total - exe) / exe:.1%} off)"
+        )
+        # table rows are structured and sorted hottest-first
+        for row in table:
+            assert set(row) == {"op", "dispatches", "cumulative_ns"}
+        assert table == sorted(
+            table, key=lambda r: -r["cumulative_ns"]
+        )
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["--workload", "bell", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan_cache"]["misses"] >= 1
+        assert payload["recorder"]["retained"] > 0
+        assert all(
+            {"backend", "kind", "calls", "cumulative_ns", "bytes"}
+            == set(r)
+            for r in payload["op_table"]
+        )
+
+    def test_trace_and_speedscope_exports(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        stacks = tmp_path / "stacks.txt"
+        assert main(
+            [
+                "--workload", "bell",
+                "--trace", str(trace),
+                "--speedscope", str(stacks),
+            ]
+        ) == 0
+        capsys.readouterr()
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"] == "simulate.execute" for e in events)
+        lines = stacks.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 0
+        assert any("simulate.execute" in ln for ln in lines)
+
+
+class TestDumpMode:
+    def _dump(self, tmp_path):
+        main(["--workload", "bell"])
+        path = tmp_path / "dump.json"
+        flight_recorder().dump_json(path)
+        return path
+
+    def test_reads_dump(self, tmp_path, capsys):
+        path = self._dump(tmp_path)
+        capsys.readouterr()
+        assert main(["--dump", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight-recorder dump:" in out
+        assert "hot dispatch kinds:" in out
+        assert "plan cache:" in out
+
+    def test_reads_dump_json(self, tmp_path, capsys):
+        path = self._dump(tmp_path)
+        capsys.readouterr()
+        assert main(["--dump", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "dump"
+        assert payload["events"] > 0
+        assert payload["dispatch_table"]
+
+    def test_rejects_non_dump_file(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        assert main(["--dump", str(path)]) == 2

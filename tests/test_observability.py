@@ -13,9 +13,11 @@ from repro.gates import CNOT, CZ, Hadamard, RotationX, RotationZ
 from repro.noise import NoiseModel, noisy_counts
 from repro.observability import (
     GATE_APPLIES,
+    KERNEL_BYTES,
     KERNEL_SECONDS,
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
+    PLAN_PREP_SECONDS,
     RNG_DRAWS,
     SHOTS_SAMPLED,
     STATE_BYTES_MAX,
@@ -26,6 +28,7 @@ from repro.observability import (
     Tracer,
     instrument,
     to_chrome_trace,
+    to_collapsed_stacks,
     to_json,
     to_prometheus,
 )
@@ -262,6 +265,97 @@ class TestExporters:
         assert "simulate" in text
         assert "kernel" in text
         assert report.wall_seconds > 0
+
+    def test_exporters_handle_empty_registry_and_tracer(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        assert to_prometheus(metrics) == ""
+        assert to_collapsed_stacks(tracer) == ""
+        payload = to_json(tracer, metrics)
+        assert payload["spans"] == []
+        assert payload["metrics"] == {}
+        assert to_chrome_trace(tracer)["traceEvents"] == []
+        report = ProfileReport(tracer, metrics)
+        assert report.op_table() == []
+        assert "ProfileReport" in str(report)
+
+    def test_prometheus_known_good_fixture(self):
+        """Exact-text round trip: a registry with one of each
+        instrument type must serialize to this fixture verbatim
+        (histogram ``_bucket``/``_sum``/``_count`` with ``le``
+        labels included)."""
+        metrics = MetricsRegistry()
+        c = metrics.counter("repro_test_total", "a counter")
+        c.inc(3, backend="kernel")
+        g = metrics.gauge("repro_test_gauge", "a gauge")
+        g.set(7.5)
+        h = metrics.histogram(
+            "repro_test_seconds", "a histogram", buckets=(0.1, 1.0)
+        )
+        h.observe(0.05, kind="1q")
+        h.observe(0.5, kind="1q")
+        h.observe(5.0, kind="1q")
+        expected = "\n".join(
+            [
+                "# HELP repro_test_gauge a gauge",
+                "# TYPE repro_test_gauge gauge",
+                "repro_test_gauge 7.5",
+                "# HELP repro_test_seconds a histogram",
+                "# TYPE repro_test_seconds histogram",
+                'repro_test_seconds_bucket{kind="1q",le="0.1"} 1',
+                'repro_test_seconds_bucket{kind="1q",le="1.0"} 2',
+                'repro_test_seconds_bucket{kind="1q",le="+Inf"} 3',
+                'repro_test_seconds_sum{kind="1q"} 5.55',
+                'repro_test_seconds_count{kind="1q"} 3',
+                "# HELP repro_test_total a counter",
+                "# TYPE repro_test_total counter",
+                'repro_test_total{backend="kernel"} 3',
+                "",
+            ]
+        )
+        assert to_prometheus(metrics) == expected
+
+    def test_collapsed_stacks_shape(self):
+        inst = self._instrumented_run()
+        text = to_collapsed_stacks(inst.tracer)
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 0
+            assert path
+        # nested spans appear as semicolon-joined root-to-leaf paths
+        assert any(
+            ln.startswith("simulate;simulate.execute ") for ln in lines
+        )
+        # self time never exceeds total wall time of the roots
+        total_us = sum(int(ln.rsplit(" ", 1)[1]) for ln in lines)
+        roots_us = sum(
+            s.wall_seconds for s in inst.tracer.roots()
+        ) * 1e6
+        assert total_us <= roots_us * 1.01 + 10
+
+    def test_op_table_carries_bytes_and_prep_timings(self):
+        inst = self._instrumented_run()
+        rows = inst.report().op_table()
+        assert rows
+        for r in rows:
+            assert set(r) == {
+                "backend", "kind", "calls", "seconds", "bytes"
+            }
+            assert r["bytes"] > 0
+        # a 2-qubit statevector is 64 bytes; every kernel streams it
+        # in and out at least once
+        assert all(r["bytes"] >= 64 for r in rows)
+        prep = inst.metrics.get(PLAN_PREP_SECONDS)
+        assert prep is not None and prep.total_sum() >= 0
+        assert (
+            sum(
+                prep.count(**labels) for labels in prep.labelsets()
+            ) > 0
+        )
+        nbytes = inst.metrics.get(KERNEL_BYTES)
+        assert nbytes is not None and nbytes.total() > 0
 
 
 # -- simulation hooks --------------------------------------------------------

@@ -1,0 +1,214 @@
+"""Flight-recorder tests: ring semantics, thread safety, dumps, and
+the always-on overhead guard."""
+
+import json
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro.circuit import QCircuit
+from repro.gates import CZ, RotationX, RotationZ
+from repro.observability import (
+    EV_ERROR,
+    EV_PLAN_COMPILE,
+    EV_PLAN_HIT,
+    EV_PLAN_MISS,
+    EV_STEP_DISPATCH,
+    FlightRecorder,
+    flight_recorder,
+)
+from repro.simulation import SimulationOptions, clear_plan_cache, simulate
+
+
+def _layered_1q_circuit(n, layers):
+    """The BENCH_plan workload shape (1q-heavy with a CZ ladder)."""
+    c = QCircuit(n)
+    for layer in range(layers):
+        for q in range(n):
+            c.push_back(RotationX(q, 0.1 * (layer + 1) + 0.01 * q))
+        for q in range(n):
+            c.push_back(RotationZ(q, 0.2 * (layer + 1) - 0.01 * q))
+        if layer % 4 == 3:
+            for q in range(0, n - 1, 2):
+                c.push_back(CZ(q, q + 1))
+    return c
+
+
+class TestRingBuffer:
+    def test_basic_record_and_inspect(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a", x=1)
+        rec.record("b", y=2)
+        assert len(rec) == 2
+        assert rec.recorded == 2
+        assert rec.dropped == 0
+        events = rec.events()
+        assert [e.kind for e in events] == ["a", "b"]
+        assert events[0].data == {"x": 1}
+        assert events[0].seq < events[1].seq
+        assert rec.counts_by_kind() == {"a": 1, "b": 1}
+        assert rec.events("a")[0].kind == "a"
+
+    def test_wraparound_drops_oldest(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        # the survivors are the newest four, in order
+        assert [e.data["i"] for e in rec.events()] == [6, 7, 8, 9]
+        # sequence numbers keep counting across the drop
+        assert [e.seq for e in rec.events()] == [7, 8, 9, 10]
+
+    def test_clear_resets_drop_accounting(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        rec.record("after")
+        assert len(rec) == 1
+        assert rec.dropped == 0
+        assert rec.recorded == 11  # total-appended tally keeps running
+
+    def test_disabled_recorder_is_a_noop(self):
+        rec = FlightRecorder(capacity=4, enabled=False)
+        rec.record("tick")
+        assert len(rec) == 0
+        assert rec.recorded == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_concurrent_writers_lose_nothing(self):
+        rec = FlightRecorder(capacity=100_000)
+        n_threads, per_thread = 8, 2_000
+
+        def writer(tid):
+            for i in range(per_thread):
+                rec.record("w", tid=tid, i=i)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert rec.recorded == total
+        assert len(rec) == total
+        assert rec.dropped == 0
+        # every event arrived exactly once and seq numbers are unique
+        seqs = [e.seq for e in rec.events()]
+        assert len(set(seqs)) == total
+        per_tid = {}
+        for e in rec.events():
+            per_tid[e.data["tid"]] = per_tid.get(e.data["tid"], 0) + 1
+        assert per_tid == {t: per_thread for t in range(n_threads)}
+
+
+class TestDumps:
+    def test_dump_round_trips_through_json(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a", x=1)
+        dump = json.loads(rec.dump_json())
+        assert dump["format"] == "repro-flight-recorder"
+        assert dump["version"] == 1
+        assert dump["capacity"] == 8
+        assert dump["events"][0]["kind"] == "a"
+        assert dump["events"][0]["x"] == 1
+
+    def test_dump_json_writes_file(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a")
+        path = tmp_path / "dump.json"
+        rec.dump_json(path)
+        assert json.loads(path.read_text())["events"][0]["kind"] == "a"
+
+    def test_dump_on_exception(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        rec.record("before")
+        path = tmp_path / "crash.json"
+        with pytest.raises(RuntimeError, match="boom"):
+            with rec.dump_on_exception(path):
+                rec.record("inside")
+                raise RuntimeError("boom")
+        dump = json.loads(path.read_text())
+        kinds = [e["kind"] for e in dump["events"]]
+        assert kinds == ["before", "inside", EV_ERROR]
+        assert dump["events"][-1]["error"] == "RuntimeError"
+
+    def test_dump_on_exception_passthrough(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        path = tmp_path / "crash.json"
+        with rec.dump_on_exception(path):
+            rec.record("fine")
+        assert not path.exists()  # no exception, no dump
+
+    def test_summary_mentions_steps(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(EV_STEP_DISPATCH, op="1q", nq=3, ns=1000, branches=1)
+        text = rec.summary()
+        assert "1q" in text
+        assert "1 event(s) retained" in text
+
+
+class TestSimulationEvents:
+    def test_simulate_populates_global_recorder(self):
+        rec = flight_recorder()
+        rec.clear()
+        clear_plan_cache()
+        c = _layered_1q_circuit(4, 2)
+        simulate(c, "0000")
+        counts = rec.counts_by_kind()
+        assert counts.get(EV_PLAN_MISS) == 1
+        assert counts.get(EV_PLAN_COMPILE) == 1
+        assert counts.get(EV_STEP_DISPATCH, 0) > 0
+        simulate(c, "0000")
+        assert rec.counts_by_kind().get(EV_PLAN_HIT) == 1
+        # dispatch events carry the op kind and a wall-ns payload
+        steps = rec.events(EV_STEP_DISPATCH)
+        assert {e.data["op"] for e in steps} <= {
+            "1q", "diag", "kq", "controlled", "measure", "reset"
+        }
+        assert all(e.data["ns"] >= 0 for e in steps)
+
+
+class TestOverheadGuard:
+    def test_recorder_overhead_within_five_percent(self):
+        """Always-on recording must cost <= 5% on the BENCH_plan
+        12-qubit planned workload (the ISSUE acceptance bound)."""
+        clear_plan_cache()
+        circuit = _layered_1q_circuit(12, 12)
+        start = "0" * 12
+        opts = SimulationOptions()
+        simulate(circuit, start, options=opts)  # warm the plan cache
+        rec = flight_recorder()
+
+        def best_of(n):
+            best = float("inf")
+            for _ in range(n):
+                t0 = perf_counter()
+                simulate(circuit, start, options=opts)
+                best = min(best, perf_counter() - t0)
+            return best
+
+        was_enabled = rec.enabled
+        try:
+            rec.enabled = False
+            t_off = best_of(5)
+            rec.enabled = True
+            t_on = best_of(5)
+        finally:
+            rec.enabled = was_enabled
+        # 5% envelope plus 1 ms of scheduler noise floor
+        assert t_on <= t_off * 1.05 + 1e-3, (
+            f"recorder overhead too high: on={t_on:.6f}s "
+            f"off={t_off:.6f}s ({t_on / t_off - 1:+.1%})"
+        )
