@@ -33,9 +33,19 @@ print("complete Grover circuit (blocks):")
 print(gc.draw())
 print()
 
-simulation = gc.simulate("00")
+# run it through the execution core: submit() returns a Job that
+# carries the compiled plan, per-stage timings and the result
+from repro.execution import ExecutionRequest, default_executor
+
+job = default_executor().submit(ExecutionRequest(gc, start="00"))
+simulation = job.result()
+print("job:          ", job)
 print("results:      ", simulation.results)
 print("probabilities:", simulation.probabilities)
+print(
+    f"(compiled in {job.timings.compile_seconds * 1e3:.2f} ms, "
+    f"executed in {job.timings.execute_seconds * 1e3:.2f} ms)"
+)
 print()
 
 # general n ---------------------------------------------------------------------

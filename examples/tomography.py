@@ -21,9 +21,13 @@ from repro.algorithms import (
 v = np.array([1 / np.sqrt(2), 1j / np.sqrt(2)])
 
 # the paper's workflow, step by step -----------------------------------------
+# (submitted through the execution core; QCircuit.simulate(v) is the
+# equivalent one-line wrapper over the same submit)
+from repro.execution import ExecutionRequest, default_executor
+
 meas_x = qclab.QCircuit(1)
 meas_x.push_back(qclab.Measurement(0, "x"))
-res_x = meas_x.simulate(v)
+res_x = default_executor().run(ExecutionRequest(meas_x, start=v))
 shots = 1000
 counts_x = res_x.counts(shots, seed=1)  # the paper's rng(1)
 print("X-basis counts over 1000 shots:", counts_x)

@@ -32,9 +32,13 @@ Sub-packages
 ``repro.observability``
     Tracing spans, metrics, Chrome-trace/Prometheus exporters and
     per-run profile reports (``instrument()``/``Simulation.report()``).
+``repro.execution``
+    The execution core every run entry point routes through:
+    ``Executor.submit(ExecutionRequest) -> Job``.
 """
 
 from repro import compilers, noise, observability, qgates
+from repro.execution import ExecutionRequest, Executor, Job, default_executor
 from repro.angle import QAngle, QRotation, turnover
 from repro.circuit import Barrier, BoundCircuit, Measurement, QCircuit, Reset
 from repro.exceptions import UnboundParameterError
@@ -92,5 +96,9 @@ __all__ = [
     "noise",
     "compilers",
     "observability",
+    "Executor",
+    "ExecutionRequest",
+    "Job",
+    "default_executor",
     "__version__",
 ]

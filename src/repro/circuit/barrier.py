@@ -32,19 +32,24 @@ class Barrier(QObject):
 
     @property
     def qubits(self) -> tuple:
+        """The spanned qubits, ascending."""
         return self._qubits
 
     def draw_spec(self) -> DrawSpec:
+        """One connected ``barrier`` column across the spanned qubits."""
         el = DrawElement("barrier")
         return DrawSpec(
             elements={q: el for q in self._qubits}, connect=True
         )
 
     def toQASM(self, offset: int = 0) -> str:
+        """The OpenQASM ``barrier`` statement, qubits shifted by
+        ``offset``."""
         regs = ",".join(f"q[{q + offset}]" for q in self._qubits)
         return f"barrier {regs};"
 
     def shifted(self, offset: int) -> "Barrier":
+        """A copy spanning ``qubits + offset``."""
         return Barrier([q + int(offset) for q in self._qubits])
 
     def __eq__(self, other):

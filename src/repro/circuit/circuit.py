@@ -93,6 +93,7 @@ class QCircuit(QObject):
 
     @property
     def qubits(self) -> tuple:
+        """The circuit's qubit indices (offset-shifted, ascending)."""
         return tuple(range(self._offset, self._offset + self._nb_qubits))
 
     # -- container API ---------------------------------------------------------
@@ -221,6 +222,7 @@ class QCircuit(QObject):
                 "matrix is undefined for circuits with measurements/resets"
             )
         from repro.exceptions import UnboundParameterError
+        from repro.execution.dispatch import run_unitary
         from repro.simulation.plan import get_plan
 
         plan, _stats = get_plan(self, "kernel", np.complex128)
@@ -229,13 +231,7 @@ class QCircuit(QObject):
                 "matrix is undefined for a circuit with unbound "
                 "parameters; bind(...) values first"
             )
-        dim = 1 << self._nb_qubits
-        state = np.eye(dim, dtype=np.complex128)
-        for step in plan.steps:
-            state = plan.engine.apply_planned(
-                state, step, self._nb_qubits
-            )
-        return state
+        return run_unitary(plan)
 
     def ctranspose(self) -> "QCircuit":
         """The inverse circuit: reversed order, each gate conjugated."""
@@ -408,6 +404,8 @@ class QCircuit(QObject):
         return self._block_label
 
     def draw_spec(self) -> DrawSpec:
+        """One connected block box (used when this circuit is nested
+        inside a parent circuit as a sub-circuit)."""
         el = DrawElement("block", self._block_label)
         return DrawSpec(
             elements={q: el for q in self.qubits}, connect=True

@@ -99,6 +99,7 @@ class Measurement(QObject):
 
     @property
     def qubits(self) -> tuple:
+        """One-tuple of the measured qubit (the ``QObject`` protocol)."""
         return (self._qubit,)
 
     @property
@@ -124,12 +125,15 @@ class Measurement(QObject):
     # -- QObject ------------------------------------------------------------
 
     def draw_spec(self) -> DrawSpec:
+        """A single ``meas`` box labelled with the basis."""
         return DrawSpec(
             elements={self._qubit: DrawElement("meas", self._label)},
             connect=False,
         )
 
     def toQASM(self, offset: int = 0) -> str:
+        """OpenQASM for the measurement: the basis-change gate(s) (if
+        any) followed by ``measure``, qubits shifted by ``offset``."""
         q = self._qubit + offset
         lines = []
         if self._basis == "x":
@@ -146,6 +150,7 @@ class Measurement(QObject):
         return "\n".join(lines)
 
     def shifted(self, offset: int) -> "Measurement":
+        """A copy measuring ``qubit + offset`` in the same basis."""
         import copy
 
         out = copy.copy(self)

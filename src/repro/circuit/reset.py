@@ -52,6 +52,7 @@ class Reset(QObject):
 
     @property
     def qubits(self) -> tuple:
+        """One-tuple of the reset qubit (the ``QObject`` protocol)."""
         return (self._qubit,)
 
     @property
@@ -60,15 +61,19 @@ class Reset(QObject):
         return self._record
 
     def draw_spec(self) -> DrawSpec:
+        """A single ``|0>`` reset box on the reset qubit."""
         return DrawSpec(
             elements={self._qubit: DrawElement("reset", "|0⟩")},
             connect=False,
         )
 
     def toQASM(self, offset: int = 0) -> str:
+        """The OpenQASM ``reset`` statement, qubit shifted by
+        ``offset``."""
         return f"reset q[{self._qubit + offset}];"
 
     def shifted(self, offset: int) -> "Reset":
+        """A copy resetting ``qubit + offset``."""
         import copy
 
         out = copy.copy(self)

@@ -358,6 +358,53 @@ def _check_noisy_counts(case: GeneratedCase, config: OracleConfig):
     ]
 
 
+def _executor_replay():
+    def replay(circuit, noise):
+        from repro.execution import DONE, ExecutionRequest, default_executor
+
+        ref = _simulate(circuit, "kernel")
+        job = default_executor().submit(
+            ExecutionRequest(
+                circuit,
+                start=_start(circuit),
+                options=SimulationOptions(backend="kernel"),
+            )
+        )
+        if job.state != DONE:
+            return STRUCTURAL_MISMATCH
+        if job.timings.total_seconds is None or job.stats() is None:
+            return STRUCTURAL_MISMATCH
+        dev, _ = _branch_deviation(ref, job.result())
+        return dev
+
+    return replay
+
+
+def _check_executor(case: GeneratedCase, config: OracleConfig):
+    """The execution-core contract: a directly submitted job finishes
+    ``DONE`` with timings/stats populated and materializes branches
+    bit-identical to the :func:`simulate` wrapper."""
+    tol = config.tol("statevector")
+    replay = _executor_replay()
+    dev = replay(case.circuit, None)
+    if dev <= tol:
+        return []
+    return [
+        CheckFailure(
+            check="executor:submit",
+            seed=case.seed,
+            deviation=dev,
+            tolerance=tol,
+            message=(
+                "Executor.submit disagrees with the simulate() "
+                f"wrapper (or broke the Job contract): max |delta| = "
+                f"{dev:.3e}"
+            ),
+            replay=replay,
+        )
+    ]
+
+
 def _mps_eligible(circuit) -> bool:
     from repro.gates.base import QGate
 
@@ -735,7 +782,7 @@ def run_oracle(
     failures: List[CheckFailure] = []
     nb_checks = 0
 
-    groups = [(True, _check_statevector)]
+    groups = [(True, _check_statevector), (True, _check_executor)]
     if config.check_density and case.noise is None:
         groups.append((True, _check_density))
     if config.check_trajectory:

@@ -1,0 +1,164 @@
+"""The :class:`Job` handle — one submitted execution, observable end to end.
+
+A job is what :meth:`~repro.execution.Executor.submit` returns: a
+small state machine that travels through the pipeline stages
+
+``PENDING -> COMPILED -> RUNNING -> DONE`` (or ``FAILED``)
+
+carrying the compiled plan, the per-stage wall timings, the run
+statistics and — crucially — any error *captured* instead of raised
+mid-pipeline.  Callers decide when (and whether) an error surfaces by
+calling :meth:`Job.result`, which re-raises the original exception
+with its traceback intact.  This is the decoupling the service
+gateway needs: submission never throws, and a finished job is a plain
+value that can cross thread (and, later, process/network) boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "PENDING",
+    "COMPILED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobTimings",
+    "Job",
+]
+
+#: Job lifecycle states, in pipeline order.
+PENDING = "PENDING"
+COMPILED = "COMPILED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+
+#: Every legal state, in lifecycle order.
+JOB_STATES = (PENDING, COMPILED, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class JobTimings:
+    """Per-stage wall timings of one job (seconds).
+
+    ``submitted_at`` is ``perf_counter``-relative (process-local);
+    ``compile_seconds`` covers plan lookup + compilation (zero on a
+    cache hit does *not* hold — the lookup itself is timed),
+    ``execute_seconds`` covers the dispatch loop, and
+    ``total_seconds`` the whole submit pipeline including result
+    materialization.
+    """
+
+    submitted_at: float = field(default_factory=perf_counter)
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+class Job:
+    """Handle for one execution submitted to an :class:`Executor`.
+
+    The executor drives the state transitions; user code observes them
+    through :attr:`state` and collects the outcome through
+    :meth:`result` / :meth:`stats` / :attr:`timings`.  A job whose
+    pipeline raised holds the exception in :attr:`error` (state
+    ``FAILED``) — nothing escapes ``submit()`` itself.
+    """
+
+    __slots__ = (
+        "id", "request", "state", "plan", "error", "timings",
+        "_result", "_stats", "_instrumentation", "_stage",
+    )
+
+    def __init__(self, request, job_id: int = 0):
+        self.id = job_id
+        self.request = request
+        self.state = PENDING
+        #: the :class:`~repro.simulation.CompiledPlan` once compiled
+        #: (``None`` for uncompiled / walk-the-tree runs).
+        self.plan = None
+        #: the captured exception when :attr:`state` is ``FAILED``.
+        self.error: Optional[BaseException] = None
+        self.timings = JobTimings()
+        self._result: Any = None
+        self._stats = None
+        self._instrumentation = None
+        #: pipeline stage label for error attribution (``where`` on the
+        #: recorder's ``error`` event).
+        self._stage: Optional[str] = None
+
+    # -- state transitions (driven by the executor) -------------------------
+
+    def _compiled(self, plan, stats) -> None:
+        self.plan = plan
+        self._stats = stats
+        self.state = COMPILED
+
+    def _running(self) -> None:
+        self.state = RUNNING
+
+    def _finish(self, result) -> None:
+        self._result = result
+        self.state = DONE
+
+    def _fail(self, error: BaseException) -> None:
+        self.error = error
+        self.state = FAILED
+
+    # -- outcome ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state (DONE or FAILED)."""
+        return self.state in (DONE, FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job finished successfully."""
+        return self.state == DONE
+
+    def result(self):
+        """The materialized result of a finished job.
+
+        Returns the kind-specific result object (a
+        :class:`~repro.simulation.Simulation`,
+        :class:`~repro.simulation.DensitySimulation`,
+        :class:`~repro.noise.trajectory.BatchedTrajectoryResult`, ...).
+        Re-raises the captured exception — original traceback
+        preserved — when the pipeline failed, and raises
+        :class:`~repro.exceptions.SimulationError` on a job that never
+        ran to completion.
+        """
+        if self.state == FAILED:
+            raise self.error
+        if self.state != DONE:
+            raise SimulationError(
+                f"job {self.id} has no result (state {self.state})"
+            )
+        return self._result
+
+    def stats(self):
+        """The run's :class:`~repro.simulation.PlanStats` (``None``
+        until the compile stage finished)."""
+        return self._stats
+
+    def report(self):
+        """The job's :class:`~repro.observability.ProfileReport` —
+        instrumented spans/metrics when the run was traced, otherwise
+        the plan-stats timings alone."""
+        from repro.observability.exporters import ProfileReport
+
+        if self._instrumentation is not None:
+            return self._instrumentation.report(stats=self._stats)
+        return ProfileReport(stats=self._stats)
+
+    def __repr__(self) -> str:
+        kind = getattr(self.request, "kind", "?")
+        return f"Job(id={self.id}, kind={kind!r}, state={self.state})"

@@ -7,7 +7,9 @@ probabilities and each noise channel applies one Kraus operator drawn
 with probability ``||K_i psi||^2``.  Averaging over shots reproduces
 the open-system statistics exactly, at state-vector cost per shot.
 
-Two execution engines share this module:
+Two entry points share this module — both thin wrappers submitting a
+request to the unified execution core (the sampling loops themselves
+live in :mod:`repro.execution.trajectory`):
 
 :func:`run_trajectory`
     One shot, one ``(2**n,)`` state — the reference path.
@@ -28,35 +30,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.circuit.measurement import Measurement
-from repro.exceptions import SimulationError
 from repro.noise.model import NoiseModel
-from repro.observability.backend import InstrumentedBackend
-from repro.observability.recorder import (
-    EV_BATCH_EXECUTE,
-    EV_TRAJECTORY,
-    record_event,
-)
 from repro.observability.instrument import (
     activate,
     resolve_instrumentation,
 )
-from repro.observability.metrics import (
-    BATCH_SIZE,
-    BATCH_WORKERS,
-    BATCHED_SHOTS,
-    RNG_DRAWS,
-    SHOTS_SAMPLED,
-    TRAJECTORIES,
-)
+from repro.observability.metrics import SHOTS_SAMPLED
 from repro.simulation.options import SimulationOptions
-from repro.simulation.plan import GATE, MEASURE, get_plan
-from repro.simulation.state import initial_state
 
 __all__ = [
     "TrajectoryResult",
@@ -75,41 +59,27 @@ class TrajectoryResult:
     state: np.ndarray
 
 
-def _apply_kraus(engine, state, kraus, qubit, nb_qubits, rng):
-    """Select and apply one Kraus operator (Monte-Carlo branch)."""
-    if len(kraus) == 1:
-        out = engine.apply(state, kraus[0], [qubit], nb_qubits)
-        norm = np.linalg.norm(out)
-        return out / norm
-    r = float(rng.random())
-    acc = 0.0
-    for k in kraus:
-        candidate = engine.apply(state.copy(), k, [qubit], nb_qubits)
-        p = float(np.linalg.norm(candidate) ** 2)
-        acc += p
-        if r < acc or k is kraus[-1]:
-            if p <= 1e-300:
-                continue  # zero-probability op; keep scanning
-            return candidate / np.sqrt(p)
-    raise SimulationError("Kraus sampling failed to select an operator")
+@dataclass
+class BatchedTrajectoryResult:
+    """All sampled paths of one batched run.
 
+    ``results`` lists the per-shot outcome strings in shot order —
+    identical to what a serial :func:`run_trajectory` loop sharing one
+    generator would produce for the same seed.  ``counts`` aggregates
+    them into a histogram ordered lexicographically by bitstring.
+    """
 
-def _sample_measurement(engine, state, meas, qubit, nb_qubits, rng):
-    """Collapse one measurement randomly; returns (outcome, state)."""
-    if meas.basis != "z":
-        state = engine.apply(state, meas.basis_change, [qubit], nb_qubits)
-    left = 1 << qubit
-    view = state.reshape(left, 2, -1)
-    p1 = float(np.sum(np.abs(view[:, 1, :]) ** 2))
-    outcome = 1 if rng.random() < p1 else 0
-    prob = p1 if outcome == 1 else 1.0 - p1
-    view[:, 1 - outcome, :] = 0.0
-    state = state * (1.0 / np.sqrt(prob))
-    if meas.basis != "z":
-        state = engine.apply(
-            state, meas.basis_change_dagger, [qubit], nb_qubits
-        )
-    return outcome, state
+    results: List[str]
+    shots: int
+    batch_size: int
+    workers: int
+    #: Final ``(shots, 2**n)`` states when requested, else ``None``.
+    states: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """``{outcome: count}``, insertion-ordered by bitstring."""
+        return dict(sorted(Counter(self.results).items()))
 
 
 def _resolve_options(options, backend):
@@ -122,47 +92,6 @@ def _resolve_options(options, backend):
     if backend is not None:
         opts = opts.replace(backend=backend)
     return opts
-
-
-def _channel_map(circuit, noise: NoiseModel) -> dict:
-    """``{gate class: NoiseChannel}`` for every noisy gate of the circuit.
-
-    Built by running the ``inject_noise`` IR pass over the canonical
-    (revision-cached) lowering.  :func:`noisy_counts` builds this once
-    per batch, so every shot resolves channels with one dict lookup per
-    gate instead of re-matching the noise model's rules.
-
-    Keyed by gate *class*, matching :meth:`NoiseModel.channel_for`'s
-    resolution — deliberately not by gate identity: the plan cache may
-    hand back a plan compiled from a different but signature-equal
-    circuit, whose step back-pointers are different objects of the same
-    classes.
-    """
-    if noise.is_trivial:
-        return {}
-    from repro.ir.lower import lower
-    from repro.ir.passes import InjectNoise, PassManager
-
-    program = PassManager([InjectNoise(noise)]).run(lower(circuit))
-    return {
-        type(irop.op): irop.channel
-        for irop in program
-        if irop.channel is not None
-    }
-
-
-class _CountingRNG:
-    """Thin proxy counting ``random()`` draws (instrumented runs)."""
-
-    __slots__ = ("rng", "draws")
-
-    def __init__(self, rng):
-        self.rng = rng
-        self.draws = 0
-
-    def random(self):
-        self.draws += 1
-        return self.rng.random()
 
 
 def run_trajectory(
@@ -195,309 +124,23 @@ def run_trajectory(
         disabled automatically while a non-trivial noise model is
         active (channels attach per source gate).
     """
+    from repro.execution.executor import default_executor
+    from repro.execution.request import TRAJECTORY, ExecutionRequest
+
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
-    noise = noise or NoiseModel()
-    opts = _resolve_options(options, backend)
-    nb_qubits = circuit.nbQubits
-    channels = (
-        _channels if _channels is not None
-        else _channel_map(circuit, noise)
+    job = default_executor().submit(
+        ExecutionRequest(
+            circuit,
+            kind=TRAJECTORY,
+            start=start,
+            options=_resolve_options(options, backend),
+            seed=rng,
+            noise=noise,
+            channels=_channels,
+        )
     )
-    inst = resolve_instrumentation(opts.trace, opts.metrics)
-
-    t_traj = perf_counter()
-    with activate(inst), inst.span(
-        "trajectory", nb_qubits=nb_qubits
-    ) as span:
-        use_fuse = opts.fuse and noise.is_trivial
-        plan, _stats = get_plan(
-            circuit, opts.backend, opts.dtype, fuse=use_fuse
-        )
-        engine = plan.engine
-        if inst.enabled:
-            span.set(backend=engine.name)
-            engine = InstrumentedBackend(engine, inst.metrics)
-            inst.metrics.counter(
-                TRAJECTORIES, "Monte-Carlo trajectories executed"
-            ).inc()
-            rng = _CountingRNG(rng)
-        if start is None:
-            start = "0" * nb_qubits
-        state = initial_state(start, nb_qubits, dtype=opts.dtype)
-        outcomes = []
-
-        for step in plan.steps:
-            if step.kind == GATE:
-                state = engine.apply_planned(state, step, nb_qubits)
-                channel = (
-                    channels.get(type(step.op))
-                    if step.op is not None
-                    else None
-                )
-                if channel is not None:
-                    for q in step.noise_qubits:
-                        state = _apply_kraus(
-                            engine, state, channel.kraus, q, nb_qubits,
-                            rng,
-                        )
-                continue
-            if step.kind == MEASURE:
-                outcome, state = _sample_measurement(
-                    engine, state, step.op, step.qubit, nb_qubits, rng
-                )
-                if noise.readout_error > 0.0 and (
-                    rng.random() < noise.readout_error
-                ):
-                    outcome = 1 - outcome
-                outcomes.append(str(outcome))
-                continue
-            # RESET
-            meas = Measurement(step.op.qubit)
-            outcome, state = _sample_measurement(
-                engine, state, meas, step.qubit, nb_qubits, rng
-            )
-            if outcome == 1:
-                from repro.gates import PauliX
-
-                state = engine.apply(
-                    state, PauliX(0).matrix, [step.qubit], nb_qubits
-                )
-            if step.op.record:
-                outcomes.append(str(outcome))
-
-        if isinstance(rng, _CountingRNG) and rng.draws:
-            inst.metrics.counter(
-                RNG_DRAWS, "random draws consumed"
-            ).inc(rng.draws)
-        record_event(
-            EV_TRAJECTORY,
-            nq=nb_qubits,
-            ns=int((perf_counter() - t_traj) * 1e9),
-        )
-        return TrajectoryResult(result="".join(outcomes), state=state)
-
-
-# -- the batched engine ------------------------------------------------------
-
-#: Auto batch sizing: keep one batch around this many amplitudes ...
-_BATCH_TARGET_ELEMS = 1 << 22
-#: ... and never wider than this many rows.
-_BATCH_MAX_ROWS = 4096
-
-
-@dataclass
-class BatchedTrajectoryResult:
-    """All sampled paths of one batched run.
-
-    ``results`` lists the per-shot outcome strings in shot order —
-    identical to what a serial :func:`run_trajectory` loop sharing one
-    generator would produce for the same seed.  ``counts`` aggregates
-    them into a histogram ordered lexicographically by bitstring.
-    """
-
-    results: List[str]
-    shots: int
-    batch_size: int
-    workers: int
-    #: Final ``(shots, 2**n)`` states when requested, else ``None``.
-    states: Optional[np.ndarray] = field(default=None, repr=False)
-
-    @property
-    def counts(self) -> Dict[str, int]:
-        """``{outcome: count}``, insertion-ordered by bitstring."""
-        return dict(sorted(Counter(self.results).items()))
-
-
-def _default_batch_size(shots: int, nb_qubits: int) -> int:
-    """Memory-aware batch width: aim for ``_BATCH_TARGET_ELEMS``
-    amplitudes per batch, capped at ``_BATCH_MAX_ROWS`` rows."""
-    rows = max(1, _BATCH_TARGET_ELEMS >> nb_qubits)
-    return max(1, min(int(shots), rows, _BATCH_MAX_ROWS))
-
-
-def _draws_per_shot(plan, channels: dict, noise: NoiseModel) -> int:
-    """Uniform variates one trajectory consumes, in plan order.
-
-    This is the contract that keeps the batched engine shot-for-shot
-    reproducible against the serial loop: every shot consumes a FIXED
-    number of draws (Kraus sites with >1 operator, measurements,
-    readout checks, resets), so shot ``i`` owns variates
-    ``[i*D, (i+1)*D)`` of the stream in both engines.
-    """
-    draws = 0
-    readout = 1 if noise.readout_error > 0.0 else 0
-    for step in plan.steps:
-        if step.kind == GATE:
-            channel = (
-                channels.get(type(step.op))
-                if step.op is not None
-                else None
-            )
-            if channel is not None and len(channel.kraus) > 1:
-                draws += len(step.noise_qubits)
-        elif step.kind == MEASURE:
-            draws += 1 + readout
-        else:  # RESET
-            draws += 1
-    return draws
-
-
-def _apply_kraus_batched(engine, states, kraus, qubit, nb_qubits, r):
-    """Vectorized Monte-Carlo Kraus branch over a ``(B, dim)`` batch.
-
-    ``r`` is one uniform variate per row (``None`` for single-operator
-    channels, which draw nothing).  Selection replays the serial
-    scan — first operator with cumulative probability past ``r`` (or
-    the last), skipping zero-probability branches — via boolean masks.
-    """
-    if len(kraus) == 1:
-        out = engine.apply_batched(states, kraus[0], [qubit], nb_qubits)
-        norms = np.linalg.norm(out, axis=1)
-        out /= norms[:, None]
-        return out
-    batch = states.shape[0]
-    acc = np.zeros(batch)
-    assigned = np.zeros(batch, dtype=bool)
-    out = np.empty_like(states)
-    last = len(kraus) - 1
-    for i, k in enumerate(kraus):
-        candidate = engine.apply_batched(
-            states.copy(), k, [qubit], nb_qubits
-        )
-        p = np.linalg.norm(candidate, axis=1) ** 2
-        acc += p
-        sel = ~assigned & ((r < acc) | (i == last)) & (p > 1e-300)
-        if sel.any():
-            out[sel] = candidate[sel] / np.sqrt(p[sel])[:, None]
-            assigned |= sel
-    if not assigned.all():
-        raise SimulationError("Kraus sampling failed to select an operator")
-    return out
-
-
-def _sample_measurement_batched(engine, states, meas, qubit, nb_qubits, r):
-    """Collapse one measurement across the batch; returns
-    ``(outcomes, states)`` with ``outcomes`` a ``(B,)`` int array."""
-    if meas.basis != "z":
-        states = engine.apply_batched(
-            states, meas.basis_change, [qubit], nb_qubits
-        )
-    batch = states.shape[0]
-    left = 1 << qubit
-    view = states.reshape(batch, left, 2, -1)
-    p1 = np.sum(np.abs(view[:, :, 1, :]) ** 2, axis=(1, 2))
-    outcomes = (r < p1).astype(np.int64)
-    ones = outcomes.astype(bool)
-    view[ones, :, 0, :] = 0.0
-    view[~ones, :, 1, :] = 0.0
-    prob = np.where(ones, p1, 1.0 - p1)
-    states *= (1.0 / np.sqrt(prob))[:, None]
-    if meas.basis != "z":
-        states = engine.apply_batched(
-            states, meas.basis_change_dagger, [qubit], nb_qubits
-        )
-    return outcomes, states
-
-
-def _bit_matrix_to_strings(columns: list, batch: int) -> List[str]:
-    """Recorded outcome columns -> per-shot result strings."""
-    if not columns:
-        return [""] * batch
-    mat = np.stack(columns, axis=1).astype(np.uint8) + ord("0")
-    return [bytes(row).decode("ascii") for row in mat]
-
-
-def _execute_batch(plan, engine, channels, noise, start, draws, dtype):
-    """Run one batch of trajectories through a compiled plan.
-
-    ``draws`` is the pre-drawn ``(B, draws_per_shot)`` uniform matrix;
-    column ``j`` holds every row's ``j``-th stochastic choice, matching
-    the serial engine's shot-major consumption of the same stream.
-    """
-    nb_qubits = plan.nb_qubits
-    batch = draws.shape[0]
-    base = initial_state(
-        start if start is not None else "0" * nb_qubits,
-        nb_qubits,
-        dtype=dtype,
-    )
-    states = np.tile(base, (batch, 1))
-    col = 0
-    recorded: list = []
-    x_kernel = None
-
-    for step in plan.steps:
-        if step.kind == GATE:
-            states = engine.apply_planned_batched(states, step, nb_qubits)
-            channel = (
-                channels.get(type(step.op))
-                if step.op is not None
-                else None
-            )
-            if channel is not None:
-                kraus = channel.kraus
-                needs_draw = len(kraus) > 1
-                for q in step.noise_qubits:
-                    r = None
-                    if needs_draw:
-                        r = draws[:, col]
-                        col += 1
-                    states = _apply_kraus_batched(
-                        engine, states, kraus, q, nb_qubits, r
-                    )
-            continue
-        if step.kind == MEASURE:
-            outcomes, states = _sample_measurement_batched(
-                engine, states, step.op, step.qubit, nb_qubits,
-                draws[:, col],
-            )
-            col += 1
-            if noise.readout_error > 0.0:
-                flips = draws[:, col] < noise.readout_error
-                col += 1
-                outcomes = outcomes ^ flips.astype(np.int64)
-            recorded.append(outcomes)
-            continue
-        # RESET
-        meas = Measurement(step.op.qubit)
-        outcomes, states = _sample_measurement_batched(
-            engine, states, meas, step.qubit, nb_qubits, draws[:, col]
-        )
-        col += 1
-        ones = outcomes.astype(bool)
-        if ones.any():
-            if x_kernel is None:
-                from repro.gates import PauliX
-
-                x_kernel = PauliX(0).matrix
-            states[ones] = engine.apply_batched(
-                np.ascontiguousarray(states[ones]), x_kernel,
-                [step.qubit], nb_qubits,
-            )
-        if step.op.record:
-            recorded.append(outcomes)
-
-    return _bit_matrix_to_strings(recorded, batch), states
-
-
-def _batch_worker(payload):
-    """Process-pool entry point: run one pre-seeded batch.
-
-    Receives everything it needs (circuit, channels, the pre-drawn
-    uniform matrix) so results do not depend on which worker — or how
-    many workers — execute the batch.  Compiled plans memoize per
-    process, so a worker pays compilation at most once per circuit.
-    """
-    (circuit, noise, channels, start, opts, use_fuse, draws,
-     keep_states) = payload
-    plan, _stats = get_plan(
-        circuit, opts.backend, opts.dtype, fuse=use_fuse
-    )
-    results, states = _execute_batch(
-        plan, plan.engine, channels, noise, start, draws, opts.dtype
-    )
-    return results, (states if keep_states else None)
+    return job.result()
 
 
 def run_trajectories_batched(
@@ -531,128 +174,30 @@ def run_trajectories_batched(
     ``return_states=True`` additionally stacks the final states into a
     ``(shots, 2**n)`` array on the result (memory permitting).
     """
+    from repro.execution.executor import default_executor
+    from repro.execution.request import (
+        TRAJECTORY_BATCH,
+        ExecutionRequest,
+    )
+
     rng = (
         seed
         if isinstance(seed, np.random.Generator)
         else np.random.default_rng(seed)
     )
-    noise = noise or NoiseModel()
-    opts = _resolve_options(options, backend)
-    nb_qubits = circuit.nbQubits
-    shots = int(shots)
-    if shots < 0:
-        raise SimulationError(f"shots must be >= 0, got {shots}")
-    inst = resolve_instrumentation(opts.trace, opts.metrics)
-
-    with activate(inst), inst.span(
-        "batch.trajectories", shots=shots, nb_qubits=nb_qubits
-    ) as span:
-        use_fuse = opts.fuse and noise.is_trivial
-        plan, _stats = get_plan(
-            circuit, opts.backend, opts.dtype, fuse=use_fuse
+    job = default_executor().submit(
+        ExecutionRequest(
+            circuit,
+            kind=TRAJECTORY_BATCH,
+            start=start,
+            options=_resolve_options(options, backend),
+            seed=rng,
+            noise=noise,
+            shots=int(shots),
+            return_states=bool(return_states),
         )
-        channels = _channel_map(circuit, noise)
-        draws_per_shot = _draws_per_shot(plan, channels, noise)
-        batch_size = opts.batch_size or _default_batch_size(
-            shots, nb_qubits
-        )
-        sizes = [
-            min(batch_size, shots - done)
-            for done in range(0, shots, batch_size)
-        ] or []
-        # the parent owns the stream: every batch's uniforms are drawn
-        # here, in order, so workers receive randomness instead of seeds
-        draw_blocks = [
-            rng.random((size, draws_per_shot)) for size in sizes
-        ]
-
-        workers = min(int(opts.max_workers), max(1, len(sizes)))
-        if inst.enabled:
-            # instrumented runs execute in-process so every kernel
-            # application lands in this run's registry
-            workers = 1
-        engine = plan.engine
-        if inst.enabled:
-            span.set(
-                backend=engine.name,
-                batch_size=batch_size,
-                workers=workers,
-                draws_per_shot=draws_per_shot,
-            )
-            engine = InstrumentedBackend(engine, inst.metrics)
-            inst.metrics.counter(
-                TRAJECTORIES, "Monte-Carlo trajectories executed"
-            ).inc(shots)
-            inst.metrics.counter(
-                BATCHED_SHOTS, "shots executed by the batched engine"
-            ).inc(shots)
-            inst.metrics.gauge(
-                BATCH_SIZE, "high-water trajectory batch size"
-            ).set_max(batch_size)
-            inst.metrics.gauge(
-                BATCH_WORKERS, "high-water batch worker fan-out"
-            ).set_max(workers)
-            if shots and draws_per_shot:
-                inst.metrics.counter(
-                    RNG_DRAWS, "random draws consumed"
-                ).inc(shots * draws_per_shot)
-
-        results: List[str] = []
-        state_blocks: List[np.ndarray] = []
-        if workers > 1:
-            import concurrent.futures
-
-            child_opts = opts.replace(trace=None, metrics=None)
-            payloads = [
-                (circuit, noise, channels, start, child_opts,
-                 use_fuse, block, return_states)
-                for block in draw_blocks
-            ]
-            t_pool = perf_counter()
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                for res, states in pool.map(_batch_worker, payloads):
-                    results.extend(res)
-                    if return_states:
-                        state_blocks.append(states)
-            # child processes own their rings; one parent-side event
-            # summarizes the whole fan-out
-            record_event(
-                EV_BATCH_EXECUTE,
-                batch=shots,
-                workers=workers,
-                ns=int((perf_counter() - t_pool) * 1e9),
-            )
-        else:
-            for block in draw_blocks:
-                t_block = perf_counter()
-                with inst.span("batch.execute", batch=block.shape[0]):
-                    res, states = _execute_batch(
-                        plan, engine, channels, noise, start, block,
-                        opts.dtype,
-                    )
-                record_event(
-                    EV_BATCH_EXECUTE,
-                    batch=block.shape[0],
-                    workers=1,
-                    ns=int((perf_counter() - t_block) * 1e9),
-                )
-                results.extend(res)
-                if return_states:
-                    state_blocks.append(states)
-
-        return BatchedTrajectoryResult(
-            results=results,
-            shots=shots,
-            batch_size=batch_size,
-            workers=workers,
-            states=(
-                np.concatenate(state_blocks, axis=0)
-                if return_states and state_blocks
-                else None
-            ),
-        )
+    )
+    return job.result()
 
 
 def noisy_counts(

@@ -87,6 +87,8 @@ from repro.observability.recorder import (
     DEFAULT_CAPACITY,
     EV_BATCH_EXECUTE,
     EV_ERROR,
+    EV_JOB_DONE,
+    EV_JOB_SUBMIT,
     EV_PLAN_BIND,
     EV_PLAN_COMPILE,
     EV_PLAN_EVICT,
@@ -139,6 +141,8 @@ __all__ = [
     "EV_BATCH_EXECUTE",
     "EV_TRAJECTORY",
     "EV_STATE_HIGHWATER",
+    "EV_JOB_SUBMIT",
+    "EV_JOB_DONE",
     "EV_ERROR",
     "GATE_APPLIES",
     "KERNEL_SECONDS",

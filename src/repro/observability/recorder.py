@@ -52,6 +52,8 @@ __all__ = [
     "EV_BATCH_EXECUTE",
     "EV_TRAJECTORY",
     "EV_STATE_HIGHWATER",
+    "EV_JOB_SUBMIT",
+    "EV_JOB_DONE",
     "EV_ERROR",
 ]
 
@@ -81,6 +83,10 @@ EV_TRAJECTORY = "trajectory"
 #: Statevector allocation high-water mark rose (payload: bytes,
 #: branches).
 EV_STATE_HIGHWATER = "state.highwater"
+#: A job entered the executor (payload: id, pipeline, backend).
+EV_JOB_SUBMIT = "job.submit"
+#: A job reached a terminal state (payload: id, pipeline, state, ns).
+EV_JOB_DONE = "job.done"
 #: An exception escaped an instrumented seam (payload: error, where).
 EV_ERROR = "error"
 

@@ -6,6 +6,11 @@ kernel backend, applied column- then row-wise), noise channels act
 *exactly* as ``rho -> sum_k K_k rho K_k^dagger``, and measurements
 branch selectively like the state-vector simulator.
 
+:func:`simulate_density` is a thin wrapper over the unified execution
+core: it resolves options and submits one ``DENSITY``
+:class:`~repro.execution.ExecutionRequest`; the step loop itself lives
+in :mod:`repro.execution.density`.
+
 This is the exact counterpart of the Monte-Carlo trajectory engine in
 :mod:`repro.noise.trajectory` — the test-suite cross-validates the two,
 which is the strongest correctness check available for open-system
@@ -14,37 +19,18 @@ simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from repro.circuit.measurement import Measurement
-from repro.exceptions import StateError
+from repro.execution.density import DensityBranch
 from repro.noise.model import NoiseModel
-from repro.observability.backend import InstrumentedBackend
-from repro.observability.instrument import (
-    activate,
-    resolve_instrumentation,
-)
 from repro.simulation.options import (
     SimulationOptions,
     resolve_simulation_options,
 )
-from repro.simulation.plan import GATE, MEASURE, get_plan
-from repro.simulation.state import initial_state
-from repro.utils.bits import gather_indices
 
 __all__ = ["DensityBranch", "DensitySimulation", "simulate_density"]
-
-
-@dataclass
-class DensityBranch:
-    """One measurement branch of a density-matrix simulation."""
-
-    probability: float
-    rho: np.ndarray
-    result: str
 
 
 class DensitySimulation:
@@ -107,59 +93,6 @@ class DensitySimulation:
         )
 
 
-def _conjugate_apply(engine, rho, kernel, qubits, nb_qubits):
-    """``K rho K^dagger`` via two batched backend applications."""
-    left = engine.apply(rho, kernel, qubits, nb_qubits)
-    # right-multiplication by K^dagger: (K left^dagger)^dagger
-    return engine.apply(
-        np.ascontiguousarray(left.conj().T), kernel, qubits, nb_qubits
-    ).conj().T
-
-
-def _apply_channel(engine, rho, kraus, qubit, nb_qubits):
-    """Exact channel action ``sum_k K_k rho K_k^dagger``."""
-    out = np.zeros_like(rho)
-    for k in kraus:
-        out += _conjugate_apply(engine, rho.copy(), k, [qubit], nb_qubits)
-    return out
-
-
-def _measure_density(engine, branches, meas, qubit, nb_qubits, atol):
-    """Selective measurement: split every branch on the outcome."""
-    out = []
-    non_z = meas.basis != "z"
-    for branch in branches:
-        rho = branch.rho
-        if non_z:
-            rho = _conjugate_apply(
-                engine, rho.copy(), meas.basis_change, [qubit], nb_qubits
-            )
-        for outcome in (0, 1):
-            idx = gather_indices(nb_qubits, [qubit], [outcome])
-            projected = np.zeros_like(rho)
-            projected[np.ix_(idx, idx)] = rho[np.ix_(idx, idx)]
-            p = float(np.real(np.trace(projected)))
-            if p <= atol:
-                continue
-            collapsed = projected / p
-            if non_z:
-                collapsed = _conjugate_apply(
-                    engine,
-                    collapsed,
-                    meas.basis_change_dagger,
-                    [qubit],
-                    nb_qubits,
-                )
-            out.append(
-                DensityBranch(
-                    branch.probability * p,
-                    collapsed,
-                    branch.result + str(outcome),
-                )
-            )
-    return out
-
-
 def simulate_density(
     circuit,
     start=None,
@@ -192,11 +125,16 @@ def simulate_density(
         ``backend``/``atol`` keyword and positional forms keep working
         through a :class:`DeprecationWarning` shim.
 
-    The circuit is executed through a compiled plan
-    (:mod:`repro.simulation.plan`); gate fusion is disabled
-    automatically while a non-trivial noise model is active, because
-    channels attach per source gate.
+    The request executes through the shared
+    :class:`~repro.execution.Executor` pipeline: the circuit compiles
+    through the same plan cache as every other engine (gate fusion is
+    disabled automatically while a non-trivial noise model is active,
+    because channels attach per source gate) and the step loop in
+    :mod:`repro.execution.density` replays it branch-wise.
     """
+    from repro.execution.executor import default_executor
+    from repro.execution.request import DENSITY, ExecutionRequest
+
     if options is not None and not isinstance(
         options, (SimulationOptions, dict)
     ):
@@ -215,122 +153,16 @@ def simulate_density(
         },
         caller="simulate_density",
     )
-    nb_qubits = circuit.nbQubits
-    noise = noise or NoiseModel()
-    dim = 1 << nb_qubits
-
-    inst = resolve_instrumentation(opts.trace, opts.metrics)
-    with activate(inst), inst.span(
-        "simulate_density", nb_qubits=nb_qubits
-    ) as span:
-        use_fuse = opts.fuse and noise.is_trivial
-        plan, _stats = get_plan(
-            circuit, opts.backend, opts.dtype, fuse=use_fuse
+    job = default_executor().submit(
+        ExecutionRequest(
+            circuit,
+            kind=DENSITY,
+            start=start,
+            options=opts,
+            noise=noise,
         )
-        engine = plan.engine
-        span.set(backend=engine.name)
-        if inst.enabled:
-            # every K rho K^dagger conjugation is a gate apply; route
-            # them through the instrumented wrapper
-            engine = InstrumentedBackend(engine, inst.metrics)
-
-        if start is None:
-            start = "0" * nb_qubits
-        arr = np.asarray(start) if not isinstance(start, str) else None
-        if arr is not None and arr.ndim == 2:
-            rho0 = np.array(arr, dtype=opts.dtype)
-            if rho0.shape != (dim, dim):
-                raise StateError(
-                    f"density matrix of shape {rho0.shape}; expected "
-                    f"({dim}, {dim})"
-                )
-            if abs(np.trace(rho0) - 1.0) > 1e-8:
-                raise StateError("density matrix must have unit trace")
-        else:
-            psi = initial_state(start, nb_qubits, dtype=opts.dtype)
-            rho0 = np.outer(psi, psi.conj())
-
-        branches = [DensityBranch(1.0, rho0, "")]
-
-        for step in plan.steps:
-            if step.kind == GATE:
-
-                def both_sides(rho):
-                    left = engine.apply_planned(rho, step, nb_qubits)
-                    right = engine.apply_planned(
-                        np.ascontiguousarray(left.conj().T), step,
-                        nb_qubits,
-                    )
-                    return right.conj().T
-
-                for branch in branches:
-                    branch.rho = both_sides(branch.rho)
-                channel = (
-                    noise.channel_for(step.op)
-                    if step.op is not None
-                    else None
-                )
-                if channel is not None and not channel.is_identity:
-                    for q in step.noise_qubits:
-                        for branch in branches:
-                            branch.rho = _apply_channel(
-                                engine, branch.rho, channel.kraus, q,
-                                nb_qubits,
-                            )
-                continue
-            if step.kind == MEASURE:
-                branches = _measure_density(
-                    engine, branches, step.op, step.qubit, nb_qubits,
-                    opts.atol,
-                )
-                if noise.readout_error > 0.0:
-                    branches = _flip_readouts(
-                        branches, noise.readout_error
-                    )
-                continue
-            # RESET
-            branches = _reset_density(
-                engine, branches, step.op, step.qubit, nb_qubits,
-                opts.atol,
-            )
-
-        return DensitySimulation(nb_qubits, branches)
-
-
-def _flip_readouts(branches, p):
-    """Classical readout error: each branch splits into kept/flipped."""
-    out = []
-    for b in branches:
-        kept = DensityBranch(b.probability * (1 - p), b.rho, b.result)
-        flipped_result = b.result[:-1] + ("1" if b.result[-1] == "0" else "0")
-        flipped = DensityBranch(b.probability * p, b.rho, flipped_result)
-        out.extend([kept, flipped])
-    return out
-
-
-def _reset_density(engine, branches, op, qubit, nb_qubits, atol):
-    """Non-selective reset: project both outcomes, map 1 -> 0, merge."""
-    from repro.gates import PauliX
-
-    meas = Measurement(op.qubit)
-    split = _measure_density(
-        engine,
-        [DensityBranch(b.probability, b.rho, b.result) for b in branches],
-        meas,
-        qubit,
-        nb_qubits,
-        atol,
     )
-    out = []
-    for b in split:
-        outcome = b.result[-1]
-        rho = b.rho
-        if outcome == "1":
-            x = PauliX(0).matrix
-            rho = _conjugate_apply(engine, rho.copy(), x, [qubit], nb_qubits)
-        result = b.result if op.record else b.result[:-1]
-        out.append(DensityBranch(b.probability, rho, result))
-    return out
+    return job.result()
 
 
 from repro.simulation.backends import register_engine  # noqa: E402

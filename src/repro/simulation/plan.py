@@ -29,6 +29,7 @@ hits/misses, per-stage wall time) and is exposed per run as
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Mapping
@@ -52,7 +53,6 @@ from repro.observability.metrics import (
     PLAN_CACHE_HITS,
     PLAN_CACHE_MISSES,
     PLAN_PREP_SECONDS,
-    SWEEP_POINTS,
 )
 from repro.observability.recorder import (
     EV_PLAN_BIND,
@@ -60,7 +60,6 @@ from repro.observability.recorder import (
     EV_PLAN_EVICT,
     EV_PLAN_HIT,
     EV_PLAN_MISS,
-    EV_PLAN_SWEEP,
     record_event,
 )
 from repro.simulation.backends import Backend, get_backend
@@ -208,6 +207,12 @@ class CompiledPlan:
         #: whether the parametric steps have been backend-prepared once
         #: (after that, re-binding only refreshes value-dependent data).
         self._params_prepared = False
+        #: guards in-place kernel mutation (bind) against concurrent
+        #: replay of the same cached plan; the
+        #: :class:`~repro.execution.Executor` holds it across
+        #: bind+execute for parametric plans.  Non-parametric replay is
+        #: read-only and never takes it.
+        self.lock = threading.Lock()
 
     @property
     def backend_name(self) -> str:
@@ -337,9 +342,11 @@ class CompiledPlan:
         -------
         numpy.ndarray
             The ``(P, 2**n)`` final states, one row per point.
-        """
-        from repro.simulation.state import initial_state
 
+        Validation happens here; the vectorized step loop itself lives
+        in :func:`repro.execution.dispatch.run_sweep` — the execution
+        core owns every plan-replay loop.
+        """
         for step in self.steps:
             if step.kind != GATE:
                 raise SimulationError(
@@ -380,47 +387,9 @@ class CompiledPlan:
             )
         nb_points = lengths.pop() if lengths else 1
 
-        dtype = self.dtype
-        if start is None:
-            start = "0" * self.nb_qubits
-        init = initial_state(start, self.nb_qubits, dtype=dtype)
-        states = np.tile(init, (nb_points, 1))
-        engine = self.engine
-        inst = current_instrumentation()
-        t_sweep = perf_counter()
-        with inst.span(
-            "param.sweep",
-            points=nb_points,
-            backend=engine.name,
-            nb_params=len(params),
-        ):
-            for step in self.steps:
-                if step.param is None:
-                    states = engine.apply_planned_batched(
-                        states, step, self.nb_qubits
-                    )
-                    continue
-                thetas = step.param.resolve_batch(cols)
-                kernels = np.ascontiguousarray(
-                    step.op.kernel_values(thetas).astype(
-                        dtype, copy=False
-                    )
-                )
-                states = engine.apply_planned_sweep(
-                    states, step, self.nb_qubits, kernels
-                )
-            if inst.enabled:
-                inst.metrics.counter(
-                    SWEEP_POINTS,
-                    "parameter points executed by vectorized sweeps",
-                ).inc(nb_points)
-        record_event(
-            EV_PLAN_SWEEP,
-            points=nb_points,
-            backend=engine.name,
-            ns=int((perf_counter() - t_sweep) * 1e9),
-        )
-        return states
+        from repro.execution.dispatch import run_sweep
+
+        return run_sweep(self, cols, nb_points, start)
 
     def __repr__(self) -> str:
         par = (
@@ -763,6 +732,12 @@ PLAN_CACHE_MAXSIZE = 64
 _CACHE: dict = {}
 _HITS = 0
 _MISSES = 0
+#: Serializes cache lookups INCLUDING compilation on a miss, so that
+#: N concurrent submits of signature-equal circuits see exactly one
+#: miss and N-1 hits (the concurrent-executor tests assert this).
+#: Re-entrant because compilation may consult the cache for
+#: sub-circuits in future layers.
+_CACHE_LOCK = threading.RLock()
 
 
 def _engine_key(engine: Backend) -> tuple:
@@ -796,34 +771,45 @@ def get_plan(
     engine = get_backend(backend)
     inst = current_instrumentation()
     with inst.span("plan.get", backend=engine.name) as sp:
-        t0 = perf_counter()
-        sig = circuit_signature(circuit)
-        sig_seconds = perf_counter() - t0
-        key = (sig, _engine_key(engine), np.dtype(dtype).str, bool(fuse))
-        plan = _CACHE.pop(key, None)
-        if plan is not None:
-            _CACHE[key] = plan  # re-insert: most recently used
-            _HITS += 1
-            hit = True
-            record_event(
-                EV_PLAN_HIT, backend=engine.name, signature=_sig_hash(sig)
+        # one lock covers signature hashing (the per-circuit lowering
+        # cache mutates), the lookup, AND compilation on a miss:
+        # concurrent submits of signature-equal circuits then account
+        # exactly one miss, and hit/miss counters never tear
+        with _CACHE_LOCK:
+            t0 = perf_counter()
+            sig = circuit_signature(circuit)
+            sig_seconds = perf_counter() - t0
+            key = (
+                sig, _engine_key(engine), np.dtype(dtype).str, bool(fuse)
             )
-        else:
-            record_event(
-                EV_PLAN_MISS, backend=engine.name, signature=_sig_hash(sig)
-            )
-            plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
-            _CACHE[key] = plan
-            while len(_CACHE) > PLAN_CACHE_MAXSIZE:
-                old_key, old_plan = next(iter(_CACHE.items()))
-                _CACHE.pop(old_key)
+            plan = _CACHE.pop(key, None)
+            if plan is not None:
+                _CACHE[key] = plan  # re-insert: most recently used
+                _HITS += 1
+                hit = True
                 record_event(
-                    EV_PLAN_EVICT,
-                    backend=old_plan.engine.name,
-                    signature=_sig_hash(old_key[0]),
+                    EV_PLAN_HIT,
+                    backend=engine.name,
+                    signature=_sig_hash(sig),
                 )
-            _MISSES += 1
-            hit = False
+            else:
+                record_event(
+                    EV_PLAN_MISS,
+                    backend=engine.name,
+                    signature=_sig_hash(sig),
+                )
+                plan = compile_circuit(circuit, engine, dtype, fuse=fuse)
+                _CACHE[key] = plan
+                while len(_CACHE) > PLAN_CACHE_MAXSIZE:
+                    old_key, old_plan = next(iter(_CACHE.items()))
+                    _CACHE.pop(old_key)
+                    record_event(
+                        EV_PLAN_EVICT,
+                        backend=old_plan.engine.name,
+                        signature=_sig_hash(old_key[0]),
+                    )
+                _MISSES += 1
+                hit = False
         if inst.enabled:
             sp.set(cache_hit=hit)
             name = PLAN_CACHE_HITS if hit else PLAN_CACHE_MISSES
@@ -852,33 +838,35 @@ def plan_cache_info() -> dict:
     digest (process-local, matching the flight recorder's
     ``plan.hit``/``plan.miss`` events).
     """
-    lookups = _HITS + _MISSES
-    entries = [
-        {
-            "backend": plan.engine.name,
-            "dtype": np.dtype(plan.dtype).name,
-            "fuse": key[3],
-            "nb_steps": len(plan.steps),
-            "nb_qubits": plan.nb_qubits,
-            "parametric": plan.is_parametric,
-            "signature": _sig_hash(key[0]),
+    with _CACHE_LOCK:
+        lookups = _HITS + _MISSES
+        entries = [
+            {
+                "backend": plan.engine.name,
+                "dtype": np.dtype(plan.dtype).name,
+                "fuse": key[3],
+                "nb_steps": len(plan.steps),
+                "nb_qubits": plan.nb_qubits,
+                "parametric": plan.is_parametric,
+                "signature": _sig_hash(key[0]),
+            }
+            for key, plan in _CACHE.items()
+        ]
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "size": len(_CACHE),
+            "maxsize": PLAN_CACHE_MAXSIZE,
+            "capacity": PLAN_CACHE_MAXSIZE,
+            "hit_rate": (_HITS / lookups) if lookups else 0.0,
+            "entries": entries,
         }
-        for key, plan in _CACHE.items()
-    ]
-    return {
-        "hits": _HITS,
-        "misses": _MISSES,
-        "size": len(_CACHE),
-        "maxsize": PLAN_CACHE_MAXSIZE,
-        "capacity": PLAN_CACHE_MAXSIZE,
-        "hit_rate": (_HITS / lookups) if lookups else 0.0,
-        "entries": entries,
-    }
 
 
 def clear_plan_cache() -> None:
     """Empty the plan cache and reset its counters."""
     global _HITS, _MISSES
-    _CACHE.clear()
-    _HITS = 0
-    _MISSES = 0
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

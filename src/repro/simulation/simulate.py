@@ -1,4 +1,4 @@
-"""The simulation driver and :class:`Simulation` result object.
+"""The :func:`simulate` entry point and :class:`Simulation` result.
 
 Implements the measurement model of the paper's Section 3.3:
 
@@ -13,110 +13,41 @@ Implements the measurement model of the paper's Section 3.3:
   exposes the state of unmeasured qubits after end-of-circuit
   measurements, and zero-probability branches are pruned.
 
-Execution goes through the compiled-plan layer
-(:mod:`repro.simulation.plan`) by default: the circuit is compiled once
-into a :class:`~repro.simulation.plan.CompiledPlan` (memoized in an LRU
-cache) and every branch replays the prepared steps.
-``SimulationOptions(compile=False)`` forces the historical
-walk-the-op-tree path.
+Execution routes through the unified execution core
+(:mod:`repro.execution`): :func:`simulate` builds an
+:class:`~repro.execution.ExecutionRequest`, submits it to the
+process-wide :class:`~repro.execution.Executor`, and materializes the
+:class:`Simulation` from the finished :class:`~repro.execution.Job`.
+The executor compiles the circuit once into a
+:class:`~repro.simulation.plan.CompiledPlan` (memoized in an LRU
+cache) and replays the prepared steps through the single dispatch loop
+in :mod:`repro.execution.dispatch`.
+``SimulationOptions(compile=False)`` selects the historical
+walk-the-op-tree path instead — still through the same executor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from time import perf_counter
+import warnings
 from typing import List, Optional
 
 import numpy as np
 
-from repro.circuit.barrier import Barrier
-from repro.circuit.measurement import Measurement
-from repro.circuit.reset import Reset
-from repro.exceptions import SimulationError, UnboundParameterError
-from repro.gates.base import QGate
-from repro.observability.backend import InstrumentedBackend, step_kind
-from repro.observability.instrument import (
-    activate,
-    current_instrumentation,
-    resolve_instrumentation,
+from repro.exceptions import SimulationError
+from repro.execution.dispatch import (
+    Branch,
+    apply_operation,
+    record_shots,
 )
-from repro.observability.metrics import (
-    BRANCHES_MAX,
-    MEASUREMENTS,
-    RNG_DRAWS,
-    SHOTS_SAMPLED,
-    STATE_BYTES_MAX,
-)
-from repro.observability.recorder import (
-    EV_ERROR,
-    EV_STATE_HIGHWATER,
-    EV_STEP_DISPATCH,
-    record_event,
-)
-from repro.simulation.backends import Backend, get_backend
+from repro.simulation.backends import Backend
 from repro.simulation.options import (
     SimulationOptions,
     resolve_simulation_options,
 )
-from repro.simulation.plan import GATE, MEASURE, PlanStats, get_plan
+from repro.simulation.plan import PlanStats
 from repro.simulation.reduced import reducedStatevector
-from repro.simulation.state import initial_state
 
 __all__ = ["Branch", "Simulation", "simulate", "apply_operation"]
-
-
-@dataclass
-class Branch:
-    """One measurement branch: a collapsed state with its probability
-    and the concatenated outcomes observed along the way."""
-
-    probability: float
-    state: np.ndarray
-    result: str
-
-
-def apply_operation(
-    backend: Backend,
-    state: np.ndarray,
-    gate: QGate,
-    offset: int,
-    nb_qubits: int,
-) -> np.ndarray:
-    """Apply one gate (shifted by ``offset``) to a state via ``backend``."""
-    targets = [q + offset for q in gate.target_qubits()]
-    controls = [q + offset for q in gate.controls()]
-    return backend.apply(
-        state,
-        gate.target_matrix(),
-        targets,
-        nb_qubits,
-        controls=controls,
-        control_states=list(gate.control_states()),
-        diagonal=gate.is_diagonal,
-    )
-
-
-def _branch_probabilities(state: np.ndarray, qubit: int, nb_qubits: int):
-    """P(0), P(1) of measuring ``qubit`` — Section 3.3's amplitude sums."""
-    left = 1 << qubit
-    right = 1 << (nb_qubits - 1 - qubit)
-    view = state.reshape(left, 2, right)
-    mags = np.abs(view) ** 2
-    p0 = float(np.sum(mags[:, 0, :]))
-    p1 = float(np.sum(mags[:, 1, :]))
-    return p0, p1
-
-
-def _collapse(
-    state: np.ndarray, qubit: int, nb_qubits: int, outcome: int, prob: float
-) -> np.ndarray:
-    """Collapsed, renormalized copy of ``state`` after observing ``outcome``."""
-    left = 1 << qubit
-    collapsed = state.copy()
-    view = collapsed.reshape(left, 2, -1)
-    view[:, 1 - outcome, :] = 0.0
-    collapsed *= 1.0 / np.sqrt(prob)
-    return collapsed
 
 
 class Simulation:
@@ -128,6 +59,11 @@ class Simulation:
     final state vectors, ``counts(shots)`` samples repeated experiments,
     and ``reducedStates`` gives the states of unmeasured qubits when the
     circuit ends with measurements on a subset of the register.
+
+    Simulations come from :func:`simulate` /
+    :meth:`~repro.circuit.QCircuit.simulate` (or, one level down, from
+    a finished :class:`~repro.execution.Job`); constructing one by hand
+    is deprecated.
     """
 
     def __init__(
@@ -142,6 +78,37 @@ class Simulation:
         seed=None,
         instrumentation=None,
     ):
+        warnings.warn(
+            "constructing Simulation(...) directly is deprecated; "
+            "simulations are produced by simulate() / "
+            "QCircuit.simulate() (or Executor.submit(...).result())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(
+            nb_qubits,
+            branches,
+            measurements,
+            end_measured,
+            backend_name,
+            engine=engine,
+            stats=stats,
+            seed=seed,
+            instrumentation=instrumentation,
+        )
+
+    def _init(
+        self,
+        nb_qubits,
+        branches,
+        measurements,
+        end_measured,
+        backend_name,
+        engine=None,
+        stats=None,
+        seed=None,
+        instrumentation=None,
+    ):
         self._nb_qubits = nb_qubits
         self._branches = branches
         self._measurements = measurements  # [(qubit, Measurement)] recorded
@@ -151,6 +118,35 @@ class Simulation:
         self._stats = stats
         self._seed = seed
         self._instrumentation = instrumentation
+
+    @classmethod
+    def _from_run(
+        cls,
+        nb_qubits,
+        branches,
+        measurements,
+        end_measured,
+        backend_name,
+        engine=None,
+        stats=None,
+        seed=None,
+        instrumentation=None,
+    ) -> "Simulation":
+        """Internal constructor used by the executor pipelines —
+        bypasses the deprecation shim on :meth:`__init__`."""
+        sim = object.__new__(cls)
+        sim._init(
+            nb_qubits,
+            branches,
+            measurements,
+            end_measured,
+            backend_name,
+            engine=engine,
+            stats=stats,
+            seed=seed,
+            instrumentation=instrumentation,
+        )
+        return sim
 
     # -- basic accessors ----------------------------------------------------
 
@@ -266,7 +262,7 @@ class Simulation:
             if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
-        self._record_shots(shots)
+        record_shots(self._instrumentation, shots)
         probs = self.probabilities
         probs = probs / probs.sum()
         draws = rng.multinomial(int(shots), probs)
@@ -280,19 +276,6 @@ class Simulation:
         out = np.zeros(1 << m, dtype=np.int64)
         np.add.at(out, idx, draws)
         return out
-
-    def _record_shots(self, shots: int) -> None:
-        """Record shot sampling into the run's (or ambient) metrics."""
-        inst = self._instrumentation
-        if inst is None or not inst.enabled:
-            inst = current_instrumentation()
-        if inst.enabled:
-            inst.metrics.counter(
-                SHOTS_SAMPLED, "shots sampled via counts()"
-            ).inc(int(shots))
-            inst.metrics.counter(
-                RNG_DRAWS, "random draws consumed"
-            ).inc()  # one multinomial draw over the branch distribution
 
     def counts_dict(self, shots: int, seed=None) -> dict:
         """Like :meth:`counts` but as ``{outcome: count}`` over observed
@@ -308,7 +291,7 @@ class Simulation:
             if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
-        self._record_shots(shots)
+        record_shots(self._instrumentation, shots)
         probs = self.probabilities
         probs = probs / probs.sum()
         draws = rng.multinomial(int(shots), probs)
@@ -391,146 +374,6 @@ class Simulation:
         )
 
 
-def _run_plan(plan, state, atol):
-    """Replay a compiled plan branch-wise from an initial state.
-
-    Every step appends one ``step.dispatch`` event (op kind, qubit
-    count, wall ns, branch count) to the always-on flight recorder —
-    an O(1) ring append per *step*, not per branch, so the overhead
-    stays in the noise (the guard test holds it under 5%).
-    """
-    engine = plan.engine
-    nb_qubits = plan.nb_qubits
-    branches = [Branch(1.0, state, "")]
-    measurements = []
-    highwater = state.nbytes
-    for step in plan.steps:
-        t0 = perf_counter()
-        if step.kind == GATE:
-            for branch in branches:
-                branch.state = engine.apply_planned(
-                    branch.state, step, nb_qubits
-                )
-            record_event(
-                EV_STEP_DISPATCH,
-                op=step_kind(step),
-                nq=nb_qubits,
-                ns=int((perf_counter() - t0) * 1e9),
-                branches=len(branches),
-            )
-            continue
-        if step.kind == MEASURE:
-            measurements.append((step.qubit, step.op))
-            branches = _measure(
-                engine, branches, step.qubit, step.op, nb_qubits, atol,
-                record=True,
-            )
-            op_kind = "measure"
-        else:  # RESET
-            if step.op.record:
-                measurements.append((step.qubit, step.op))
-            branches = _reset(
-                engine, branches, step.qubit, nb_qubits, atol,
-                record=step.op.record,
-            )
-            op_kind = "reset"
-        record_event(
-            EV_STEP_DISPATCH,
-            op=op_kind,
-            nq=nb_qubits,
-            ns=int((perf_counter() - t0) * 1e9),
-            branches=len(branches),
-        )
-        live = sum(b.state.nbytes for b in branches)
-        if live > highwater:
-            highwater = live
-            record_event(
-                EV_STATE_HIGHWATER, bytes=live, branches=len(branches)
-            )
-    return branches, measurements
-
-
-def _run_plan_instrumented(plan, state, atol, inst):
-    """:func:`_run_plan` with per-kernel timing and memory metrics.
-
-    Gate applies go through an
-    :class:`~repro.observability.InstrumentedBackend` (per-backend/kind
-    counts and wall seconds); measurement/reset collapses are timed
-    into the ``repro_measurements_total`` histogram; statevector bytes
-    and branch counts record high-water gauges.  Kept separate from
-    :func:`_run_plan` so the uninstrumented path pays nothing.
-    """
-    raw = plan.engine
-    engine = InstrumentedBackend(raw, inst.metrics)
-    nb_qubits = plan.nb_qubits
-    meas_hist = inst.metrics.histogram(
-        MEASUREMENTS, "wall seconds collapsing measurements/resets"
-    )
-    bytes_gauge = inst.metrics.gauge(
-        STATE_BYTES_MAX, "high-water statevector bytes across branches"
-    )
-    branch_gauge = inst.metrics.gauge(
-        BRANCHES_MAX, "high-water simultaneous measurement branches"
-    )
-    branches = [Branch(1.0, state, "")]
-    measurements = []
-    bytes_gauge.set_max(state.nbytes)
-    branch_gauge.set_max(1)
-    highwater = state.nbytes
-    for step in plan.steps:
-        t0 = perf_counter()
-        if step.kind == GATE:
-            for branch in branches:
-                branch.state = engine.apply_planned(
-                    branch.state, step, nb_qubits
-                )
-            record_event(
-                EV_STEP_DISPATCH,
-                op=step_kind(step),
-                nq=nb_qubits,
-                ns=int((perf_counter() - t0) * 1e9),
-                branches=len(branches),
-            )
-            continue
-        # basis changes inside _measure/_reset go through the raw
-        # engine so kernel metrics count gate applies only
-        if step.kind == MEASURE:
-            measurements.append((step.qubit, step.op))
-            branches = _measure(
-                raw, branches, step.qubit, step.op, nb_qubits, atol,
-                record=True,
-            )
-            dt = perf_counter() - t0
-            meas_hist.observe(dt, kind="measure")
-            op_kind = "measure"
-        else:  # RESET
-            if step.op.record:
-                measurements.append((step.qubit, step.op))
-            branches = _reset(
-                raw, branches, step.qubit, nb_qubits, atol,
-                record=step.op.record,
-            )
-            dt = perf_counter() - t0
-            meas_hist.observe(dt, kind="reset")
-            op_kind = "reset"
-        record_event(
-            EV_STEP_DISPATCH,
-            op=op_kind,
-            nq=nb_qubits,
-            ns=int(dt * 1e9),
-            branches=len(branches),
-        )
-        branch_gauge.set_max(len(branches))
-        live = sum(b.state.nbytes for b in branches)
-        bytes_gauge.set_max(live)
-        if live > highwater:
-            highwater = live
-            record_event(
-                EV_STATE_HIGHWATER, bytes=live, branches=len(branches)
-            )
-    return branches, measurements
-
-
 def simulate(
     circuit,
     start="0",
@@ -545,6 +388,13 @@ def simulate(
     _stacklevel: int = 3,
 ):
     """Simulate a :class:`~repro.circuit.QCircuit`.
+
+    A thin wrapper over the unified execution core: resolves
+    ``options``, submits one
+    :class:`~repro.execution.ExecutionRequest` to the process-wide
+    :class:`~repro.execution.Executor`, and materializes the
+    :class:`Simulation` from the finished job — compilation, dispatch
+    and instrumentation all happen inside the executor pipeline.
 
     Configuration lives in ``options``
     (:class:`~repro.simulation.SimulationOptions`); the historical
@@ -565,6 +415,11 @@ def simulate(
     :class:`~repro.exceptions.UnboundParameterError`.
     """
     from repro.circuit.bound import BoundCircuit
+
+    # lazy: repro.execution's package init imports this module's
+    # siblings, so a module-level import here would cycle
+    from repro.execution.executor import default_executor
+    from repro.execution.request import ExecutionRequest
 
     param_values = None
     if isinstance(circuit, BoundCircuit):
@@ -590,217 +445,12 @@ def simulate(
         caller="simulate",
         stacklevel=_stacklevel,
     )
-
-    engine = get_backend(opts.backend)
-    nb_qubits = circuit.nbQubits
-    state = initial_state(start, nb_qubits, dtype=opts.dtype)
-    inst = resolve_instrumentation(opts.trace, opts.metrics)
-
-    with activate(inst), inst.span(
-        "simulate",
-        backend=engine.name,
-        nb_qubits=nb_qubits,
-        compiled=bool(opts.compile),
-    ):
-        if opts.compile:
-            plan, stats = get_plan(
-                circuit, engine, opts.dtype, fuse=opts.fuse
-            )
-            if plan.is_parametric:
-                # always (re-)bind: a cached plan may carry kernels
-                # from a previous binding's values
-                if param_values is None:
-                    raise UnboundParameterError(
-                        "circuit has unbound parameter(s) "
-                        + ", ".join(
-                            repr(p.name) for p in plan.parameters
-                        )
-                        + "; simulate through circuit.bind(values)"
-                    )
-                plan.bind(param_values)
-            t0 = perf_counter()
-            try:
-                if inst.enabled:
-                    with inst.span(
-                        "simulate.execute", backend=plan.engine.name
-                    ):
-                        branches, measurements = _run_plan_instrumented(
-                            plan, state, opts.atol, inst
-                        )
-                else:
-                    branches, measurements = _run_plan(
-                        plan, state, opts.atol
-                    )
-            except Exception as exc:
-                record_event(
-                    EV_ERROR,
-                    error=type(exc).__name__,
-                    where="simulate.execute",
-                )
-                raise
-            stats.execute_seconds = perf_counter() - t0
-            return Simulation(
-                nb_qubits,
-                branches,
-                measurements,
-                plan.end_measured,
-                plan.engine.name,
-                engine=plan.engine,
-                stats=stats,
-                seed=opts.seed,
-                instrumentation=inst if inst.enabled else None,
-            )
-        if param_values is not None:
-            # the uncompiled walk reads gate matrices directly, so it
-            # needs concrete value-carrying gates
-            from repro.circuit.bound import _materialize
-
-            circuit = _materialize(circuit, param_values)
-        return _simulate_unplanned(
-            circuit, engine, state, nb_qubits, opts, inst
+    job = default_executor().submit(
+        ExecutionRequest(
+            circuit,
+            start=start,
+            options=opts,
+            param_values=param_values,
         )
-
-
-def _simulate_unplanned(circuit, engine, state, nb_qubits, opts, inst):
-    """The historical walk-the-op-tree path (``compile=False``)."""
-    ops = list(circuit.operations())
-
-    # Which qubits end on a measurement (for reducedStates)?
-    last_touch: dict = {}
-    record_counter = 0
-    record_index: dict = {}  # id(op) -> result-string position
-    for op, off in ops:
-        if isinstance(op, Barrier):
-            continue
-        recorded = isinstance(op, Measurement) or (
-            isinstance(op, Reset) and op.record
-        )
-        if recorded:
-            record_index[id(op)] = record_counter
-            record_counter += 1
-        for q in op.qubits:
-            last_touch[q + off] = op
-    end_measured = {}
-    for q, op in last_touch.items():
-        if isinstance(op, Measurement):
-            end_measured[q] = (record_index[id(op)], op)
-
-    branches = [Branch(1.0, state, "")]
-    measurements = []
-
-    # Gate applies go through the instrumented wrapper when tracing so
-    # uncompiled runs are measurable too (ISSUE: stats for compile=False).
-    apply_engine = (
-        InstrumentedBackend(engine, inst.metrics)
-        if inst.enabled
-        else engine
     )
-    nb_source_ops = 0
-    nb_gates = 0
-    t0 = perf_counter()
-    with inst.span("simulate.execute", backend=engine.name):
-        for op, off in ops:
-            if isinstance(op, Barrier):
-                continue
-            nb_source_ops += 1
-            if isinstance(op, QGate):
-                nb_gates += 1
-                for branch in branches:
-                    branch.state = apply_operation(
-                        apply_engine, branch.state, op, off, nb_qubits
-                    )
-                continue
-            if isinstance(op, Measurement):
-                qubit = op.qubit + off
-                measurements.append((qubit, op))
-                branches = _measure(
-                    engine, branches, qubit, op, nb_qubits, opts.atol,
-                    record=True,
-                )
-                continue
-            if isinstance(op, Reset):
-                qubit = op.qubit + off
-                if op.record:
-                    measurements.append((qubit, op))
-                branches = _reset(
-                    engine, branches, qubit, nb_qubits, opts.atol,
-                    record=op.record,
-                )
-                continue
-            raise SimulationError(
-                f"cannot simulate circuit element {type(op).__name__}"
-            )
-    stats = PlanStats(
-        nb_source_ops=nb_source_ops,
-        nb_steps=nb_source_ops,
-        nb_gate_steps=nb_gates,
-        execute_seconds=perf_counter() - t0,
-    )
-
-    return Simulation(
-        nb_qubits,
-        branches,
-        measurements,
-        end_measured,
-        engine.name,
-        engine=engine,
-        stats=stats,
-        seed=opts.seed,
-        instrumentation=inst if inst.enabled else None,
-    )
-
-
-def _measure(engine, branches, qubit, meas, nb_qubits, atol, record):
-    """Split every branch on a measurement of ``qubit``."""
-    non_z = meas.basis != "z"
-    out = []
-    for branch in branches:
-        state = branch.state
-        if non_z:
-            state = engine.apply(
-                state, meas.basis_change, [qubit], nb_qubits
-            )
-        p0, p1 = _branch_probabilities(state, qubit, nb_qubits)
-        total = p0 + p1
-        children = []
-        for outcome, p in ((0, p0), (1, p1)):
-            if p / total <= atol:
-                continue
-            collapsed = _collapse(state, qubit, nb_qubits, outcome, p / total)
-            if non_z:
-                collapsed = engine.apply(
-                    collapsed,
-                    meas.basis_change_dagger,
-                    [qubit],
-                    nb_qubits,
-                )
-            result = branch.result + (str(outcome) if record else "")
-            children.append(
-                Branch(branch.probability * (p / total), collapsed, result)
-            )
-        out.extend(children)
-    return out
-
-
-def _reset(engine, branches, qubit, nb_qubits, atol, record):
-    """Reset ``qubit`` to |0> in every branch (measure + conditional X)."""
-    out = []
-    left = 1 << qubit
-    for branch in branches:
-        state = branch.state
-        p0, p1 = _branch_probabilities(state, qubit, nb_qubits)
-        total = p0 + p1
-        for outcome, p in ((0, p0), (1, p1)):
-            if p / total <= atol:
-                continue
-            collapsed = state.copy()
-            view = collapsed.reshape(left, 2, -1)
-            if outcome == 1:
-                view[:, 0, :] = view[:, 1, :]
-            view[:, 1, :] = 0.0
-            collapsed *= 1.0 / np.sqrt(p / total)
-            result = branch.result + (str(outcome) if record else "")
-            out.append(
-                Branch(branch.probability * (p / total), collapsed, result)
-            )
-    return out
+    return job.result()

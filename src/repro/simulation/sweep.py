@@ -24,7 +24,6 @@ from repro.simulation.options import (
     SimulationOptions,
     resolve_simulation_options,
 )
-from repro.simulation.plan import get_plan
 
 __all__ = ["SweepResult", "sweep"]
 
@@ -144,11 +143,20 @@ def sweep(
     >>> np.round(result.expectation('z'), 6)
     array([ 1.      ,  0.707107,  0.      , -0.707107, -1.      ])
     """
+    from repro.execution.executor import default_executor
+    from repro.execution.request import SWEEP, ExecutionRequest
+
     opts = resolve_simulation_options(
         options, (), {}, caller="sweep"
     )
-    plan, stats = get_plan(
-        circuit, opts.backend, opts.dtype, fuse=opts.fuse
+    job = default_executor().submit(
+        ExecutionRequest(
+            circuit,
+            kind=SWEEP,
+            start=start,
+            options=opts,
+            values=values,
+            parameters=parameters,
+        )
     )
-    states = plan.sweep(values, parameters=parameters, start=start)
-    return SweepResult(states, plan.parameters, stats)
+    return job.result()

@@ -1,0 +1,345 @@
+"""Execution-core tests: the Executor/Job seam, request validation,
+error capture, and — the load-bearing one — concurrent submits
+sharing one executor and one plan cache.
+
+The concurrency tests pin the exact accounting contract: N threads
+submitting signature-equal circuits produce exactly 1 plan-cache miss
+and N-1 hits, results match a serial run bit for bit, and the flight
+recorder loses no events (the sequence numbers of the job events form
+a gap-free set per job id).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuit import QCircuit
+from repro.exceptions import SimulationError, UnboundParameterError
+from repro.execution import (
+    DENSITY,
+    DONE,
+    FAILED,
+    PENDING,
+    STATEVECTOR,
+    SWEEP,
+    TRAJECTORY,
+    TRAJECTORY_BATCH,
+    ExecutionRequest,
+    Executor,
+    Job,
+    default_executor,
+)
+from repro.gates import CNOT, Hadamard, RotationX, RotationY
+from repro.parameter import Parameter
+from repro.observability import (
+    EV_JOB_DONE,
+    EV_JOB_SUBMIT,
+    flight_recorder,
+)
+from repro.simulation import SimulationOptions, clear_plan_cache, simulate
+
+N_THREADS = 8
+
+
+def _bell(phase=0.0):
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(CNOT(0, 1))
+    if phase:
+        c.push_back(RotationX(1, phase))
+    return c
+
+
+def _distinct_circuit(i):
+    """Circuits with pairwise distinct signatures (different angles)."""
+    c = QCircuit(2)
+    c.push_back(Hadamard(0))
+    c.push_back(RotationY(0, 0.1 + 0.2 * i))
+    c.push_back(CNOT(0, 1))
+    return c
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown execution kind"):
+            ExecutionRequest(_bell(), kind="teleport")
+
+    def test_known_kinds_accepted(self):
+        for kind in (STATEVECTOR, DENSITY, TRAJECTORY, SWEEP):
+            req = ExecutionRequest(_bell(), kind=kind)
+            assert req.kind == kind
+
+    def test_dict_options_coerced(self):
+        req = ExecutionRequest(_bell(), options={"backend": "kernel"})
+        assert isinstance(req.options, SimulationOptions)
+        assert req.options.backend == "kernel"
+
+    def test_seed_falls_back_to_options_seed(self):
+        req = ExecutionRequest(
+            _bell(), options=SimulationOptions(seed=42)
+        )
+        assert req.seed == 42
+
+    def test_negative_shots_rejected_at_construction(self):
+        with pytest.raises(SimulationError, match="shots must be >= 0"):
+            ExecutionRequest(
+                _bell(), kind=TRAJECTORY_BATCH, shots=-1
+            )
+
+
+class TestJobLifecycle:
+    def test_submit_returns_done_job(self):
+        job = default_executor().submit(ExecutionRequest(_bell()))
+        assert job.state == DONE
+        assert job.done and job.ok
+        assert job.plan is not None
+        assert job.stats() is not None
+        assert job.timings.total_seconds > 0.0
+        sim = job.result()
+        assert sim.nbBranches == 1
+        np.testing.assert_allclose(
+            np.abs(sim.branches[0].state) ** 2, [0.5, 0, 0, 0.5],
+            atol=1e-12,
+        )
+
+    def test_result_before_run_raises(self):
+        job = Job(ExecutionRequest(_bell()))
+        assert job.state == PENDING
+        assert not job.done
+        with pytest.raises(SimulationError, match="no result"):
+            job.result()
+
+    def test_pipeline_error_is_captured_not_raised(self):
+        # a bad start bitstring fails inside the pipeline; submit must
+        # return a FAILED job, and result() re-raises the original
+        job = default_executor().submit(
+            ExecutionRequest(_bell(), start="0")
+        )
+        assert job.state == FAILED
+        assert job.done and not job.ok
+        assert job.error is not None
+        with pytest.raises(Exception, match="length"):
+            job.result()
+
+    def test_unbound_parametric_fails_with_original_type(self):
+        c = QCircuit(1)
+        c.push_back(RotationX(0, Parameter("theta")))
+        job = default_executor().submit(ExecutionRequest(c))
+        assert job.state == FAILED
+        with pytest.raises(UnboundParameterError):
+            job.result()
+
+    def test_run_is_submit_plus_result(self):
+        sim = default_executor().run(ExecutionRequest(_bell()))
+        ref = simulate(_bell(), "00")
+        np.testing.assert_array_equal(
+            sim.branches[0].state, ref.branches[0].state
+        )
+
+    def test_executor_counters(self):
+        ex = Executor()
+        ex.submit(ExecutionRequest(_bell()))
+        ex.submit(ExecutionRequest(_bell(), start="0"))  # fails
+        stats = ex.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 1
+        assert stats["failed"] == 1
+        assert "plan_cache" in stats
+
+    def test_job_events_recorded(self):
+        rec = flight_recorder()
+        before = rec.recorded
+        job = default_executor().submit(ExecutionRequest(_bell()))
+        submits = [
+            e for e in rec.events(EV_JOB_SUBMIT)
+            if e.seq > before and e.data.get("id") == job.id
+        ]
+        dones = [
+            e for e in rec.events(EV_JOB_DONE)
+            if e.seq > before and e.data.get("id") == job.id
+        ]
+        assert len(submits) == 1 and len(dones) == 1
+        assert submits[0].data["pipeline"] == STATEVECTOR
+        assert dones[0].data["state"] == DONE
+        assert dones[0].seq > submits[0].seq
+
+
+class TestConcurrentSubmit:
+    """The acceptance-criterion test: >= 8 threads, one shared
+    executor, one shared plan cache, deterministic accounting."""
+
+    def _fan_out(self, executor, requests):
+        """Submit each request from its own thread; return jobs in
+        request order."""
+        jobs = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def work(i, req):
+            barrier.wait()  # maximize overlap on the cache lock
+            jobs[i] = executor.submit(req)
+
+        threads = [
+            threading.Thread(target=work, args=(i, req))
+            for i, req in enumerate(requests)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return jobs
+
+    def test_signature_equal_circuits_share_one_plan(self):
+        clear_plan_cache()
+        ex = Executor()
+        base = ex.cache_info()
+        circuits = [_bell(0.3) for _ in range(N_THREADS)]
+        jobs = self._fan_out(
+            ex, [ExecutionRequest(c) for c in circuits]
+        )
+        assert all(j.state == DONE for j in jobs)
+        info = ex.cache_info()
+        # the whole point of locking lookup+compile together: exactly
+        # one thread compiles, everyone else hits
+        assert info["misses"] - base["misses"] == 1
+        assert info["hits"] - base["hits"] == N_THREADS - 1
+        assert all(j.plan is jobs[0].plan for j in jobs)
+        ref = simulate(_bell(0.3), "00")
+        for j in jobs:
+            np.testing.assert_array_equal(
+                j.result().branches[0].state, ref.branches[0].state
+            )
+
+    def test_distinct_circuits_all_miss(self):
+        clear_plan_cache()
+        ex = Executor()
+        base = ex.cache_info()
+        circuits = [_distinct_circuit(i) for i in range(N_THREADS)]
+        jobs = self._fan_out(
+            ex, [ExecutionRequest(c) for c in circuits]
+        )
+        assert all(j.state == DONE for j in jobs)
+        info = ex.cache_info()
+        assert info["misses"] - base["misses"] == N_THREADS
+        assert info["hits"] == base["hits"]
+        # concurrent results must match serial reruns bit for bit
+        for i, j in enumerate(jobs):
+            ref = simulate(_distinct_circuit(i), "00")
+            np.testing.assert_array_equal(
+                j.result().branches[0].state, ref.branches[0].state
+            )
+
+    def test_concurrent_parametric_binds_serialize(self):
+        # every thread binds a different angle to the SAME cached plan;
+        # the per-plan lock must keep bind+execute atomic
+        clear_plan_cache()
+        ex = Executor()
+        c = QCircuit(1)
+        c.push_back(RotationY(0, Parameter("theta")))
+        angles = [0.1 * (i + 1) for i in range(N_THREADS)]
+        jobs = self._fan_out(
+            ex,
+            [
+                ExecutionRequest(c, param_values={"theta": a})
+                for a in angles
+            ],
+        )
+        assert all(j.state == DONE for j in jobs)
+        for a, j in enumerate(jobs):
+            ref = simulate(c.bind({"theta": angles[a]}), "0")
+            np.testing.assert_array_equal(
+                j.result().branches[0].state, ref.branches[0].state
+            )
+
+    def test_no_recorder_events_lost(self):
+        # each submit records exactly one job.submit and one job.done;
+        # under concurrency none may be dropped or duplicated
+        rec = flight_recorder()
+        rec.clear()
+        ex = Executor()
+        before = rec.recorded
+        jobs = self._fan_out(
+            ex,
+            [ExecutionRequest(_distinct_circuit(i)) for i in range(N_THREADS)],
+        )
+        ids = {j.id for j in jobs}
+        assert len(ids) == N_THREADS  # job ids unique under races
+        submits = [
+            e for e in rec.events(EV_JOB_SUBMIT)
+            if e.seq > before and e.data["id"] in ids
+        ]
+        dones = [
+            e for e in rec.events(EV_JOB_DONE)
+            if e.seq > before and e.data["id"] in ids
+        ]
+        assert {e.data["id"] for e in submits} == ids
+        assert {e.data["id"] for e in dones} == ids
+        assert len(submits) == len(dones) == N_THREADS
+        assert rec.dropped == 0
+        # sequence numbers are strictly increasing and gap-free across
+        # the whole ring — nothing was silently lost mid-append
+        seqs = [e.seq for e in rec.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert seqs[-1] - seqs[0] + 1 == len(seqs)
+
+    def test_mixed_pipelines_share_executor(self):
+        clear_plan_cache()
+        ex = Executor()
+        c = _bell()
+        requests = [
+            ExecutionRequest(c),
+            ExecutionRequest(c, kind=DENSITY),
+            ExecutionRequest(c, kind=TRAJECTORY, seed=7),
+            ExecutionRequest(
+                c, kind=TRAJECTORY_BATCH, shots=16, seed=7,
+                options=SimulationOptions(max_workers=1),
+            ),
+        ] * 2
+        jobs = self._fan_out(ex, requests)
+        assert all(j.state == DONE for j in jobs)
+        stats = ex.stats()
+        assert stats["submitted"] == len(requests)
+        assert stats["completed"] == len(requests)
+        assert stats["failed"] == 0
+
+
+class TestWrapperEquivalence:
+    """The thin wrappers and the raw submit path agree exactly."""
+
+    def test_simulate_wrapper_matches_submit(self):
+        c = _bell(0.7)
+        ref = simulate(
+            c, "00", options=SimulationOptions(backend="kernel")
+        )
+        job = default_executor().submit(
+            ExecutionRequest(
+                c, start="00", options=SimulationOptions(backend="kernel")
+            )
+        )
+        np.testing.assert_array_equal(
+            ref.branches[0].state, job.result().branches[0].state
+        )
+
+    def test_default_start_is_all_zeros(self):
+        # a request with no start gets |0...0> sized to the circuit
+        job = default_executor().submit(ExecutionRequest(_bell()))
+        ref = simulate(_bell(), "00")
+        np.testing.assert_array_equal(
+            job.result().branches[0].state, ref.branches[0].state
+        )
+
+    def test_sweep_through_request(self):
+        c = QCircuit(1)
+        c.push_back(RotationY(0, Parameter("theta")))
+        thetas = np.linspace(0.0, np.pi, 7)
+        job = default_executor().submit(
+            ExecutionRequest(c, kind=SWEEP, values=thetas)
+        )
+        res = job.result()
+        assert res.states.shape == (7, 2)
+        for k, th in enumerate(thetas):
+            ref = simulate(c.bind({"theta": th}), "0")
+            np.testing.assert_allclose(
+                res.states[k], ref.branches[0].state, atol=1e-12
+            )

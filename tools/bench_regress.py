@@ -104,6 +104,18 @@ SPECS = {
             kind="absolute",
         ),
     ],
+    "conformance": [
+        # check-group count is a coverage floor, not a timing: the
+        # sweep must keep cross-checking at least as many groups as
+        # the baseline did on any machine
+        MetricSpec(
+            "nb_check_groups", higher_is_better=True, kind="ratio"
+        ),
+        MetricSpec(
+            "circuits_per_second", higher_is_better=True,
+            kind="absolute",
+        ),
+    ],
 }
 
 
