@@ -1,0 +1,109 @@
+"""Kernel acceleration tier: ``strided`` (and ``jit``) vs ``kernel``.
+
+The BENCH_plan workload — the deep 1q-heavy 12-qubit circuit of
+``bench_b2_gate_apply`` — executed through a warm compiled plan on
+each statevector backend of the acceleration tier:
+
+* **kernel** — the reference gather/einsum backend (Level 0),
+* **strided** — the pure-NumPy strided backend (Level 1, always on):
+  precomputed kron-GEMM / broadcast-matmul tables executed into the
+  dispatch loop's double-buffered scratch pair,
+* **jit** — the numba backend (Level 2), timed only when numba is
+  installed (``pip install .[accel]``).
+
+Emits ``BENCH_kernel.json`` with per-backend planned wall times and
+the ``speedup_strided_vs_kernel`` ratio gated by
+``tools/bench_regress.py`` (acceptance floor: >= 2x).  Run directly
+(``python benchmarks/bench_kernel.py``) or through pytest.
+"""
+
+import numpy as np
+
+try:
+    from benchmarks.bench_b2_gate_apply import _layered_1q_circuit
+    from benchmarks.harness import emit_json, timed_run
+except ImportError:  # direct execution from the benchmarks/ directory
+    from bench_b2_gate_apply import _layered_1q_circuit
+    from harness import emit_json, timed_run
+from repro.simulation import (
+    HAVE_NUMBA,
+    SimulationOptions,
+    clear_plan_cache,
+    simulate,
+)
+from repro.simulation.plan import get_plan
+
+#: The BENCH_plan workload shape (12 qubits, 12 RX/RZ+CZ layers).
+N_QUBITS = 12
+N_LAYERS = 12
+REPEATS = 7
+
+
+def _backends():
+    names = ["kernel", "strided"]
+    if HAVE_NUMBA:
+        names.append("jit")
+    return names
+
+
+def run_tier(repeats=REPEATS):
+    """Time the planned workload per backend; returns the
+    ``BENCH_kernel.json`` payload."""
+    circuit = _layered_1q_circuit(N_QUBITS, N_LAYERS)
+    start = "0" * N_QUBITS
+    clear_plan_cache()
+    results = {}
+    states = {}
+    for name in _backends():
+        # pay compilation (and any JIT warm-up) outside the timed region
+        get_plan(circuit, name)
+        opts = SimulationOptions(backend=name)
+        runs = timed_run(
+            lambda: simulate(circuit, start, options=opts),
+            repeats=repeats,
+            warmup=1,
+        )
+        results[name] = runs
+        states[name] = runs.value.states[0]
+        print(
+            f"BENCH-kernel | {name:>8}: {runs.best * 1e3:7.3f} ms best "
+            f"({runs.median * 1e3:.3f} ms median)"
+        )
+    for name in _backends()[1:]:
+        assert (
+            np.abs(states[name] - states["kernel"]).max() <= 1e-10
+        ), f"{name} diverged from kernel"
+    payload = {
+        "benchmark": "kernel-tier",
+        "workload": f"layered_1q_{N_QUBITS}q_{N_LAYERS}l",
+        "nb_qubits": N_QUBITS,
+        "backends": _backends(),
+        "speedup_strided_vs_kernel": (
+            results["kernel"].best / results["strided"].best
+        ),
+    }
+    for name, runs in results.items():
+        payload[f"{name}_planned_seconds"] = runs.best
+        payload.update(runs.as_dict(f"{name}_"))
+    if HAVE_NUMBA:
+        payload["speedup_jit_vs_kernel"] = (
+            results["kernel"].best / results["jit"].best
+        )
+    return payload
+
+
+def test_kernel_tier_emit_json():
+    payload = run_tier()
+    path = emit_json("kernel", payload)
+    print(f"BENCH-kernel | wrote {path}")
+    # Level 1 acceptance floor: pure NumPy strided >= 2x kernel
+    assert payload["speedup_strided_vs_kernel"] >= 2.0
+
+
+if __name__ == "__main__":
+    payload = run_tier()
+    path = emit_json("kernel", payload)
+    print(
+        f"strided speedup {payload['speedup_strided_vs_kernel']:.2f}x | "
+        f"wrote {path}"
+    )

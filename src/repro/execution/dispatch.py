@@ -205,13 +205,34 @@ def run_plan(plan, state, atol, inst=None):
     branches = [Branch(1.0, state, "")]
     measurements = []
     highwater = state.nbytes
+    # double-buffered scratch pair for out=-aware backends: one spare
+    # statevector flips with each branch state per step, so the whole
+    # planned run allocates no per-step result arrays.  The invariant
+    # (the spare never aliases any branch's current state) holds
+    # because a swap always retires the buffer the branch just left.
+    use_out = bool(getattr(engine, "supports_out", False))
+    spare = None
     for step in plan.steps:
         t0 = perf_counter()
         if step.kind == GATE:
             for branch in branches:
-                branch.state = engine.apply_planned(
-                    branch.state, step, nb_qubits
-                )
+                if use_out:
+                    if (
+                        spare is None
+                        or spare.shape != branch.state.shape
+                        or spare.dtype != branch.state.dtype
+                    ):
+                        spare = np.empty_like(branch.state)
+                    res = engine.apply_planned(
+                        branch.state, step, nb_qubits, out=spare
+                    )
+                    if res is spare:
+                        spare = branch.state
+                    branch.state = res
+                else:
+                    branch.state = engine.apply_planned(
+                        branch.state, step, nb_qubits
+                    )
             record_event(
                 EV_STEP_DISPATCH,
                 op=step_kind(step),
@@ -373,11 +394,23 @@ def run_sweep(plan, cols: Mapping, nb_points: int, start=None) -> np.ndarray:
         backend=engine.name,
         nb_params=len(cols),
     ):
+        # concrete steps double-buffer the whole (P, 2**n) batch for
+        # out=-aware backends — same zero-allocation flip as run_plan
+        use_out = bool(getattr(engine, "supports_out", False))
+        spare = np.empty_like(states) if use_out else None
         for step in plan.steps:
             if step.param is None:
-                states = engine.apply_planned_batched(
-                    states, step, nb_qubits
-                )
+                if spare is not None:
+                    res = engine.apply_planned_batched(
+                        states, step, nb_qubits, out=spare
+                    )
+                    if res is spare:
+                        spare = states
+                    states = res
+                else:
+                    states = engine.apply_planned_batched(
+                        states, step, nb_qubits
+                    )
                 continue
             thetas = step.param.resolve_batch(cols)
             kernels = np.ascontiguousarray(

@@ -55,6 +55,7 @@ from repro.observability.metrics import (
 )
 from repro.observability.recorder import (
     EV_BATCH_EXECUTE,
+    EV_BATCH_FANOUT,
     EV_ERROR,
     EV_JOB_DONE,
     EV_JOB_SUBMIT,
@@ -403,11 +404,26 @@ class Executor:
                 rng.random((size, draws_per_shot)) for size in sizes
             ]
 
-            workers = min(int(opts.max_workers), max(1, len(sizes)))
+            requested = min(int(opts.max_workers), max(1, len(sizes)))
+            workers = requested
+            floor = int(opts.min_shots_per_worker)
+            if requested > 1 and shots < requested * floor:
+                # process start-up + per-worker pickling costs a fixed
+                # ~100ms each; below the floor the fan-out is slower
+                # than just simulating inline, so shrink it
+                workers = max(1, shots // floor)
             if inst.enabled:
                 # instrumented runs execute in-process so every kernel
                 # application lands in this run's registry
                 workers = 1
+            record_event(
+                EV_BATCH_FANOUT,
+                shots=shots,
+                requested=requested,
+                workers=workers,
+                floor=floor,
+                inline=workers <= 1,
+            )
             engine = plan.engine
             if inst.enabled:
                 span.set(

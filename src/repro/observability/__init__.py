@@ -86,6 +86,7 @@ from repro.observability.metrics import (
 from repro.observability.recorder import (
     DEFAULT_CAPACITY,
     EV_BATCH_EXECUTE,
+    EV_BATCH_FANOUT,
     EV_ERROR,
     EV_JOB_DONE,
     EV_JOB_SUBMIT,
@@ -139,6 +140,7 @@ __all__ = [
     "EV_PLAN_SWEEP",
     "EV_STEP_DISPATCH",
     "EV_BATCH_EXECUTE",
+    "EV_BATCH_FANOUT",
     "EV_TRAJECTORY",
     "EV_STATE_HIGHWATER",
     "EV_JOB_SUBMIT",

@@ -91,38 +91,56 @@ class InstrumentedBackend:
             for kind in ("1q", "diag", "kq", "controlled")
         }
 
+    @property
+    def supports_out(self):
+        """Whether the wrapped backend honors the ``out=`` buffer
+        convention — dispatch loops double-buffer through the wrapper
+        exactly as they would through ``inner`` directly."""
+        return bool(getattr(self.inner, "supports_out", False))
+
     def planned_bytes(self, step, states, nb_qubits):
         """Delegate the byte estimate to ``inner``."""
         return self.inner.planned_bytes(step, states, nb_qubits)
 
     def prepare_step(self, step, nb_qubits, tables):
-        """Timed pass-through to ``inner.prepare_step``."""
+        """Timed pass-through to ``inner.prepare_step``, labelled by
+        the step's structural kind for per-kind attribution."""
         t0 = perf_counter()
         self.inner.prepare_step(step, nb_qubits, tables)
         self._prep.observe(
-            perf_counter() - t0, backend=self.name, stage="prepare"
+            perf_counter() - t0, backend=self.name, stage="prepare",
+            kind=step_kind(step),
         )
 
     def refresh_step(self, step, nb_qubits, tables):
-        """Timed pass-through to ``inner.refresh_step``."""
+        """Timed pass-through to ``inner.refresh_step``, labelled by
+        the step's structural kind for per-kind attribution."""
         t0 = perf_counter()
         self.inner.refresh_step(step, nb_qubits, tables)
         self._prep.observe(
-            perf_counter() - t0, backend=self.name, stage="refresh"
+            perf_counter() - t0, backend=self.name, stage="refresh",
+            kind=step_kind(step),
         )
 
-    def apply_planned(self, state, step, nb_qubits):
-        """Timed pass-through to ``inner.apply_planned``."""
+    def apply_planned(self, state, step, nb_qubits, out=None):
+        """Timed pass-through to ``inner.apply_planned``; forwards
+        the scratch buffer only when one was given, so wrapped legacy
+        backends keep their three-argument overrides."""
         applies, seconds, nbytes = self._handles[step_kind(step)]
         t0 = perf_counter()
-        out = self.inner.apply_planned(state, step, nb_qubits)
+        if out is None:
+            res = self.inner.apply_planned(state, step, nb_qubits)
+        else:
+            res = self.inner.apply_planned(
+                state, step, nb_qubits, out=out
+            )
         dt = perf_counter() - t0
         applies.inc()
         seconds.observe(dt)
-        nbytes.inc(self.inner.planned_bytes(step, out, nb_qubits))
-        return out
+        nbytes.inc(self.inner.planned_bytes(step, res, nb_qubits))
+        return res
 
-    def apply_planned_batched(self, states, step, nb_qubits):
+    def apply_planned_batched(self, states, step, nb_qubits, out=None):
         """Timed pass-through to ``inner.apply_planned_batched``;
         counts one apply per batch row."""
         # one batched call applies the kernel to B trajectories; count
@@ -130,12 +148,19 @@ class InstrumentedBackend:
         applies, seconds, nbytes = self._handles[step_kind(step)]
         batch = states.shape[0]
         t0 = perf_counter()
-        out = self.inner.apply_planned_batched(states, step, nb_qubits)
+        if out is None:
+            res = self.inner.apply_planned_batched(
+                states, step, nb_qubits
+            )
+        else:
+            res = self.inner.apply_planned_batched(
+                states, step, nb_qubits, out=out
+            )
         dt = perf_counter() - t0
         applies.inc(batch)
         seconds.observe(dt)
-        nbytes.inc(self.inner.planned_bytes(step, out, nb_qubits))
-        return out
+        nbytes.inc(self.inner.planned_bytes(step, res, nb_qubits))
+        return res
 
     def apply_batched(
         self,

@@ -50,6 +50,7 @@ __all__ = [
     "EV_PLAN_SWEEP",
     "EV_STEP_DISPATCH",
     "EV_BATCH_EXECUTE",
+    "EV_BATCH_FANOUT",
     "EV_TRAJECTORY",
     "EV_STATE_HIGHWATER",
     "EV_JOB_SUBMIT",
@@ -78,6 +79,9 @@ EV_PLAN_SWEEP = "plan.sweep"
 EV_STEP_DISPATCH = "step.dispatch"
 #: One trajectory batch executed (payload: batch, ns).
 EV_BATCH_EXECUTE = "batch.execute"
+#: Fan-out decision for a trajectory batch (payload: shots, requested,
+#: workers, floor, inline).
+EV_BATCH_FANOUT = "batch.fanout"
 #: One serial trajectory executed (payload: nq, ns).
 EV_TRAJECTORY = "trajectory"
 #: Statevector allocation high-water mark rose (payload: bytes,

@@ -3,10 +3,11 @@
 The paper describes two simulation engines sharing one API: QCLAB's
 MATLAB reference (sparse ``I (x) U (x) I`` operators, Section 3.2) and
 QCLAB++'s optimized kernels.  This package reproduces that split with
-three interchangeable backends (``sparse``, ``kernel``, ``einsum``) and
-implements the full measurement model of Section 3.3: branching
-mid-circuit measurements, arbitrary bases, shot sampling (``counts``)
-and reduced states.
+interchangeable backends (``sparse``, ``kernel``, ``einsum``, plus the
+acceleration tier: ``strided`` always, ``jit`` when numba is
+installed) and implements the full measurement model of Section 3.3:
+branching mid-circuit measurements, arbitrary bases, shot sampling
+(``counts``) and reduced states.
 """
 
 from repro.simulation.backends import (
@@ -21,6 +22,8 @@ from repro.simulation.backends import (
     register_backend,
     register_engine,
 )
+from repro.simulation.accel import StridedBackend
+from repro.simulation.jit import HAVE_NUMBA, JitBackend
 from repro.simulation.options import (
     SimulationOptions,
     resolve_simulation_options,
@@ -67,6 +70,9 @@ __all__ = [
     "KernelBackend",
     "SparseKronBackend",
     "EinsumBackend",
+    "StridedBackend",
+    "JitBackend",
+    "HAVE_NUMBA",
     "get_backend",
     "default_backend",
     "available_backends",

@@ -23,6 +23,17 @@ All backends accept states of shape ``(dim,)`` or batches ``(dim, m)``
 (the latter powers :attr:`QCircuit.matrix`).  Backends may modify the
 input array in place and/or return a new array; callers must use the
 **returned** array and pass owned storage.
+
+The acceleration tier (:mod:`repro.simulation.accel`,
+:mod:`repro.simulation.jit`) extends this protocol with an ``out=``
+scratch-buffer convention on :meth:`Backend.apply_planned` and
+:meth:`Backend.apply_planned_batched`: backends that set
+``supports_out = True`` accept a preallocated destination buffer so
+dispatch loops can double-buffer two arrays for a whole run instead of
+allocating per step.  The default (``supports_out = False``,
+``out=None``) keeps every existing backend — including third-party
+subclasses with legacy three-argument overrides — working unchanged,
+because callers only pass ``out=`` after checking ``supports_out``.
 """
 
 from __future__ import annotations
@@ -59,6 +70,15 @@ class Backend(ABC):
 
     #: Engine-registry kind for gate-apply backends.
     kind = "statevector"
+
+    #: Whether :meth:`apply_planned` / :meth:`apply_planned_batched`
+    #: honor the ``out=`` scratch-buffer convention.  Callers must only
+    #: pass ``out=`` when this is ``True``, which keeps third-party
+    #: subclasses with legacy three-argument overrides working.  An
+    #: opted-in backend guarantees: the returned array is ``state``,
+    #: ``out`` or a fresh allocation, and results are correct even when
+    #: ``out`` aliases or overlaps ``state`` (alias-safe).
+    supports_out = False
 
     @abstractmethod
     def apply(
@@ -116,7 +136,7 @@ class Backend(ABC):
         """
         return 2 * states.nbytes
 
-    def apply_planned(self, state, step, nb_qubits: int):
+    def apply_planned(self, state, step, nb_qubits: int, out=None):
         """Apply one compiled gate step (see
         :class:`repro.simulation.plan.PlanStep`).
 
@@ -124,6 +144,11 @@ class Backend(ABC):
         pre-resolved absolute qubits and dtype-cast kernel; optimized
         backends override this to reuse the index tables attached by
         :meth:`prepare_step`.
+
+        ``out`` is an optional preallocated destination (same shape
+        and dtype as ``state``).  The base implementation ignores it —
+        only backends with :attr:`supports_out` set write into it, and
+        callers must check that attribute before passing one.
         """
         return self.apply(
             state,
@@ -169,16 +194,32 @@ class Backend(ABC):
         return states
 
     def apply_planned_batched(
-        self, states: np.ndarray, step, nb_qubits: int
+        self, states: np.ndarray, step, nb_qubits: int, out=None
     ) -> np.ndarray:
         """Apply one compiled gate step to a ``(B, 2**n)`` batch.
 
         The default loops :meth:`apply_planned` over the rows;
         vectorized backends execute the step once across the batch.
+        For :attr:`supports_out` backends the loop reuses ONE scratch
+        row (the first row of ``out`` when given, a single fresh row
+        otherwise) instead of letting every row apply allocate its own
+        result, and rows whose apply ran in place skip the redundant
+        self-assignment.
         """
         self._validate_batch(states, nb_qubits)
+        row = None
+        if self.supports_out and out is not None and out is not states:
+            row = out[0]
         for i in range(states.shape[0]):
-            states[i] = self.apply_planned(states[i], step, nb_qubits)
+            src = states[i]
+            if self.supports_out:
+                if row is None:
+                    row = np.empty_like(src)
+                res = self.apply_planned(src, step, nb_qubits, out=row)
+            else:
+                res = self.apply_planned(src, step, nb_qubits)
+            if res is not src:
+                states[i] = res
         return states
 
     # -- parameter-axis (sweep) hooks ---------------------------------------

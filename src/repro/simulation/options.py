@@ -86,6 +86,12 @@ class SimulationOptions:
         :mod:`concurrent.futures`.  Results are bit-reproducible for a
         fixed seed regardless of the worker count (the parent draws
         every batch's randomness up front).  Default 1 = in-process.
+    min_shots_per_worker:
+        Fan-out floor: process workers are only spawned while every
+        worker gets at least this many shots, so small jobs never pay
+        process start-up + state pickling that dwarfs the simulation
+        itself.  ``max_workers`` is the ceiling, this is the
+        efficiency guard; set to 1 to force the requested fan-out.
     """
 
     backend: Any = "kernel"
@@ -98,6 +104,7 @@ class SimulationOptions:
     metrics: Any = None
     batch_size: Optional[int] = None
     max_workers: int = 1
+    min_shots_per_worker: int = 8192
 
     def __post_init__(self):
         if self.atol < 0:
@@ -119,6 +126,14 @@ class SimulationOptions:
                 f"max_workers must be >= 1, got {self.max_workers!r}"
             )
         object.__setattr__(self, "max_workers", int(self.max_workers))
+        if int(self.min_shots_per_worker) < 1:
+            raise SimulationError(
+                "min_shots_per_worker must be >= 1, got "
+                f"{self.min_shots_per_worker!r}"
+            )
+        object.__setattr__(
+            self, "min_shots_per_worker", int(self.min_shots_per_worker)
+        )
 
     @property
     def use_plan(self) -> bool:

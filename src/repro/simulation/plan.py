@@ -46,6 +46,7 @@ from repro.ir.program import GATE as IR_GATE
 from repro.ir.program import MEASURE as IR_MEASURE
 from repro.ir.program import RESET as IR_RESET
 from repro.ir.program import KIND_NAMES
+from repro.observability.backend import step_kind
 from repro.observability.instrument import current_instrumentation
 from repro.observability.metrics import (
     FUSED_STEPS,
@@ -275,13 +276,11 @@ class CompiledPlan:
                 inst.metrics.histogram(
                     PLAN_PREP_SECONDS,
                     "wall seconds inside prepare_step/refresh_step hooks",
-                ).labels(
-                    backend=self.engine.name,
-                    stage="refresh" if prepared else "prepare",
                 )
                 if inst.enabled
                 else None
             )
+            prep_stage = "refresh" if prepared else "prepare"
             for step in self._param_steps:
                 theta = step.param.resolve(mapping)
                 kernel = step.op.kernel_values(
@@ -302,7 +301,12 @@ class CompiledPlan:
                 else:
                     self.engine.prepare_step(step, nb_qubits, tables)
                 if prep_hist is not None:
-                    prep_hist.observe(perf_counter() - t_prep)
+                    prep_hist.observe(
+                        perf_counter() - t_prep,
+                        backend=self.engine.name,
+                        stage=prep_stage,
+                        kind=step_kind(step),
+                    )
             self._params_prepared = True
             if inst.enabled:
                 inst.metrics.counter(
@@ -687,7 +691,7 @@ def _compile_circuit(
         inst.metrics.histogram(
             PLAN_PREP_SECONDS,
             "wall seconds inside prepare_step/refresh_step hooks",
-        ).labels(backend=engine.name, stage="prepare")
+        )
         if inst.enabled
         else None
     )
@@ -698,7 +702,12 @@ def _compile_circuit(
                 t_prep = perf_counter()
                 engine.prepare_step(step, nb_qubits, tables)
                 if prep_hist is not None:
-                    prep_hist.observe(perf_counter() - t_prep)
+                    prep_hist.observe(
+                        perf_counter() - t_prep,
+                        backend=engine.name,
+                        stage="prepare",
+                        kind=step_kind(step),
+                    )
             # parametric steps are prepared at bind() time
 
     stats = PlanStats(

@@ -241,11 +241,12 @@ class TestValidationAndRegistry:
             get_backend("gpu")
 
     def test_registry_contents(self):
-        assert set(available_backends(kind="statevector")) == {
-            "kernel",
-            "sparse",
-            "einsum",
-        }
+        expected = {"kernel", "sparse", "einsum", "strided"}
+        from repro.simulation import HAVE_NUMBA
+
+        if HAVE_NUMBA:
+            expected.add("jit")
+        assert set(available_backends(kind="statevector")) == expected
         # the unified namespace also lists the non-statevector engines
         assert {"density", "mps", "stabilizer"} <= set(available_backends())
 

@@ -26,8 +26,10 @@ from repro.noise import (
 from repro.observability import (
     BATCH_SIZE,
     BATCHED_SHOTS,
+    EV_BATCH_FANOUT,
     MetricsRegistry,
     TRAJECTORIES,
+    flight_recorder,
 )
 from repro.simulation import SimulationOptions, get_backend
 from repro.simulation.options import resolve_simulation_options
@@ -129,7 +131,9 @@ class TestWorkerInvariance:
             gate_noise=Depolarizing(0.05), readout_error=0.02
         )
         opts1 = SimulationOptions(batch_size=32, max_workers=1)
-        opts4 = SimulationOptions(batch_size=32, max_workers=4)
+        opts4 = SimulationOptions(
+            batch_size=32, max_workers=4, min_shots_per_worker=1
+        )
         a = run_trajectories_batched(
             c, noise, shots=256, seed=11, options=opts1
         )
@@ -146,9 +150,40 @@ class TestWorkerInvariance:
         expected = serial_results(c, noise, 64, seed=21)
         got = run_trajectories_batched(
             c, noise, shots=64, seed=21,
-            options=SimulationOptions(batch_size=16, max_workers=3),
+            options=SimulationOptions(
+                batch_size=16, max_workers=3, min_shots_per_worker=1
+            ),
         )
         assert got.results == expected
+
+    def test_small_jobs_auto_inline(self):
+        """Below the shots-per-worker floor the fan-out collapses to
+        an inline run, and the decision lands in the flight recorder."""
+        rec = flight_recorder()
+        rec.clear()
+        c = ghz_circuit(4, measure=True)
+        noise = NoiseModel(readout_error=0.02)
+        res = run_trajectories_batched(
+            c, noise, shots=64, seed=3,
+            options=SimulationOptions(
+                batch_size=16, max_workers=4,
+                min_shots_per_worker=4096,
+            ),
+        )
+        assert res.workers == 1  # 64 shots < 4 * 4096 => inline
+        evs = rec.events(EV_BATCH_FANOUT)
+        assert len(evs) == 1
+        ev = evs[0].data
+        assert ev["shots"] == 64
+        assert ev["requested"] == 4
+        assert ev["workers"] == 1
+        assert ev["inline"] is True
+
+    def test_fanout_floor_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(min_shots_per_worker=0)
+        opts = SimulationOptions(min_shots_per_worker=10)
+        assert opts.min_shots_per_worker == 10
 
 
 class TestBatchedBackends:

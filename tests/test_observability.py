@@ -341,12 +341,26 @@ class TestExporters:
         assert rows
         for r in rows:
             assert set(r) == {
-                "backend", "kind", "calls", "seconds", "bytes"
+                "backend", "kind", "calls", "seconds", "bytes",
+                "prep_seconds",
             }
-            assert r["bytes"] > 0
+            assert r["prep_seconds"] >= 0.0
+        applied = [r for r in rows if r["calls"] > 0]
+        assert applied
         # a 2-qubit statevector is 64 bytes; every kernel streams it
         # in and out at least once
-        assert all(r["bytes"] >= 64 for r in rows)
+        assert all(r["bytes"] >= 64 for r in applied)
+        # compile-time cost is attributed per (backend, kind); the
+        # instrumented run prepared at least one step, so some row
+        # carries a positive prepare time
+        assert any(r["prep_seconds"] > 0 for r in rows)
+        # prepare-only combos surface as calls=0 rows rather than
+        # vanishing from the attribution table
+        assert all(
+            r["bytes"] == 0 and r["seconds"] == 0.0
+            for r in rows
+            if r["calls"] == 0
+        )
         prep = inst.metrics.get(PLAN_PREP_SECONDS)
         assert prep is not None and prep.total_sum() >= 0
         assert (

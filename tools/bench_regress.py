@@ -104,6 +104,16 @@ SPECS = {
             kind="absolute",
         ),
     ],
+    "kernel": [
+        MetricSpec(
+            "speedup_strided_vs_kernel", higher_is_better=True,
+            kind="ratio",
+        ),
+        MetricSpec(
+            "strided_planned_seconds", higher_is_better=False,
+            kind="absolute",
+        ),
+    ],
     "conformance": [
         # check-group count is a coverage floor, not a timing: the
         # sweep must keep cross-checking at least as many groups as
