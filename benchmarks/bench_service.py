@@ -1,0 +1,177 @@
+"""Service gateway throughput/latency under concurrent clients.
+
+Boots the full stack — stdlib HTTP server, ASGI adapter, gateway,
+worker pool, shared executor — in-process via
+:func:`repro.serve.start_in_thread`, then drives it with ``CLIENTS``
+concurrent keep-alive HTTP clients, each posting ``REQUESTS`` seeded
+sampling requests for the same 10-qubit circuit.  Per-request seeds
+differ, so every request bypasses the result cache and executes for
+real; the circuit signature is shared, so all of them ride one
+compiled plan (the coalescing the service tests pin down).
+
+Emits ``BENCH_service.json`` with requests/second, p50/p99 latency
+(milliseconds) and the ok fraction at ``CLIENTS`` concurrency — the
+``ok_fraction`` (ratio) and ``rps`` (absolute) metrics are gated by
+``tools/bench_regress.py``.  Environment overrides:
+``BENCH_SERVICE_CLIENTS``, ``BENCH_SERVICE_REQUESTS``.  Run directly
+(``python benchmarks/bench_service.py``) or through pytest.
+"""
+
+import http.client
+import json
+import os
+import threading
+from time import perf_counter
+
+try:
+    from benchmarks.harness import emit_json
+except ImportError:  # direct execution from the benchmarks/ directory
+    from harness import emit_json
+
+from repro import Measurement
+from repro.circuit import QCircuit
+from repro.gates import CNOT, RotationY
+from repro.io import circuit_to_dict
+from repro.serve import ServiceConfig, start_in_thread
+from repro.simulation import plan_cache_info
+
+#: Concurrent clients (the acceptance floor is >= 4).
+CLIENTS = int(os.environ.get("BENCH_SERVICE_CLIENTS", "4"))
+#: Requests per client.
+REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "25"))
+N_QUBITS = 10
+N_LAYERS = 4
+
+
+def _workload_circuit():
+    """A 10-qubit entangling workload ending in one measurement."""
+    circuit = QCircuit(N_QUBITS)
+    for layer in range(N_LAYERS):
+        for q in range(N_QUBITS):
+            circuit.push_back(RotationY(q, 0.1 * (layer + 1) + 0.01 * q))
+        for q in range(N_QUBITS - 1):
+            circuit.push_back(CNOT(q, q + 1))
+    circuit.push_back(Measurement(0))
+    return circuit
+
+
+def _client(host, port, circuit_dict, client_id, nrequests, latencies,
+            failures, barrier):
+    """One load-generator thread: keep-alive connection, seeded posts."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    barrier.wait()
+    for i in range(nrequests):
+        body = json.dumps({
+            "circuit": {"json": circuit_dict},
+            "shots": 256,
+            # distinct seeds -> distinct cache keys -> real execution
+            "seed": client_id * 100_000 + i,
+        })
+        t0 = perf_counter()
+        try:
+            conn.request("POST", "/v1/simulate", body)
+            resp = conn.getresponse()
+            resp.read()
+            ok = resp.status == 200
+        except (OSError, http.client.HTTPException):
+            ok = False
+            conn.close()
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+        latencies.append(perf_counter() - t0)
+        if not ok:
+            failures.append((client_id, i))
+    conn.close()
+
+
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[rank]
+
+
+def run_load(clients=CLIENTS, nrequests=REQUESTS):
+    """Drive the service with ``clients`` concurrent clients; returns
+    the ``BENCH_service.json`` payload."""
+    circuit_dict = circuit_to_dict(_workload_circuit())
+    config = ServiceConfig(port=0, workers=clients, queue_size=256)
+    latencies: list = []
+    failures: list = []
+    barrier = threading.Barrier(clients + 1)
+    cache_before = plan_cache_info()
+
+    with start_in_thread(config) as handle:
+        threads = [
+            threading.Thread(
+                target=_client,
+                args=(handle.host, handle.port, circuit_dict, c,
+                      nrequests, latencies, failures, barrier),
+            )
+            for c in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = perf_counter()
+        for t in threads:
+            t.join()
+        wall = perf_counter() - t0
+        gateway_metrics = {
+            "timeouts": handle.gateway.metrics.counter(
+                "repro_service_timeouts_total", ""
+            ).total(),
+            "throttles": handle.gateway.metrics.counter(
+                "repro_service_throttles_total", ""
+            ).total(),
+        }
+
+    cache_after = plan_cache_info()
+    total = clients * nrequests
+    ok = total - len(failures)
+    ordered = sorted(latencies)
+    return {
+        "clients": clients,
+        "requests_per_client": nrequests,
+        "requests_total": total,
+        "ok_fraction": ok / total,
+        "wall_seconds": wall,
+        "rps": ok / wall if wall > 0 else 0.0,
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+        "mean_ms": (sum(latencies) / len(latencies)) * 1e3,
+        "plan_cache_misses": (
+            cache_after["misses"] - cache_before["misses"]
+        ),
+        "service": gateway_metrics,
+        "qubits": N_QUBITS,
+        "shots_per_request": 256,
+    }
+
+
+def test_service_throughput_emit_json():
+    """Load-test the gateway and emit ``BENCH_service.json``."""
+    payload = run_load()
+    path = emit_json("service", payload)
+    print(
+        f"BENCH-service | {payload['rps']:.1f} req/s at "
+        f"{payload['clients']} clients, p50 {payload['p50_ms']:.1f} ms, "
+        f"p99 {payload['p99_ms']:.1f} ms | wrote {path}"
+    )
+    assert payload["clients"] >= 4
+    assert payload["ok_fraction"] == 1.0
+    # signature-equal workload: the whole run costs at most one compile
+    assert payload["plan_cache_misses"] <= 1
+
+
+if __name__ == "__main__":
+    payload = run_load()
+    path = emit_json("service", payload)
+    print(
+        f"{payload['rps']:.1f} req/s at {payload['clients']} clients | "
+        f"p50 {payload['p50_ms']:.1f} ms p99 {payload['p99_ms']:.1f} ms "
+        f"| wrote {path}"
+    )

@@ -18,6 +18,7 @@ __all__ = [
     "QASMError",
     "DrawError",
     "UnboundParameterError",
+    "JobCancelledError",
 ]
 
 
@@ -66,4 +67,17 @@ class UnboundParameterError(QCLabError, TypeError):
     a required parameter is missing from the supplied values.  Subclasses
     :class:`TypeError` because the historical failure mode was a
     ``TypeError`` deep inside numpy.
+    """
+
+
+class JobCancelledError(SimulationError):
+    """An execution job was cancelled (or overran its deadline).
+
+    Raised *inside* the executor pipeline at the next cancellation
+    checkpoint after :meth:`repro.execution.Job.cancel` is called or
+    the job's :attr:`~repro.execution.Job.deadline` passes, then
+    captured onto the job like any other pipeline error: the job ends
+    in state ``FAILED`` with this exception as
+    :attr:`~repro.execution.Job.error` and the executor stays fully
+    reusable.  The service gateway maps it to a ``504`` response.
     """

@@ -167,7 +167,7 @@ def _reset(engine, branches, qubit, nb_qubits, atol, record):
     return out
 
 
-def run_plan(plan, state, atol, inst=None):
+def run_plan(plan, state, atol, inst=None, check=None):
     """Replay a compiled plan branch-wise from an initial state.
 
     THE dispatch loop — the only place planned statevector steps
@@ -178,6 +178,14 @@ def run_plan(plan, state, atol, inst=None):
     counts/seconds/bytes), collapses land in the measurement
     histogram, and state/branch high-water gauges update; with
     ``None`` (or a disabled bundle) the loop pays none of that.
+
+    ``check`` is the cancellation hook: a zero-argument callable
+    invoked once per plan step (not per branch) that raises to abort
+    the replay — the executor threads
+    :meth:`repro.execution.Job.check_cancelled` through here for jobs
+    carrying a deadline or a cancel request, which is how a service
+    request timeout interrupts a simulation *mid-execution*.  ``None``
+    (every ordinary run) costs nothing.
 
     Either way every step appends one ``step.dispatch`` event (op
     kind, qubit count, wall ns, branch count) to the always-on flight
@@ -213,6 +221,8 @@ def run_plan(plan, state, atol, inst=None):
     use_out = bool(getattr(engine, "supports_out", False))
     spare = None
     for step in plan.steps:
+        if check is not None:
+            check()
         t0 = perf_counter()
         if step.kind == GATE:
             for branch in branches:

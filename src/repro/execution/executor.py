@@ -28,11 +28,11 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.exceptions import UnboundParameterError
+from repro.exceptions import SimulationError, UnboundParameterError
 from repro.execution import trajectory as traj
 from repro.execution.dispatch import run_plan, run_unplanned
 from repro.execution.density import initial_density, run_density_plan
-from repro.execution.job import DONE, FAILED, Job
+from repro.execution.job import DONE, FAILED, PENDING, Job
 from repro.execution.request import (
     DENSITY,
     STATEVECTOR,
@@ -99,16 +99,35 @@ class Executor:
 
     # -- the submit path -----------------------------------------------------
 
-    def submit(self, request: ExecutionRequest) -> Job:
-        """Execute one request through its full pipeline; returns the
-        finished :class:`Job` (state ``DONE`` or ``FAILED``).
+    def prepare(self, request: ExecutionRequest) -> Job:
+        """Create a :class:`Job` handle for a request *without* running
+        it.
 
-        Never raises: pipeline exceptions are captured on the job and
-        surface when (and only when) :meth:`Job.result` is called.
-        Safe under concurrent callers sharing this executor — see the
-        module docstring for the locking contract.
+        The prepare/execute split exists for callers that queue work
+        and need the handle up front — the service gateway hands the
+        prepared job to a waiting HTTP handler (so it can ``wait()``,
+        set a ``deadline`` or ``cancel()``) while a worker thread
+        drives :meth:`execute`.  :meth:`submit` is the inline
+        composition of the two.
         """
-        job = Job(request, next(self._ids))
+        return Job(request, next(self._ids))
+
+    def execute(self, job: Job) -> Job:
+        """Drive a prepared :class:`Job` through its full pipeline;
+        returns the same job in a terminal state (``DONE`` or
+        ``FAILED``).
+
+        Never raises: pipeline exceptions — including
+        :class:`~repro.exceptions.JobCancelledError` from a
+        ``cancel()`` or an expired ``deadline`` — are captured on the
+        job and surface only through :meth:`Job.result`.  A job may
+        execute at most once.
+        """
+        request = job.request
+        if job.state != PENDING:
+            raise SimulationError(
+                f"job {job.id} already executed (state {job.state})"
+            )
         with self._lock:
             self._submitted += 1
         record_event(
@@ -125,6 +144,7 @@ class Executor:
         )
         job._instrumentation = inst if inst.enabled else None
         try:
+            job.check_cancelled()
             with activate(inst):
                 result = self._runners[request.kind](self, job, inst)
             job._finish(result)
@@ -148,6 +168,17 @@ class Executor:
             ns=int(job.timings.total_seconds * 1e9),
         )
         return job
+
+    def submit(self, request: ExecutionRequest) -> Job:
+        """Execute one request through its full pipeline; returns the
+        finished :class:`Job` (state ``DONE`` or ``FAILED``).
+
+        Never raises: pipeline exceptions are captured on the job and
+        surface when (and only when) :meth:`Job.result` is called.
+        Safe under concurrent callers sharing this executor — see the
+        module docstring for the locking contract.
+        """
+        return self.execute(self.prepare(request))
 
     def run(self, request: ExecutionRequest):
         """Submit and immediately materialize: returns the result
@@ -224,6 +255,15 @@ class Executor:
             )
             job.timings.compile_seconds = perf_counter() - t_c
             job._compiled(plan, stats)
+            # per-step cancellation only engages for deadline/cancel
+            # jobs, so plain simulate() wrappers pay nothing extra
+            check = (
+                job.check_cancelled
+                if job.deadline is not None or job.cancelled
+                else None
+            )
+            if check is not None:
+                check()
             if plan.is_parametric and req.param_values is None:
                 raise UnboundParameterError(
                     "circuit has unbound parameter(s) "
@@ -247,11 +287,11 @@ class Executor:
                         "simulate.execute", backend=plan.engine.name
                     ):
                         branches, measurements = run_plan(
-                            plan, state, opts.atol, inst
+                            plan, state, opts.atol, inst, check=check
                         )
                 else:
                     branches, measurements = run_plan(
-                        plan, state, opts.atol
+                        plan, state, opts.atol, check=check
                     )
                 stats.execute_seconds = perf_counter() - t0
             job._stats = stats
@@ -284,6 +324,7 @@ class Executor:
             )
             job.timings.compile_seconds = perf_counter() - t_c
             job._compiled(plan, stats)
+            job.check_cancelled()
             engine = plan.engine
             span.set(backend=engine.name)
             if inst.enabled:
@@ -330,6 +371,7 @@ class Executor:
             )
             job.timings.compile_seconds = perf_counter() - t_c
             job._compiled(plan, stats)
+            job.check_cancelled()
             engine = plan.engine
             if inst.enabled:
                 span.set(backend=engine.name)
@@ -384,6 +426,7 @@ class Executor:
             )
             job.timings.compile_seconds = perf_counter() - t_c
             job._compiled(plan, stats)
+            job.check_cancelled()
             channels = (
                 req.channels
                 if req.channels is not None
@@ -529,6 +572,7 @@ class Executor:
         )
         job.timings.compile_seconds = perf_counter() - t_c
         job._compiled(plan, stats)
+        job.check_cancelled()
         job._running()
         job._stage = "param.sweep"
         t0 = perf_counter()

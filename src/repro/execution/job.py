@@ -16,11 +16,12 @@ value that can cross thread (and, later, process/network) boundaries.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Optional
 
-from repro.exceptions import SimulationError
+from repro.exceptions import JobCancelledError, SimulationError
 
 __all__ = [
     "PENDING",
@@ -74,7 +75,8 @@ class Job:
 
     __slots__ = (
         "id", "request", "state", "plan", "error", "timings",
-        "_result", "_stats", "_instrumentation", "_stage",
+        "deadline", "_result", "_stats", "_instrumentation", "_stage",
+        "_cancelled", "_done_event",
     )
 
     def __init__(self, request, job_id: int = 0):
@@ -87,12 +89,19 @@ class Job:
         #: the captured exception when :attr:`state` is ``FAILED``.
         self.error: Optional[BaseException] = None
         self.timings = JobTimings()
+        #: optional absolute ``perf_counter`` deadline — set by callers
+        #: (the service gateway) before execution; the pipeline aborts
+        #: with :class:`~repro.exceptions.JobCancelledError` at the
+        #: first cancellation checkpoint past it.
+        self.deadline: Optional[float] = None
         self._result: Any = None
         self._stats = None
         self._instrumentation = None
         #: pipeline stage label for error attribution (``where`` on the
         #: recorder's ``error`` event).
         self._stage: Optional[str] = None
+        self._cancelled = False
+        self._done_event = threading.Event()
 
     # -- state transitions (driven by the executor) -------------------------
 
@@ -107,10 +116,61 @@ class Job:
     def _finish(self, result) -> None:
         self._result = result
         self.state = DONE
+        self._done_event.set()
 
     def _fail(self, error: BaseException) -> None:
         self.error = error
         self.state = FAILED
+        self._done_event.set()
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cancellation of a not-yet-finished job.
+
+        Cancellation is *cooperative*: the flag is observed at the
+        pipeline's cancellation checkpoints (stage boundaries and, for
+        planned statevector runs, every plan step), where the run
+        aborts with :class:`~repro.exceptions.JobCancelledError`.
+        Returns ``False`` when the job already reached a terminal
+        state (too late to cancel), ``True`` otherwise.
+        """
+        if self.done:
+            return False
+        self._cancelled = True
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was requested (terminal or not)."""
+        return self._cancelled
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`~repro.exceptions.JobCancelledError` when the
+        job was cancelled or its :attr:`deadline` has passed.
+
+        Called by the executor at stage boundaries and threaded into
+        the plan dispatch loop as its per-step ``check`` hook; a no-op
+        for jobs with no deadline and no cancel request.
+        """
+        if self._cancelled:
+            raise JobCancelledError(f"job {self.id} cancelled")
+        if self.deadline is not None and perf_counter() > self.deadline:
+            self._cancelled = True
+            raise JobCancelledError(
+                f"job {self.id} exceeded its deadline"
+            )
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state.
+
+        Returns ``True`` when the job finished within ``timeout``
+        seconds (``None`` = wait forever), ``False`` on timeout.  Only
+        meaningful for jobs executed on another thread (the service
+        gateway's worker pool); ``Executor.submit`` returns finished
+        jobs, for which this returns immediately.
+        """
+        return self._done_event.wait(timeout)
 
     # -- outcome ------------------------------------------------------------
 

@@ -207,24 +207,30 @@ class SWAP(QGate):
 
     @property
     def qubits(self) -> tuple:
+        """The two exchanged qubits, in ascending order."""
         return self._qubits
 
     @property
     def matrix(self) -> np.ndarray:
+        """The 4x4 SWAP unitary."""
         return self._MATRIX
 
     def ctranspose(self) -> "SWAP":
+        """The inverse gate (SWAP is self-inverse)."""
         return SWAP(*self._qubits)
 
     def draw_spec(self) -> DrawSpec:
+        """Drawing layout: a connected cross on each qubit."""
         el = DrawElement("cross")
         return DrawSpec(elements={q: el for q in self._qubits}, connect=True)
 
     def toQASM(self, offset: int = 0) -> str:
+        """The OpenQASM 2.0 statement, qubits shifted by ``offset``."""
         a, b = (q + offset for q in self._qubits)
         return f"swap q[{a}],q[{b}];"
 
     def shifted(self, offset: int):
+        """A copy of the gate acting ``offset`` qubits lower down."""
         out = copy.copy(self)
         out._qubits = tuple(q + int(offset) for q in self._qubits)
         return out
@@ -248,24 +254,30 @@ class iSWAP(QGate):
 
     @property
     def qubits(self) -> tuple:
+        """The two exchanged qubits, in ascending order."""
         return self._qubits
 
     @property
     def matrix(self) -> np.ndarray:
+        """The 4x4 iSWAP unitary (``i`` on the swapped amplitudes)."""
         return self._MATRIX
 
     def ctranspose(self) -> "_iSWAPdg":
+        """The inverse gate (iSWAP-dagger, ``-i`` phases)."""
         return _iSWAPdg(*self._qubits)
 
     def draw_spec(self) -> DrawSpec:
+        """Drawing layout: a connected ``iSW`` box on each qubit."""
         el = DrawElement("box", "iSW")
         return DrawSpec(elements={q: el for q in self._qubits}, connect=True)
 
     def toQASM(self, offset: int = 0) -> str:
+        """The OpenQASM 2.0 statement, qubits shifted by ``offset``."""
         a, b = (q + offset for q in self._qubits)
         return f"iswap q[{a}],q[{b}];"
 
     def shifted(self, offset: int):
+        """A copy of the gate acting ``offset`` qubits lower down."""
         out = copy.copy(self)
         out._qubits = tuple(q + int(offset) for q in self._qubits)
         return out

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 from typing import List, Optional
 
-__all__ = ["main", "build_workload", "WORKLOADS", "run_workload"]
+__all__ = [
+    "main", "build_workload", "WORKLOADS", "run_workload", "load_dump",
+]
 
 
 def _plan12_circuit():
@@ -226,6 +229,69 @@ def _report_lines(report, top: int) -> List[str]:
     return lines
 
 
+def _salvage_dump(text: str) -> Optional[dict]:
+    """Recover what can be recovered from a truncated dump.
+
+    A dump written non-atomically by a still-running process (an old
+    :meth:`~repro.observability.FlightRecorder.dump_json`, a mid-write
+    copy, a crash during the write) may end mid-event.  The header
+    scalars all precede the ``events`` array in the v1 layout, so they
+    are recoverable by regex; the events themselves are recovered one
+    complete JSON object at a time with
+    :meth:`json.JSONDecoder.raw_decode`, dropping only the final
+    partial one.  Returns ``None`` when the text is not even a
+    recognizable dump prefix.
+    """
+    if '"format": "repro-flight-recorder"' not in text:
+        return None
+    dump: dict = {"format": "repro-flight-recorder", "truncated": True}
+    for field in ("version", "capacity", "recorded", "dropped"):
+        m = re.search(rf'"{field}":\s*(\d+)', text)
+        if m:
+            dump[field] = int(m.group(1))
+    events: List[dict] = []
+    start = text.find('"events"')
+    if start != -1:
+        decoder = json.JSONDecoder()
+        pos = text.find("[", start)
+        while pos != -1:
+            pos = text.find("{", pos)
+            if pos == -1:
+                break
+            try:
+                event, end = decoder.raw_decode(text, pos)
+            except json.JSONDecodeError:
+                break  # the torn final event
+            events.append(event)
+            pos = end
+    dump["events"] = events
+    return dump
+
+
+def load_dump(path: str) -> Optional[dict]:
+    """Load a flight-recorder dump, tolerating torn writes.
+
+    Well-formed dumps load directly; files cut off mid-write (a
+    still-running process, a crash) fall back to :func:`_salvage_dump`
+    which recovers the header and every complete event and marks the
+    result ``{"truncated": True}``.  Returns ``None`` for files that
+    are not flight-recorder dumps at all — the CLI turns that into
+    exit code 2.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        dump = json.loads(text)
+    except json.JSONDecodeError:
+        return _salvage_dump(text)
+    if (
+        not isinstance(dump, dict)
+        or dump.get("format") != "repro-flight-recorder"
+    ):
+        return None
+    return dump
+
+
 def _dump_lines(dump: dict, top: int) -> List[str]:
     """The dump-reading digest, computed from recorder events alone."""
     events = dump.get("events", [])
@@ -287,6 +353,7 @@ def _dump_json_payload(dump: dict, top: int) -> dict:
         "mode": "dump",
         "events": len(events),
         "dropped": dump.get("dropped", 0),
+        "truncated": bool(dump.get("truncated", False)),
         "by_kind": by_kind,
         "dispatch_table": table,
     }
@@ -334,11 +401,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.dump:
-        with open(args.dump) as fh:
-            dump = json.load(fh)
-        if dump.get("format") != "repro-flight-recorder":
+        dump = load_dump(args.dump)
+        if dump is None:
             print(f"{args.dump}: not a flight-recorder dump")
             return 2
+        if dump.get("truncated"):
+            print(
+                f"{args.dump}: truncated dump (torn write?); "
+                f"recovered {len(dump.get('events', []))} complete "
+                "event(s)"
+            )
         if args.json:
             print(json.dumps(_dump_json_payload(dump, args.top), indent=2))
         else:

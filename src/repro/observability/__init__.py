@@ -79,6 +79,14 @@ from repro.observability.metrics import (
     PLAN_CACHE_MISSES,
     PLAN_PREP_SECONDS,
     RNG_DRAWS,
+    SERVICE_INFLIGHT,
+    SERVICE_LATENCY,
+    SERVICE_QUEUE_DEPTH,
+    SERVICE_REQUESTS,
+    SERVICE_RESULT_CACHE_HITS,
+    SERVICE_RESULT_CACHE_MISSES,
+    SERVICE_THROTTLES,
+    SERVICE_TIMEOUTS,
     SHOTS_SAMPLED,
     STATE_BYTES_MAX,
     TRAJECTORIES,
@@ -90,6 +98,10 @@ from repro.observability.recorder import (
     EV_ERROR,
     EV_JOB_DONE,
     EV_JOB_SUBMIT,
+    EV_REQUEST_ACCEPT,
+    EV_REQUEST_DONE,
+    EV_REQUEST_REJECT,
+    EV_REQUEST_TIMEOUT,
     EV_PLAN_BIND,
     EV_PLAN_COMPILE,
     EV_PLAN_EVICT,
@@ -146,6 +158,10 @@ __all__ = [
     "EV_JOB_SUBMIT",
     "EV_JOB_DONE",
     "EV_ERROR",
+    "EV_REQUEST_ACCEPT",
+    "EV_REQUEST_DONE",
+    "EV_REQUEST_REJECT",
+    "EV_REQUEST_TIMEOUT",
     "GATE_APPLIES",
     "KERNEL_SECONDS",
     "KERNEL_BYTES",
@@ -165,4 +181,12 @@ __all__ = [
     "CONFORMANCE_CIRCUITS",
     "CONFORMANCE_CHECKS",
     "CONFORMANCE_FAILURES",
+    "SERVICE_REQUESTS",
+    "SERVICE_LATENCY",
+    "SERVICE_QUEUE_DEPTH",
+    "SERVICE_INFLIGHT",
+    "SERVICE_THROTTLES",
+    "SERVICE_TIMEOUTS",
+    "SERVICE_RESULT_CACHE_HITS",
+    "SERVICE_RESULT_CACHE_MISSES",
 ]

@@ -46,6 +46,14 @@ __all__ = [
     "CONFORMANCE_CIRCUITS",
     "CONFORMANCE_CHECKS",
     "CONFORMANCE_FAILURES",
+    "SERVICE_REQUESTS",
+    "SERVICE_LATENCY",
+    "SERVICE_QUEUE_DEPTH",
+    "SERVICE_INFLIGHT",
+    "SERVICE_THROTTLES",
+    "SERVICE_TIMEOUTS",
+    "SERVICE_RESULT_CACHE_HITS",
+    "SERVICE_RESULT_CACHE_MISSES",
 ]
 
 # -- canonical instrument names ----------------------------------------------
@@ -98,6 +106,21 @@ CONFORMANCE_CIRCUITS = "repro_conformance_circuits_total"
 CONFORMANCE_CHECKS = "repro_conformance_checks_total"
 #: Conformance failures detected, labelled by ``check`` name.
 CONFORMANCE_FAILURES = "repro_conformance_failures_total"
+#: Service gateway requests, labelled by ``route`` and ``status``.
+SERVICE_REQUESTS = "repro_service_requests_total"
+#: End-to-end service request wall seconds, labelled by ``route``.
+SERVICE_LATENCY = "repro_service_request_seconds"
+#: Current depth of the gateway's bounded submission queue.
+SERVICE_QUEUE_DEPTH = "repro_service_queue_depth"
+#: Requests currently executing on gateway workers.
+SERVICE_INFLIGHT = "repro_service_inflight"
+#: Requests rejected by quota or backpressure, labelled by ``reason``.
+SERVICE_THROTTLES = "repro_service_throttles_total"
+#: Requests cancelled because they overran their deadline.
+SERVICE_TIMEOUTS = "repro_service_timeouts_total"
+#: Service result-cache hits / misses.
+SERVICE_RESULT_CACHE_HITS = "repro_service_result_cache_hits_total"
+SERVICE_RESULT_CACHE_MISSES = "repro_service_result_cache_misses_total"
 
 #: Default histogram bucket upper bounds (seconds): 1 us .. 10 s.
 DEFAULT_BUCKETS = (

@@ -31,6 +31,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 import json
+import os
 import threading
 from collections import Counter, deque
 from time import perf_counter
@@ -56,6 +57,10 @@ __all__ = [
     "EV_JOB_SUBMIT",
     "EV_JOB_DONE",
     "EV_ERROR",
+    "EV_REQUEST_ACCEPT",
+    "EV_REQUEST_DONE",
+    "EV_REQUEST_REJECT",
+    "EV_REQUEST_TIMEOUT",
 ]
 
 #: Default ring capacity (events); the oldest events drop first.
@@ -93,6 +98,18 @@ EV_JOB_SUBMIT = "job.submit"
 EV_JOB_DONE = "job.done"
 #: An exception escaped an instrumented seam (payload: error, where).
 EV_ERROR = "error"
+#: A service request was admitted by the gateway (payload: id, tenant,
+#: pipeline, qubits).
+EV_REQUEST_ACCEPT = "request.accept"
+#: A service request finished (payload: id, tenant, status, ns,
+#: cached).
+EV_REQUEST_DONE = "request.done"
+#: A service request was rejected before execution (payload: tenant,
+#: status, reason).
+EV_REQUEST_REJECT = "request.reject"
+#: A service request was cancelled at its deadline (payload: id,
+#: tenant, ns).
+EV_REQUEST_TIMEOUT = "request.timeout"
 
 
 class RecorderEvent:
@@ -209,11 +226,19 @@ class FlightRecorder:
         }
 
     def dump_json(self, path=None, indent: int = 2) -> str:
-        """Serialize :meth:`dump`; also write it to ``path`` if given."""
+        """Serialize :meth:`dump`; also write it to ``path`` if given.
+
+        The write is atomic (tempfile + ``os.replace`` in the target's
+        directory), so a reader — ``python -m repro.obs --dump`` against
+        a still-running process — never observes a half-written file.
+        """
         text = json.dumps(self.dump(), indent=indent) + "\n"
         if path is not None:
-            with open(path, "w") as fh:
+            path = os.fspath(path)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
                 fh.write(text)
+            os.replace(tmp, path)
         return text
 
     @contextlib.contextmanager

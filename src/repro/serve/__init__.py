@@ -1,0 +1,63 @@
+"""Simulation-as-a-service: an HTTP gateway over the execution core.
+
+``python -m repro.serve`` boots a zero-dependency HTTP service that
+accepts circuits as OpenQASM or serialized JSON, runs them through the
+shared :class:`~repro.execution.Executor`, and answers with branch
+probabilities, sampled counts, Pauli expectations and (optionally)
+state amplitudes.  The full endpoint reference lives in
+``docs/serve.md``; the layering is:
+
+:mod:`repro.serve.protocol`
+    Pure request validation — JSON schema, circuit ingestion (QASM /
+    serialized dict), option allowlist, admission limits, structured
+    :class:`ServiceError` failures.
+:mod:`repro.serve.quota`
+    Per-tenant token buckets behind 429 + ``Retry-After``.
+:mod:`repro.serve.gateway`
+    The transport-free service: bounded queue, worker pool, result
+    cache, request deadlines with mid-run cancellation, ``SERVICE_*``
+    metrics and ``request.*`` flight-recorder events.
+:mod:`repro.serve.asgi`
+    An ASGI 3 adapter plus the stdlib ``asyncio`` HTTP server, and
+    :func:`start_in_thread` for in-process testing/benchmarking.
+
+Quick start, no socket required::
+
+    from repro.serve import Gateway, ServiceConfig
+
+    with Gateway(ServiceConfig(workers=2)) as gw:
+        status, headers, body = gw.handle(
+            "POST", "/v1/simulate",
+            b'{"qasm": "OPENQASM 2.0; ..."}',
+        )
+"""
+
+from repro.serve.asgi import ServerHandle, create_app, serve, start_in_thread
+from repro.serve.gateway import DEFAULT_TENANT, Gateway, ServiceConfig
+from repro.serve.protocol import (
+    Limits,
+    OPTION_KEYS,
+    ParsedRequest,
+    ServiceError,
+    error_body,
+    parse_simulation_request,
+)
+from repro.serve.quota import QuotaManager, TokenBucket
+
+__all__ = [
+    "Gateway",
+    "ServiceConfig",
+    "DEFAULT_TENANT",
+    "Limits",
+    "OPTION_KEYS",
+    "ParsedRequest",
+    "ServiceError",
+    "error_body",
+    "parse_simulation_request",
+    "QuotaManager",
+    "TokenBucket",
+    "create_app",
+    "serve",
+    "start_in_thread",
+    "ServerHandle",
+]

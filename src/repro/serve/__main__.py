@@ -1,0 +1,113 @@
+"""``python -m repro.serve`` — boot the simulation service.
+
+Runs the stdlib ``asyncio`` HTTP server over a freshly configured
+:class:`~repro.serve.gateway.Gateway`.  Every operator knob of
+:class:`~repro.serve.gateway.ServiceConfig` maps to a flag::
+
+    python -m repro.serve --port 8077 --workers 4 --timeout 30 \\
+        --quota-rate 10 --quota-burst 20
+
+Ctrl-C shuts down cleanly (workers drained and joined).  See
+``docs/serve.md`` for the endpoint reference and client quickstart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional
+
+from repro.serve.asgi import serve
+from repro.serve.gateway import ServiceConfig
+from repro.serve.protocol import Limits
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="HTTP simulation service over the repro executor",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8077,
+        help="bind port; 0 picks a free one (default 8077)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="execution worker threads (default 4)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded submission queue size (default 64)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-request deadline, seconds (default 30)",
+    )
+    parser.add_argument(
+        "--max-timeout", type=float, default=120.0,
+        help="ceiling on client-requested X-Timeout (default 120)",
+    )
+    parser.add_argument(
+        "--quota-rate", type=float, default=0.0,
+        help="per-tenant requests/second; 0 disables quotas (default)",
+    )
+    parser.add_argument(
+        "--quota-burst", type=int, default=10,
+        help="per-tenant token-bucket burst (default 10)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache entries; 0 disables caching (default 256)",
+    )
+    parser.add_argument(
+        "--max-qubits", type=int, default=22,
+        help="largest accepted circuit width (default 22)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=1_000_000,
+        help="largest accepted request body (default 1000000)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        timeout=args.timeout,
+        max_timeout=args.max_timeout,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        result_cache_size=args.cache_size,
+        limits=Limits(
+            max_body_bytes=args.max_body_bytes,
+            max_qubits=args.max_qubits,
+        ),
+    )
+    print(
+        f"repro.serve listening on http://{config.host}:{config.port} "
+        f"({config.workers} worker(s), queue {config.queue_size}, "
+        f"timeout {config.timeout:g}s)",
+        flush=True,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

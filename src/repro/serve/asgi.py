@@ -1,0 +1,323 @@
+"""ASGI adapter and stdlib HTTP server for the simulation gateway.
+
+Two ways to put a :class:`~repro.serve.gateway.Gateway` on the wire:
+
+:func:`create_app`
+    Wraps a gateway in a standards-compliant ASGI 3 callable.  Mount
+    it under any ASGI server (``uvicorn repro.serve.asgi:app`` style)
+    when one is installed — the gateway's synchronous :meth:`handle`
+    runs on the event loop's thread pool via :func:`asyncio.to_thread`
+    so slow simulations never block the accept loop.
+
+:func:`serve` / :func:`start_in_thread`
+    A minimal HTTP/1.1 server on :func:`asyncio.start_server` driving
+    that same ASGI app — zero dependencies beyond the standard
+    library, which is what lets ``python -m repro.serve`` boot
+    anywhere the package imports.  It speaks exactly what the service
+    needs (request line, headers, ``Content-Length`` bodies,
+    keep-alive) and answers 400 to anything fancier (chunked uploads).
+
+``start_in_thread`` is the test/benchmark entry point: it boots the
+server on a background thread, waits for the bound port (``port=0``
+picks a free one) and returns a :class:`ServerHandle` whose
+``close()`` tears everything down deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+from urllib.parse import unquote
+
+from repro.serve.gateway import Gateway, ServiceConfig
+
+__all__ = ["create_app", "serve", "start_in_thread", "ServerHandle"]
+
+#: Cap on accepted request-body sizes at the transport layer; the
+#: protocol layer enforces the (smaller) configured limit with a
+#: structured 413, this one only guards the raw reader.
+_MAX_WIRE_BODY = 64 * 1024 * 1024
+
+
+def create_app(gateway: Gateway):
+    """Build an ASGI 3 application over ``gateway``.
+
+    Handles ``http`` scopes by collecting the body and delegating to
+    :meth:`Gateway.handle` off-loop, and ``lifespan`` scopes by
+    starting/closing the gateway's worker pool with the server.
+    """
+
+    async def app(scope, receive, send):
+        """The ASGI callable (scope/receive/send protocol)."""
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    gateway.start()
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    gateway.close()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise RuntimeError(
+                f"unsupported ASGI scope type {scope['type']!r}"
+            )
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+        headers = {
+            k.decode("latin-1"): v.decode("latin-1")
+            for k, v in scope.get("headers", [])
+        }
+        status, out_headers, payload = await asyncio.to_thread(
+            gateway.handle,
+            scope["method"],
+            scope["path"],
+            body,
+            headers,
+        )
+        await send({
+            "type": "http.response.start",
+            "status": status,
+            "headers": [
+                (k.encode("latin-1"), v.encode("latin-1"))
+                for k, v in out_headers
+            ] + [(b"content-length", str(len(payload)).encode())],
+        })
+        await send({"type": "http.response.body", "body": payload})
+
+    return app
+
+
+async def _read_request(reader):
+    """Parse one HTTP/1.1 request off ``reader``.
+
+    Returns ``(method, path, headers, body, keep_alive)`` or ``None``
+    on a cleanly closed connection.  Raises ``ValueError`` on
+    malformed framing (the caller answers 400 and hangs up).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise ValueError("malformed request line")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise ValueError("malformed request line")
+    path = unquote(target.split("?", 1)[0])
+    headers = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ValueError("chunked request bodies are not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > _MAX_WIRE_BODY:
+        raise ValueError("unacceptable content-length")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = (
+        headers.get("connection", "").lower() != "close"
+        and version == "HTTP/1.1"
+    )
+    return method, path, headers, body, keep_alive
+
+
+def _write_response(writer, status, headers, body, keep_alive):
+    """Emit one HTTP/1.1 response onto ``writer``."""
+    reason = {
+        200: "OK", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 413: "Payload Too Large",
+        429: "Too Many Requests", 500: "Internal Server Error",
+        501: "Not Implemented", 504: "Gateway Timeout",
+    }.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{k}: {v}" for k, v in headers]
+    lines.append(f"content-length: {len(body)}")
+    lines.append(
+        "connection: keep-alive" if keep_alive else "connection: close"
+    )
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    writer.write(body)
+
+
+async def _handle_connection(gateway: Gateway, reader, writer):
+    """Serve HTTP requests on one connection until close/EOF."""
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError):
+                _write_response(
+                    writer, 400,
+                    [("content-type", "application/json")],
+                    b'{"error": {"code": "bad-http", '
+                    b'"message": "malformed HTTP request"}}',
+                    keep_alive=False,
+                )
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, path, headers, body, keep_alive = request
+            status, out_headers, payload = await asyncio.to_thread(
+                gateway.handle, method, path, body, headers
+            )
+            _write_response(
+                writer, status, out_headers, payload, keep_alive
+            )
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+async def serve(
+    config: Optional[ServiceConfig] = None,
+    gateway: Optional[Gateway] = None,
+    ready: Optional["threading.Event"] = None,
+    bound: Optional[list] = None,
+):
+    """Run the stdlib server until cancelled.
+
+    Boots (or adopts) a gateway, binds ``config.host:config.port``
+    (port 0 = ephemeral) and serves forever.  ``ready``/``bound`` are
+    the thread-handshake outputs used by :func:`start_in_thread`: the
+    actually bound ``(host, port)`` is appended to ``bound`` before
+    ``ready`` is set.
+    """
+    config = config or ServiceConfig()
+    gw = gateway or Gateway(config)
+    gw.start()
+    # track per-connection tasks so shutdown can cancel idle
+    # keep-alive readers instead of abandoning them to the dying loop
+    connections: set = set()
+
+    def _on_connection(reader, writer):
+        task = asyncio.ensure_future(
+            _handle_connection(gw, reader, writer)
+        )
+        connections.add(task)
+        task.add_done_callback(connections.discard)
+
+    server = await asyncio.start_server(
+        _on_connection, host=config.host, port=config.port
+    )
+    try:
+        sock = server.sockets[0].getsockname()
+        if bound is not None:
+            bound.append((sock[0], sock[1]))
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+    finally:
+        for task in list(connections):
+            task.cancel()
+        if connections:
+            await asyncio.gather(
+                *connections, return_exceptions=True
+            )
+        gw.close()
+
+
+class ServerHandle:
+    """A running background server: url, gateway, deterministic close.
+
+    Returned by :func:`start_in_thread`; also usable as a context
+    manager.  ``close()`` cancels the serve task on its loop, joins
+    the thread and (through :func:`serve`'s ``finally``) stops the
+    gateway workers.
+    """
+
+    def __init__(self, gateway, thread, loop, task, host, port):
+        self.gateway = gateway
+        self._thread = thread
+        self._loop = loop
+        self._task = task
+        self.host = host
+        self.port = port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_in_thread(
+    config: Optional[ServiceConfig] = None,
+    gateway: Optional[Gateway] = None,
+) -> ServerHandle:
+    """Boot the service on a daemon thread and wait until it listens.
+
+    The test/benchmark entry point::
+
+        from repro.serve import ServiceConfig, start_in_thread
+
+        with start_in_thread(ServiceConfig(port=0, workers=2)) as h:
+            ...  # h.url is live, h.gateway is inspectable
+
+    Raises ``RuntimeError`` when the server fails to come up within
+    ten seconds (port in use, import failure on the thread, ...).
+    """
+    config = config or ServiceConfig()
+    gw = gateway or Gateway(config)
+    ready = threading.Event()
+    bound: list = []
+    box: dict = {}
+
+    def _run():
+        """Thread body: own loop running :func:`serve` to completion."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        task = loop.create_task(
+            serve(config, gw, ready=ready, bound=bound)
+        )
+        box["task"] = task
+        try:
+            loop.run_until_complete(task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=_run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=10.0):
+        raise RuntimeError("service failed to start within 10s")
+    host, port = bound[0]
+    return ServerHandle(gw, thread, box["loop"], box["task"], host, port)

@@ -1,0 +1,526 @@
+"""The service gateway: admission, queueing, execution, responses.
+
+:class:`Gateway` is the synchronous heart of ``python -m repro.serve``
+— transport-agnostic on purpose.  It exposes exactly one entry point,
+:meth:`Gateway.handle`, taking the parsed pieces of an HTTP request
+and returning ``(status, headers, body)``; the ASGI layer
+(:mod:`repro.serve.asgi`) is a thin adapter over it, and tests can
+drive the whole service without opening a socket.
+
+One simulate request flows through five stages:
+
+1. **Admission** — tenant quota (:class:`~repro.serve.quota.QuotaManager`,
+   429 + ``Retry-After``), body limits and schema validation
+   (:mod:`repro.serve.protocol`, 400/413).
+2. **Result cache** — deterministic requests (exact runs, or sampled
+   runs with an explicit seed) are answered from an LRU keyed by
+   ``(circuit signature, options, start, shots, seed, expectations)``.
+3. **Queue** — the job enters a bounded :class:`queue.Queue`; a full
+   queue is backpressure, answered 429 + ``Retry-After`` immediately
+   rather than letting latency grow unbounded.
+4. **Execution** — a worker thread drives
+   :meth:`~repro.execution.Executor.execute`.  Concurrent requests
+   for the *same circuit shape* coalesce onto one compiled plan: the
+   plan cache's locked lookup guarantees N signature-equal jobs cost
+   exactly one compile (1 miss, N-1 hits).
+5. **Completion** — the handler thread waits on
+   :meth:`~repro.execution.Job.wait` up to the request deadline; on
+   timeout it cancels the job (the pipeline aborts at its next
+   per-step checkpoint, the executor stays reusable) and answers 504.
+
+Everything the gateway does is observable: ``SERVICE_*`` metrics in
+an owned :class:`~repro.observability.MetricsRegistry` (scraped at
+``/metrics``) and ``request.*`` events in the process flight recorder
+(dumped at ``/debug/recorder``).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import JobCancelledError
+from repro.execution import Executor
+from repro.observability import (
+    SERVICE_INFLIGHT,
+    SERVICE_LATENCY,
+    SERVICE_QUEUE_DEPTH,
+    SERVICE_REQUESTS,
+    SERVICE_RESULT_CACHE_HITS,
+    SERVICE_RESULT_CACHE_MISSES,
+    SERVICE_THROTTLES,
+    SERVICE_TIMEOUTS,
+    EV_REQUEST_ACCEPT,
+    EV_REQUEST_DONE,
+    EV_REQUEST_REJECT,
+    EV_REQUEST_TIMEOUT,
+    MetricsRegistry,
+    flight_recorder,
+    record_event,
+    to_prometheus,
+)
+from repro.serve.protocol import (
+    Limits,
+    ParsedRequest,
+    ServiceError,
+    parse_simulation_request,
+)
+from repro.serve.quota import QuotaManager
+from repro.simulation import plan_cache_info
+
+__all__ = ["ServiceConfig", "Gateway", "DEFAULT_TENANT"]
+
+#: Tenant id used when a request carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = object()
+
+
+@dataclass
+class ServiceConfig:
+    """Operator-facing knobs of one gateway instance.
+
+    ``workers`` sizes the execution pool (threads driving the shared
+    executor), ``queue_size`` bounds the submission queue (the
+    backpressure threshold), ``timeout``/``max_timeout`` the default
+    and ceiling per-request deadlines in seconds, ``quota_rate`` /
+    ``quota_burst`` the per-tenant token bucket (rate 0 disables
+    quotas), and ``limits`` the protocol-level admission bounds.
+    ``result_cache_size`` caps the deterministic-response LRU (0
+    disables it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    workers: int = 4
+    queue_size: int = 64
+    timeout: float = 30.0
+    max_timeout: float = 120.0
+    quota_rate: float = 0.0
+    quota_burst: int = 10
+    result_cache_size: int = 256
+    limits: Limits = field(default_factory=Limits)
+
+
+class _ResultCache:
+    """A tiny thread-safe LRU over serialized response bodies."""
+
+    def __init__(self, capacity: int):
+        from collections import OrderedDict
+
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> Optional[dict]:
+        """The cached response for ``key``, refreshing its recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, value: dict) -> None:
+        """Insert a response, evicting the least-recently-used."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Gateway:
+    """The simulation service, minus the transport.
+
+    Owns a shared :class:`~repro.execution.Executor`, a worker pool
+    pulling jobs off a bounded queue, the per-tenant quota manager,
+    the result cache and the service metrics registry.  Thread-safe:
+    :meth:`handle` is called concurrently from however many transport
+    threads the server runs.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`)
+    so the worker threads are always reclaimed::
+
+        with Gateway(ServiceConfig(workers=2)) as gw:
+            status, headers, body = gw.handle(
+                "POST", "/v1/simulate", b'{"qasm": "..."}', {}
+            )
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        executor: Optional[Executor] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.executor = executor or Executor()
+        self.metrics = MetricsRegistry()
+        self.quotas = QuotaManager(
+            self.config.quota_rate, self.config.quota_burst
+        )
+        self._cache = _ResultCache(self.config.result_cache_size)
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=max(1, self.config.queue_size)
+        )
+        self._threads: list = []
+        self._started = False
+        self._lock = threading.Lock()
+        m = self.metrics
+        self._m_requests = m.counter(
+            SERVICE_REQUESTS, "service requests by route and status"
+        )
+        self._m_latency = m.histogram(
+            SERVICE_LATENCY, "end-to-end request wall seconds"
+        )
+        self._m_queue = m.gauge(
+            SERVICE_QUEUE_DEPTH, "bounded submission queue depth"
+        )
+        self._m_inflight = m.gauge(
+            SERVICE_INFLIGHT, "requests executing on workers"
+        )
+        self._m_throttles = m.counter(
+            SERVICE_THROTTLES, "requests rejected by quota/backpressure"
+        )
+        self._m_timeouts = m.counter(
+            SERVICE_TIMEOUTS, "requests cancelled at their deadline"
+        )
+        self._m_cache_hits = m.counter(
+            SERVICE_RESULT_CACHE_HITS, "result cache hits"
+        )
+        self._m_cache_misses = m.counter(
+            SERVICE_RESULT_CACHE_MISSES, "result cache misses"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Gateway":
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            for i in range(max(1, self.config.workers)):
+                t = threading.Thread(
+                    target=self._worker,
+                    name=f"repro-serve-worker-{i}",
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop the worker pool; queued jobs are drained first."""
+        with self._lock:
+            if not self._started:
+                return
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for t in self._threads:
+                t.join(timeout=5.0)
+            self._threads = []
+            self._started = False
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _worker(self) -> None:
+        """Worker loop: execute queued jobs until the stop sentinel."""
+        while True:
+            item = self._queue.get()
+            self._m_queue.set(self._queue.qsize())
+            if item is _STOP:
+                return
+            self._m_inflight.inc(1)
+            try:
+                self.executor.execute(item)
+            finally:
+                self._m_inflight.inc(-1)
+
+    # -- routing ------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, list, bytes]:
+        """Serve one request; returns ``(status, headers, body)``.
+
+        ``headers`` keys are matched case-insensitively.  Unknown
+        paths answer 404, known paths with the wrong verb 405 — both
+        with the same structured error body as every other failure.
+        """
+        headers = {
+            k.lower(): v for k, v in (headers or {}).items()
+        }
+        t0 = perf_counter()
+        route, status, out_headers, payload = self._route(
+            method.upper(), path, body, headers
+        )
+        self._m_requests.inc(route=route, status=str(status))
+        self._m_latency.observe(perf_counter() - t0, route=route)
+        return status, out_headers, payload
+
+    def _route(self, method, path, body, headers):
+        """Dispatch to the endpoint; returns (route, status, hdrs, body)."""
+        if path == "/v1/simulate":
+            if method != "POST":
+                return ("/v1/simulate",) + self._error(
+                    ServiceError(405, "method-not-allowed",
+                                 "use POST /v1/simulate")
+                )
+            try:
+                status, hdrs, payload = self._simulate(body, headers)
+            except ServiceError as exc:
+                tenant = headers.get("x-tenant", DEFAULT_TENANT)
+                record_event(
+                    EV_REQUEST_REJECT, tenant=tenant, status=exc.status,
+                    reason=exc.code,
+                )
+                return ("/v1/simulate",) + self._error(exc)
+            return ("/v1/simulate", status, hdrs, payload)
+        if path == "/healthz":
+            if method != "GET":
+                return ("/healthz",) + self._error(
+                    ServiceError(405, "method-not-allowed",
+                                 "use GET /healthz")
+                )
+            return ("/healthz",) + self._json(200, self._health())
+        if path == "/metrics":
+            text = to_prometheus(self.metrics).encode("utf-8")
+            return (
+                "/metrics", 200,
+                [("content-type",
+                  "text/plain; version=0.0.4; charset=utf-8")],
+                text,
+            )
+        if path == "/debug/recorder":
+            dump = flight_recorder().dump()
+            return ("/debug/recorder",) + self._json(200, dump)
+        if path == "/v1/stats":
+            return ("/v1/stats",) + self._json(200, self._stats())
+        return ("<unknown>",) + self._error(
+            ServiceError(404, "not-found", f"no such endpoint: {path}")
+        )
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _simulate(self, body, headers):
+        """POST /v1/simulate — the five-stage pipeline described in
+        the module docstring."""
+        tenant = headers.get("x-tenant", DEFAULT_TENANT)
+        ok, retry = self.quotas.acquire(tenant)
+        if not ok:
+            self._m_throttles.inc(reason="quota")
+            raise ServiceError(
+                429, "quota-exceeded",
+                f"tenant {tenant!r} is over its request quota",
+                retry_after=retry,
+            )
+        parsed = parse_simulation_request(body, self.config.limits)
+        timeout = self._timeout_for(headers)
+
+        if parsed.cacheable:
+            cached = self._cache.get(parsed.cache_key)
+            if cached is not None:
+                self._m_cache_hits.inc()
+                record_event(
+                    EV_REQUEST_DONE, tenant=tenant, status=200, ns=0,
+                    cached=True,
+                )
+                return self._json(
+                    200, dict(cached, cached=True),
+                    extra=[("x-cache", "hit")],
+                )
+            self._m_cache_misses.inc()
+
+        job = self.executor.prepare(parsed.request)
+        job.deadline = perf_counter() + timeout
+        record_event(
+            EV_REQUEST_ACCEPT, id=job.id, tenant=tenant,
+            pipeline=parsed.request.kind, qubits=parsed.nb_qubits,
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._m_throttles.inc(reason="queue")
+            raise ServiceError(
+                429, "queue-full",
+                "the submission queue is full; retry shortly",
+                retry_after=max(1.0, timeout / 4),
+            ) from None
+        self._m_queue.set(self._queue.qsize())
+
+        t0 = perf_counter()
+        finished = job.wait(timeout)
+        if not finished:
+            job.cancel()
+            # give the worker one beat to hit a cancellation
+            # checkpoint so accounting (inflight gauge) settles
+            job.wait(min(1.0, timeout))
+            self._m_timeouts.inc()
+            record_event(
+                EV_REQUEST_TIMEOUT, id=job.id, tenant=tenant,
+                ns=int((perf_counter() - t0) * 1e9),
+            )
+            raise ServiceError(
+                504, "deadline-exceeded",
+                f"request exceeded its {timeout:g}s deadline",
+            )
+        if not job.ok:
+            if isinstance(job.error, JobCancelledError):
+                self._m_timeouts.inc()
+                record_event(
+                    EV_REQUEST_TIMEOUT, id=job.id, tenant=tenant,
+                    ns=int((perf_counter() - t0) * 1e9),
+                )
+                raise ServiceError(
+                    504, "deadline-exceeded",
+                    f"request exceeded its {timeout:g}s deadline",
+                )
+            raise ServiceError(
+                500, "execution-failed",
+                f"simulation failed: {type(job.error).__name__}: "
+                f"{job.error}",
+            )
+
+        response = self._materialize(job, parsed)
+        if parsed.cacheable:
+            self._cache.put(parsed.cache_key, response)
+        record_event(
+            EV_REQUEST_DONE, id=job.id, tenant=tenant, status=200,
+            ns=int((perf_counter() - t0) * 1e9), cached=False,
+        )
+        return self._json(
+            200, dict(response, cached=False), extra=[("x-cache", "miss")]
+        )
+
+    def _timeout_for(self, headers) -> float:
+        """Resolve the request deadline from ``X-Timeout`` (seconds),
+        clamped to the configured ceiling."""
+        raw = headers.get("x-timeout")
+        if raw is None:
+            return self.config.timeout
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ServiceError(
+                400, "bad-timeout",
+                f"X-Timeout must be a number of seconds, got {raw!r}",
+            ) from None
+        if timeout <= 0:
+            raise ServiceError(
+                400, "bad-timeout", "X-Timeout must be > 0"
+            )
+        return min(timeout, self.config.max_timeout)
+
+    def _materialize(self, job, parsed: ParsedRequest) -> dict:
+        """Serialize a finished job into the JSON response body."""
+        sim = job.result()
+        out = {
+            "id": job.id,
+            "qubits": parsed.nb_qubits,
+            "results": sim.results,
+            "probabilities": [float(p) for p in sim.probabilities],
+            "elapsed_ms": round(job.timings.total_seconds * 1e3, 3),
+        }
+        if parsed.shots > 0:
+            if sim.nbMeasurements == 0:
+                raise ServiceError(
+                    400, "no-measurements",
+                    "shots > 0 requires at least one Measurement in "
+                    "the circuit",
+                )
+            out["counts"] = {
+                k: int(v)
+                for k, v in sim.counts_dict(
+                    parsed.shots, seed=parsed.seed
+                ).items()
+            }
+            out["shots"] = parsed.shots
+        if parsed.expectations:
+            out["expectations"] = {
+                pauli: sim.expectation(pauli)
+                for pauli in parsed.expectations
+            }
+        if parsed.return_state:
+            out["states"] = [
+                {
+                    "result": result,
+                    "probability": float(prob),
+                    "re": np.real(state).tolist(),
+                    "im": np.imag(state).tolist(),
+                }
+                for result, prob, state in zip(
+                    sim.results, sim.probabilities, sim.states
+                )
+            ]
+        return out
+
+    def _health(self) -> dict:
+        """The /healthz body: liveness plus coarse saturation signals."""
+        return {
+            "status": "ok",
+            "workers": len(self._threads),
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+        }
+
+    def _stats(self) -> dict:
+        """The /v1/stats body: cache/quota/plan-cache introspection."""
+        return {
+            "result_cache": {
+                "size": len(self._cache),
+                "capacity": self._cache.capacity,
+            },
+            "plan_cache": plan_cache_info(),
+            "quota": {
+                "enabled": self.quotas.enabled,
+                "rate": self.quotas.rate,
+                "burst": self.quotas.burst,
+                "tenants": self.quotas.snapshot(),
+            },
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self._queue.maxsize,
+            },
+        }
+
+    # -- response helpers ---------------------------------------------------
+
+    @staticmethod
+    def _json(status: int, payload: dict, extra: Optional[list] = None):
+        """Encode a JSON response triple."""
+        body = json.dumps(payload).encode("utf-8")
+        headers = [("content-type", "application/json")]
+        if extra:
+            headers.extend(extra)
+        return status, headers, body
+
+    @staticmethod
+    def _error(exc: ServiceError):
+        """Encode a :class:`ServiceError` as its response triple."""
+        headers = [("content-type", "application/json")]
+        if exc.retry_after is not None:
+            headers.append(
+                ("retry-after", str(max(1, int(-(-exc.retry_after // 1)))))
+            )
+        body = json.dumps(exc.body()).encode("utf-8")
+        return exc.status, headers, body

@@ -1,0 +1,108 @@
+"""Per-tenant token-bucket quotas for the simulation service.
+
+A classic token bucket: each tenant holds up to ``burst`` tokens,
+refilled continuously at ``rate`` tokens/second; a request spends one
+token or is throttled with a precise ``Retry-After``.  The lazy-refill
+formulation (tokens recomputed from the elapsed time at each acquire)
+means an idle tenant costs nothing — no timers, no background refill
+thread — which is what lets the :class:`QuotaManager` hold a bucket
+per tenant without any eviction machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from time import monotonic
+from typing import Dict, Optional, Tuple
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """One tenant's refillable budget of request tokens.
+
+    ``rate`` is the steady-state requests/second, ``burst`` the
+    maximum tokens banked while idle.  Not thread-safe on its own —
+    the owning :class:`QuotaManager` serializes access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.tokens = float(burst)
+        # clock anchors on the first acquire, so injected test clocks
+        # (acquire(now=...)) get a coherent timeline
+        self.updated: Optional[float] = None
+
+    def acquire(self, now: Optional[float] = None) -> Tuple[bool, float]:
+        """Try to spend one token.
+
+        Returns ``(True, 0.0)`` on success, or ``(False, retry_after)``
+        where ``retry_after`` is the seconds until a full token will
+        have refilled — the value the gateway puts in the
+        ``Retry-After`` header.
+        """
+        if now is None:
+            now = monotonic()
+        if self.updated is None:
+            self.updated = now
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Token buckets keyed by tenant id.
+
+    ``rate <= 0`` disables quotas entirely (every :meth:`acquire`
+    succeeds), which is the single-user default of
+    ``python -m repro.serve``.  Buckets materialize on first use and
+    all mutation happens under one lock — bucket math is nanoseconds,
+    so a shared lock beats per-bucket locking complexity.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: int = 1):
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether quotas are being enforced at all."""
+        return self.rate > 0
+
+    def acquire(self, tenant: str) -> Tuple[bool, float]:
+        """Spend one token for ``tenant``; see :meth:`TokenBucket.acquire`."""
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst
+                )
+            ok, retry = bucket.acquire()
+        return ok, retry
+
+    def retry_after_header(self, retry: float) -> str:
+        """Format a retry interval for the ``Retry-After`` header
+        (integer seconds, rounded up, at least 1)."""
+        return str(max(1, int(math.ceil(retry))))
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{tenant: tokens-remaining}`` for the stats endpoint."""
+        with self._lock:
+            return {t: round(b.tokens, 3) for t, b in self._buckets.items()}

@@ -121,3 +121,57 @@ class TestDumpMode:
         path = tmp_path / "other.json"
         path.write_text('{"format": "something-else"}')
         assert main(["--dump", str(path)]) == 2
+
+    def test_rejects_non_json_garbage(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {{{")
+        assert main(["--dump", str(path)]) == 2
+
+    def test_salvages_truncated_dump(self, tmp_path, capsys):
+        """A dump torn mid-write (still-running process, crash) still
+        yields its header and every complete event."""
+        path = self._dump(tmp_path)
+        text = path.read_text()
+        torn = tmp_path / "torn.json"
+        # cut inside the events array, mid-object
+        cut = text.rindex('"kind"')
+        torn.write_text(text[:cut])
+        capsys.readouterr()
+        assert main(["--dump", str(torn)]) == 0
+        out = capsys.readouterr().out
+        assert "truncated dump" in out
+        assert "flight-recorder dump:" in out
+
+    def test_salvaged_dump_json_payload_marks_truncation(
+        self, tmp_path, capsys
+    ):
+        path = self._dump(tmp_path)
+        text = path.read_text()
+        torn = tmp_path / "torn.json"
+        torn.write_text(text[: text.rindex('"kind"')])
+        capsys.readouterr()
+        assert main(["--dump", str(torn), "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["truncated"] is True
+        assert payload["events"] > 0
+
+    def test_load_dump_roundtrip_is_not_truncated(self, tmp_path):
+        from repro.obs.cli import load_dump
+
+        path = self._dump(tmp_path)
+        dump = load_dump(str(path))
+        assert dump is not None
+        assert "truncated" not in dump
+        assert dump["format"] == "repro-flight-recorder"
+        assert dump["version"] == 1
+
+    def test_dump_write_is_atomic(self, tmp_path):
+        """dump_json leaves no temp droppings and replaces in place."""
+        path = tmp_path / "atomic.json"
+        flight_recorder().dump_json(path)
+        flight_recorder().dump_json(path)  # overwrite path exercised
+        assert json.loads(path.read_text())["format"] == (
+            "repro-flight-recorder"
+        )
+        assert list(tmp_path.glob("*.tmp.*")) == []

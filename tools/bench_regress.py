@@ -114,6 +114,12 @@ SPECS = {
             kind="absolute",
         ),
     ],
+    "service": [
+        # every request must succeed — a dropped request is a
+        # functional regression, not a timing one
+        MetricSpec("ok_fraction", higher_is_better=True, kind="ratio"),
+        MetricSpec("rps", higher_is_better=True, kind="absolute"),
+    ],
     "conformance": [
         # check-group count is a coverage floor, not a timing: the
         # sweep must keep cross-checking at least as many groups as
